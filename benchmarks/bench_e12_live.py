@@ -1,0 +1,104 @@
+"""E12 (extension) — Full-model dynamic ranking (LiveRanker).
+
+E6 measured incremental maintenance of the prestige component alone;
+this experiment measures the *whole system* a live index runs: per
+arrival batch, maintain prestige incrementally and re-assemble the full
+model, vs. recomputing the full model cold.
+
+Expected shape (and honest accounting): the stages the incremental
+engine replaces — graph rebuild + TWPR solve — shrink by a multiple,
+while the linear-time assembly stages (popularity, venue, author,
+blend) are identical on both paths, so the end-to-end win is bounded by
+the assembly share. Head-of-ranking agreement stays ~perfect. The
+prestige-stage speedup is the paper's incremental claim (E6); this
+experiment shows where it lands in a full pipeline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_series
+from repro.core.model import ArticleRanker
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.engine.live import LiveRanker
+from repro.engine.updates import yearly_updates
+from repro.eval.metrics import top_k_overlap
+
+SCALE = 25_000
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """Base snapshot plus quarterly arrival batches (last two years)."""
+    from repro.engine.updates import UpdateBatch
+
+    dataset = generate_dataset(GeneratorConfig(
+        num_articles=SCALE, num_venues=50, num_authors=6_000,
+        start_year=1985, end_year=2015, seed=41))
+    _, max_year = dataset.year_range()
+    base, yearly = yearly_updates(dataset, max_year - 1)
+    quarterly = []
+    for batch in yearly:
+        articles = sorted(batch.articles, key=lambda a: a.id)
+        quarter = -(-len(articles) // 4)
+        for start in range(0, len(articles), quarter):
+            quarterly.append(UpdateBatch(
+                articles=tuple(articles[start:start + quarter]),
+                venues=batch.venues if start == 0 else (),
+                authors=batch.authors if start == 0 else ()))
+    return base, quarterly
+
+
+def test_e12_live_vs_cold(benchmark, run_once, stream):
+    base, batches = stream
+
+    def run_all():
+        live = LiveRanker(base, delta_threshold=1e-3)
+        ranker = ArticleRanker()
+        rows = []
+        for batch in batches:
+            start = time.perf_counter()
+            result, report = live.apply(batch)
+            live_seconds = time.perf_counter() - start
+            live_prestige = report.seconds
+
+            start = time.perf_counter()
+            cold = ranker.rank(live.dataset)
+            cold_seconds = time.perf_counter() - start
+            cold_timings = cold.diagnostics["timings"]
+            cold_prestige = cold_timings["build_graph"] \
+                + cold_timings["article_prestige"]
+
+            overlap = top_k_overlap(result.by_id(), cold.by_id(), 100)
+            rows.append((batch.articles[0].year, batch.num_articles,
+                         report.affected.fraction, live_prestige,
+                         cold_prestige, live_seconds, cold_seconds,
+                         overlap))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    print("\n" + render_series(
+        f"E12 live full-model ranking vs cold recompute "
+        f"({SCALE} articles, quarterly arrivals; 'prestige' = graph "
+        "maintenance + TWPR, the stage the incremental engine replaces)",
+        "quarter", [f"{r[0]}q{i % 4 + 1}" for i, r in enumerate(rows)],
+        {
+            "new": [r[1] for r in rows],
+            "affected %": [f"{r[2] * 100:.1f}" for r in rows],
+            "prestige live ms": [f"{r[3] * 1e3:.0f}" for r in rows],
+            "prestige cold ms": [f"{r[4] * 1e3:.0f}" for r in rows],
+            "prestige speedup": [f"{r[4] / r[3]:.2f}x" for r in rows],
+            "total live ms": [f"{r[5] * 1e3:.0f}" for r in rows],
+            "total cold ms": [f"{r[6] * 1e3:.0f}" for r in rows],
+            "top-100 overlap": [f"{r[7]:.2f}" for r in rows],
+        }))
+
+    for row in rows:
+        assert row[7] > 0.85              # head agreement
+        assert row[4] / row[3] > 1.5      # the replaced stage shrinks
+    # End-to-end, live must at least not lose (assembly dominates both).
+    total_live = sum(row[5] for row in rows)
+    total_cold = sum(row[6] for row in rows)
+    assert total_live < total_cold * 1.1

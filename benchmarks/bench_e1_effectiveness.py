@@ -1,0 +1,47 @@
+"""E1 — Effectiveness table (paper analogue: pairwise accuracy of the
+model vs. all baselines on the AMiner-like and MAG-like corpora).
+
+Expected shape: QISAR (the full assembled model) tops every static and
+time-aware baseline on pairwise accuracy and quality correlation; raw
+citation count and pure-recency methods trail.
+"""
+
+import pytest
+
+from repro.bench.tables import render_rows
+from repro.bench.workloads import (
+    aminer_small,
+    compute_baseline_scores,
+    mag_small,
+)
+from repro.core.model import ArticleRanker
+from repro.eval.protocol import evaluate_ranking
+
+CORPORA = [
+    ("aminer-like", aminer_small, 20_000),
+    ("mag-like", mag_small, 40_000),
+]
+
+
+@pytest.mark.parametrize("name,loader,scale",
+                         CORPORA, ids=[c[0] for c in CORPORA])
+def test_e1_effectiveness(benchmark, run_once, name, loader, scale):
+    dataset, truth = loader(scale)
+    scores_by_method = compute_baseline_scores(dataset)
+
+    # The timed kernel: one full model run (the paper's "our approach").
+    run_once(benchmark, lambda: ArticleRanker().rank(dataset))
+
+    rows = []
+    for method, scores in scores_by_method.items():
+        report = evaluate_ranking(scores, truth)
+        rows.append({"method": method, **report.as_row()})
+    rows.sort(key=lambda r: -float(r["pairwise"]))
+    print("\n" + render_rows(
+        f"E1 effectiveness — {name} ({dataset.num_articles} articles, "
+        f"{dataset.num_citations} citations)", rows))
+
+    by_method = {row["method"]: float(row["pairwise"]) for row in rows}
+    assert by_method["QISAR"] == max(by_method.values())
+    assert by_method["QISAR"] > by_method["PageRank"]
+    assert by_method["QISAR"] > by_method["CitationCount"]

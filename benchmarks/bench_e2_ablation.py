@@ -1,0 +1,52 @@
+"""E2 — Ablation table (paper analogue: contribution of each component).
+
+Variants: the full model; prestige-only and popularity-only importance
+(theta extremes); article-signal only (no venue, no author); no-venue;
+no-author. Expected shape: the full model wins; dropping the venue
+signal hurts most (venue prestige carries strong quality information);
+single-signal variants trail the full ensemble.
+"""
+
+import pytest
+
+from repro.bench.tables import render_rows
+from repro.bench.workloads import aminer_small
+from repro.core.model import ArticleRanker, RankerConfig
+from repro.eval.protocol import evaluate_ranking
+
+VARIANTS = [
+    ("full", {}),
+    ("prestige-only", {"theta": 1.0}),
+    ("popularity-only", {"theta": 0.0}),
+    ("article-only", {"weight_article": 1.0, "weight_venue": 0.0,
+                      "weight_author": 0.0}),
+    ("no-venue", {"weight_venue": 0.0}),
+    ("no-author", {"weight_author": 0.0}),
+]
+
+
+def test_e2_ablation(benchmark, run_once):
+    dataset, truth = aminer_small(20_000)
+
+    def run_all():
+        results = {}
+        for name, overrides in VARIANTS:
+            ranker = ArticleRanker(RankerConfig(**overrides))
+            results[name] = ranker.rank(dataset).by_id()
+        return results
+
+    scores_by_variant = run_once(benchmark, run_all)
+
+    rows = []
+    for name, _ in VARIANTS:
+        report = evaluate_ranking(scores_by_variant[name], truth)
+        rows.append({"variant": name, **report.as_row()})
+    print("\n" + render_rows(
+        f"E2 ablation — aminer-like ({dataset.num_articles} articles)",
+        rows))
+
+    pairwise = {row["variant"]: float(row["pairwise"]) for row in rows}
+    assert pairwise["full"] >= max(pairwise["article-only"],
+                                   pairwise["prestige-only"],
+                                   pairwise["popularity-only"])
+    assert pairwise["full"] >= pairwise["no-venue"]

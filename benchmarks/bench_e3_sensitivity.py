@@ -1,0 +1,81 @@
+"""E3 — Parameter-sensitivity figures (paper analogue: accuracy vs. each
+model knob, one sweep per sub-figure).
+
+Sweeps: prestige decay lambda, popularity decay sigma, the
+prestige/popularity balance theta, and the article/venue/author blend.
+Expected shape: smooth single-peaked curves — performance degrades
+gracefully away from the defaults, and extreme settings (decay 0 =
+static PageRank; theta extremes) are visibly worse than the middle.
+"""
+
+import pytest
+
+from repro.bench.tables import render_series
+from repro.bench.workloads import aminer_small
+from repro.core.model import ArticleRanker, RankerConfig
+from repro.eval.metrics import pairwise_accuracy
+
+SCALE = 10_000
+
+LAMBDAS = [0.0, 0.05, 0.1, 0.2, 0.4]
+SIGMAS = [0.1, 0.2, 0.4, 0.8]
+THETAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+BLENDS = [(1.0, 0.0, 0.0), (0.6, 0.4, 0.0), (0.6, 0.25, 0.15),
+          (0.4, 0.4, 0.2), (0.34, 0.33, 0.33)]
+
+
+def accuracy(dataset, truth, **overrides) -> float:
+    ranker = ArticleRanker(RankerConfig(**overrides))
+    return pairwise_accuracy(ranker.rank(dataset).by_id(), truth.pairs)
+
+
+def test_e3_lambda_and_sigma(benchmark, run_once):
+    dataset, truth = aminer_small(SCALE)
+
+    def sweep():
+        lam = [accuracy(dataset, truth, prestige_decay=v)
+               for v in LAMBDAS]
+        sig = [accuracy(dataset, truth, popularity_decay=v)
+               for v in SIGMAS]
+        return lam, sig
+
+    lam, sig = run_once(benchmark, sweep)
+    print("\n" + render_series(
+        "E3a pairwise accuracy vs prestige decay lambda", "lambda",
+        LAMBDAS, {"pairwise": [f"{v:.4f}" for v in lam]}))
+    print("\n" + render_series(
+        "E3b pairwise accuracy vs popularity decay sigma", "sigma",
+        SIGMAS, {"pairwise": [f"{v:.4f}" for v in sig]}))
+    assert max(lam) - min(lam) < 0.2  # graceful degradation
+    assert all(v > 0.5 for v in lam + sig)
+
+
+def test_e3_theta(benchmark, run_once):
+    dataset, truth = aminer_small(SCALE)
+    values = run_once(benchmark, lambda: [
+        accuracy(dataset, truth, theta=theta) for theta in THETAS])
+    print("\n" + render_series(
+        "E3c pairwise accuracy vs theta (prestige weight)", "theta",
+        THETAS, {"pairwise": [f"{v:.4f}" for v in values]}))
+    assert all(v > 0.5 for v in values)
+
+
+def test_e3_blend(benchmark, run_once):
+    dataset, truth = aminer_small(SCALE)
+
+    def sweep():
+        results = []
+        for article, venue, author in BLENDS:
+            results.append(accuracy(
+                dataset, truth, weight_article=article,
+                weight_venue=venue, weight_author=author))
+        return results
+
+    values = run_once(benchmark, sweep)
+    labels = [f"{a}/{v}/{u}" for a, v, u in BLENDS]
+    print("\n" + render_series(
+        "E3d pairwise accuracy vs article/venue/author blend",
+        "blend (A/V/U)", labels,
+        {"pairwise": [f"{v:.4f}" for v in values]}))
+    # The ensemble must beat the article-only corner.
+    assert max(values[1:]) > values[0]

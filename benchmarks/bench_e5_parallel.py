@@ -1,0 +1,95 @@
+"""E5 — Parallel-scalability figures (paper analogue: graph-centric vs.
+vertex-centric paradigm, and speedup with workers).
+
+Expected shape: the block-centric engine needs several times fewer
+supersteps and messages than the vertex-centric baseline at equal
+partitioning; locality-aware partitions (time-range) beat hash
+partitions; wall-clock improves with workers until process overhead
+dominates at this (laptop) scale.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.tables import render_rows, render_series
+from repro.bench.workloads import sized_citation_graph
+from repro.engine.blocks import BlockEngine, vertex_centric_pagerank
+from repro.engine.parallel import ParallelBlockEngine
+from repro.graph.partition import bfs_partition, hash_partition, \
+    range_partition
+
+SCALE = 40_000
+WORKER_COUNTS = [1, 2, 4]
+
+
+def test_e5_paradigm_comparison(benchmark, run_once):
+    graph, _ = sized_citation_graph(SCALE)
+    partitions = {
+        "range(8)": range_partition(graph, 8),
+        "hash(8)": hash_partition(graph, 8, seed=1),
+        "bfs(8)": bfs_partition(graph, 8, seed=1),
+    }
+
+    def run_all():
+        rows = []
+        for name, partition in partitions.items():
+            start = time.perf_counter()
+            block = BlockEngine(graph, partition).run()
+            block_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            vertex = vertex_centric_pagerank(graph, partition)
+            vertex_seconds = time.perf_counter() - start
+            rows.append({
+                "partition": name,
+                "cut%": f"{partition.cut_fraction(graph) * 100:.1f}",
+                "block ss": block.supersteps,
+                "vertex ss": vertex.supersteps,
+                "block msgs": block.messages,
+                "vertex msgs": vertex.messages,
+                "block ms": f"{block_seconds * 1e3:.0f}",
+                "vertex ms": f"{vertex_seconds * 1e3:.0f}",
+            })
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    print("\n" + render_rows(
+        f"E5a graph-centric vs vertex-centric ({SCALE} articles)", rows))
+    for row in rows:
+        assert row["block ss"] <= row["vertex ss"]
+        assert row["block msgs"] <= row["vertex msgs"]
+    by_name = {row["partition"]: row for row in rows}
+    assert by_name["range(8)"]["block ss"] <= by_name["hash(8)"]["block ss"]
+
+
+def test_e5_worker_scaling(benchmark, run_once):
+    graph, _ = sized_citation_graph(SCALE)
+    partition = range_partition(graph, 8)
+
+    def run_all():
+        timings = []
+        supersteps = []
+        for workers in WORKER_COUNTS:
+            engine = ParallelBlockEngine(graph, partition,
+                                         num_workers=workers)
+            start = time.perf_counter()
+            result = engine.run()
+            timings.append(time.perf_counter() - start)
+            supersteps.append(result.supersteps)
+            assert result.converged
+        return timings, supersteps
+
+    timings, supersteps = run_once(benchmark, run_all)
+    print("\n" + render_series(
+        f"E5b wall-clock vs workers ({SCALE} articles, range(8), "
+        f"{os.cpu_count()} cores)",
+        "workers", WORKER_COUNTS,
+        {
+            "seconds": [f"{t:.2f}" for t in timings],
+            "supersteps": supersteps,
+            "speedup": [f"{timings[0] / t:.2f}x" for t in timings],
+        }))
+    # Supersteps may grow mildly with workers (weaker cross-worker
+    # coupling) but must stay far below the vertex-centric count.
+    assert max(supersteps) < 15

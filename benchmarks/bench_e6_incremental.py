@@ -1,0 +1,78 @@
+"""E6 — Incremental vs. batch figure (paper analogue: dynamic ranking
+runtime as the update batch grows, plus the approximation cost).
+
+Expected shape: for small arrival batches the incremental algorithm is
+an order of magnitude faster than recomputing from scratch, because the
+affected area stays a small fraction of the graph; as the update
+fraction grows the affected area — and the advantage — shrinks, with the
+crossover somewhere in the tens of percent. The approximation error
+stays tiny throughout.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_series
+from repro.bench.workloads import sized_citation_graph
+from repro.core.twpr import time_weighted_pagerank
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.updates import fraction_update
+
+SCALE = 30_000
+FRACTIONS = [0.005, 0.01, 0.02, 0.05, 0.10, 0.20]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(GeneratorConfig(
+        num_articles=SCALE, num_venues=60, num_authors=7_500, seed=31))
+
+
+def test_e6_incremental_vs_batch(benchmark, run_once, dataset):
+    def run_all():
+        rows = []
+        for fraction in FRACTIONS:
+            base, batch = fraction_update(dataset, fraction)
+            engine = IncrementalEngine(base, delta_threshold=1e-3)
+            start = time.perf_counter()
+            report = engine.apply(batch)
+            incremental_seconds = time.perf_counter() - start
+
+            # Fair batch comparator: what a non-incremental system does
+            # on arrival — rebuild the graph from the dataset and solve.
+            start = time.perf_counter()
+            graph = engine.dataset.citation_csr()
+            years = engine.dataset.article_years(graph)
+            exact = time_weighted_pagerank(graph, years,
+                                           decay=engine.decay)
+            batch_seconds = time.perf_counter() - start
+            error = float(np.abs(engine.scores - exact.scores).sum())
+            rows.append((fraction, report.affected.fraction,
+                         incremental_seconds, batch_seconds, error))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    print("\n" + render_series(
+        f"E6 incremental vs batch recompute ({SCALE} articles, "
+        "threshold 1e-3)",
+        "update %", [f"{f * 100:.1f}" for f in FRACTIONS],
+        {
+            "affected %": [f"{r[1] * 100:.1f}" for r in rows],
+            "incr ms": [f"{r[2] * 1e3:.0f}" for r in rows],
+            "batch ms": [f"{r[3] * 1e3:.0f}" for r in rows],
+            "speedup": [f"{r[3] / r[2]:.2f}x" for r in rows],
+            "L1 error": [f"{r[4]:.1e}" for r in rows],
+        }))
+
+    # Small updates must touch a small area, stay accurate and beat the
+    # batch recompute clearly.
+    smallest = rows[0]
+    assert smallest[1] < 0.5
+    assert smallest[4] < 1e-2
+    assert smallest[3] / smallest[2] > 2.0
+    # The affected area grows with the update size, eroding the speedup.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[-1][3] / rows[-1][2] < smallest[3] / smallest[2]

@@ -1,0 +1,67 @@
+"""E7 — Affected-area figure (paper analogue: the expansion threshold's
+area/accuracy trade-off).
+
+Expected shape: shrinking the threshold delta grows the affected area
+monotonically toward the whole graph and drives the approximation error
+toward solver tolerance; large thresholds keep the area (and cost) tiny
+at modest error. This is the knob that makes incremental ranking
+tunable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_series
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.updates import fraction_update
+
+SCALE = 20_000
+THRESHOLDS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+UPDATE_FRACTION = 0.02
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = generate_dataset(GeneratorConfig(
+        num_articles=SCALE, num_venues=40, num_authors=5_000, seed=37))
+    return fraction_update(dataset, UPDATE_FRACTION)
+
+
+def test_e7_threshold_tradeoff(benchmark, run_once, split):
+    base, batch = split
+
+    def run_all():
+        rows = []
+        for threshold in THRESHOLDS:
+            engine = IncrementalEngine(base, delta_threshold=threshold)
+            report = engine.apply(batch)
+            rows.append((report.affected.fraction,
+                         report.seconds,
+                         engine.error_vs_exact(),
+                         report.iterations))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    print("\n" + render_series(
+        f"E7 affected area vs threshold ({SCALE} articles, "
+        f"{UPDATE_FRACTION * 100:.0f}% update)",
+        "delta", [f"{t:.0e}" for t in THRESHOLDS],
+        {
+            "affected %": [f"{r[0] * 100:.1f}" for r in rows],
+            "apply ms": [f"{r[1] * 1e3:.0f}" for r in rows],
+            "L1 error": [f"{r[2]:.1e}" for r in rows],
+            "iterations": [r[3] for r in rows],
+        }))
+
+    fractions = [r[0] for r in rows]
+    errors = [r[2] for r in rows]
+    # Monotone: tighter threshold -> larger area.
+    assert all(a <= b + 1e-12
+               for a, b in zip(fractions, fractions[1:]))
+    # Error at the tightest threshold reaches the boundary-approximation
+    # floor (unaffected nodes keep rescaled old scores, so the error does
+    # not go all the way to solver tolerance — that is the documented
+    # trade-off of the affected/unaffected split).
+    assert errors[-1] <= errors[0] + 1e-12
+    assert errors[-1] < 1e-3

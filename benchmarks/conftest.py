@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Benchmarks are single-shot experiment drivers: the *table* each one
+prints is the deliverable (the paper's table/figure analogue), and the
+``benchmark`` fixture times the experiment's headline kernel once. Keep
+scales moderate — the full suite must run in minutes on a laptop.
+"""
+
+import pytest
+
+
+def single_run(benchmark, func, *args, **kwargs):
+    """Time ``func`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def run_once():
+    return single_run

@@ -1,0 +1,45 @@
+"""Quickstart: generate a scholarly corpus, rank it, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ArticleRanker, GeneratorConfig, generate_dataset
+
+
+def main() -> None:
+    # A 10k-article synthetic corpus with the structural properties of a
+    # real citation network (power-law citations, yearly growth, venues,
+    # authors, planted latent quality).
+    dataset = generate_dataset(GeneratorConfig(
+        num_articles=10_000, num_venues=40, num_authors=3_000,
+        start_year=1990, end_year=2015, seed=42))
+    print(f"corpus: {dataset.num_articles} articles, "
+          f"{dataset.num_citations} citations, "
+          f"{dataset.num_venues} venues, {dataset.num_authors} authors")
+
+    # Rank every article, query-independently.
+    result = ArticleRanker().rank(dataset)
+
+    print("\ntop 10 articles (score | year | venue | title):")
+    for article_id, score in result.top(10):
+        article = dataset.articles[article_id]
+        venue = dataset.venues[article.venue_id].name
+        print(f"  {score:.4f} | {article.year} | {venue:>9} | "
+              f"{article.title}")
+
+    diag = result.diagnostics
+    print(f"\nTWPR solved by {diag['twpr_method']!r} in "
+          f"{diag['twpr_iterations']} sweep(s); stage timings (s):")
+    for stage, seconds in diag["timings"].items():
+        print(f"  {stage:>18}: {seconds:.4f}")
+
+    # Every intermediate signal is exposed for analysis.
+    prestige = result.components["article_prestige"]
+    popularity = result.components["article_popularity"]
+    print(f"\nprestige mass on top-100: "
+          f"{sorted(prestige, reverse=True)[:100][-1]:.2e} cutoff; "
+          f"max popularity {popularity.max():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Temporal analysis of citation dynamics.
+
+Built on top of the ranking stack: per-article citation trajectories,
+sleeping-beauty detection (Ke et al., 2015) and rising-star detection
+from score trajectories across snapshots.
+"""
+
+from repro.analysis.temporal import (
+    citation_history,
+    rising_stars,
+    score_trajectories,
+    sleeping_beauty_coefficient,
+)
+
+__all__ = [
+    "citation_history",
+    "rising_stars",
+    "score_trajectories",
+    "sleeping_beauty_coefficient",
+]

@@ -1,0 +1,20 @@
+"""Shared benchmark harness: workloads, table rendering, run recording."""
+
+from repro.bench.tables import render_series, render_table
+from repro.bench.runner import ExperimentLog
+from repro.bench.workloads import (
+    aminer_small,
+    compute_baseline_scores,
+    mag_small,
+    sized_citation_graph,
+)
+
+__all__ = [
+    "ExperimentLog",
+    "aminer_small",
+    "compute_baseline_scores",
+    "mag_small",
+    "render_series",
+    "render_table",
+    "sized_citation_graph",
+]

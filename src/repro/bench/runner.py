@@ -1,0 +1,46 @@
+"""Experiment logging: collect rendered tables and persist them.
+
+Benchmarks print their tables to stdout *and* append them to an
+:class:`ExperimentLog`, so a single run can be archived next to
+EXPERIMENTS.md (``bench_output.txt`` is the canonical artifact).
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+from pathlib import Path
+from typing import List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class ExperimentLog:
+    """Accumulates rendered experiment blocks and writes them to a file."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: List[str] = []
+
+    def add(self, block: str, echo: bool = True) -> None:
+        """Record one rendered table/series; echo to stdout by default."""
+        self.blocks.append(block)
+        if echo:
+            print("\n" + block)
+
+    def header(self) -> str:
+        """Provenance header: platform and timestamp."""
+        stamp = datetime.datetime.now().isoformat(timespec="seconds")
+        return (f"# {self.name}\n"
+                f"# host: {platform.platform()} "
+                f"python {platform.python_version()}\n"
+                f"# time: {stamp}")
+
+    def render(self) -> str:
+        return "\n\n".join([self.header()] + self.blocks)
+
+    def save(self, path: Optional[PathLike] = None) -> Path:
+        """Write the log (default: ``<name>.log`` in the cwd)."""
+        target = Path(path) if path is not None else Path(f"{self.name}.log")
+        target.write_text(self.render() + "\n", encoding="utf-8")
+        return target

@@ -1,0 +1,61 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Every benchmark prints its table/figure through these helpers so the
+output of ``pytest benchmarks/ --benchmark-only`` reads like the paper's
+tables: a caption, aligned columns, one row per method or sweep point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a caption line."""
+    if not headers:
+        raise ConfigError("table needs at least one column")
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[column])
+                         for column, value in enumerate(values)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(row) for row in cells]
+    return "\n".join([title, line(list(headers)), separator] + body)
+
+
+def render_rows(title: str, rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows (shared keys become columns, in first-row order)."""
+    if not rows:
+        raise ConfigError("need at least one row")
+    headers = list(rows[0].keys())
+    return render_table(title, headers,
+                        [[row.get(header, "") for header in headers]
+                         for row in rows])
+
+
+def render_series(title: str, x_label: str, x_values: Sequence[object],
+                  series: Dict[str, Sequence[object]]) -> str:
+    """Render a "figure" as a table: one x column, one column per line."""
+    if not series:
+        raise ConfigError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigError(f"series {name!r} does not align with x")
+    headers = [x_label] + list(series.keys())
+    rows: List[List[object]] = []
+    for position, x in enumerate(x_values):
+        rows.append([x] + [series[name][position] for name in series])
+    return render_table(title, headers, rows)

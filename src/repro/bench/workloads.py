@@ -1,0 +1,118 @@
+"""Canonical benchmark workloads.
+
+The two effectiveness corpora mirror the paper's AMiner and MAG datasets
+at laptop scale (see DESIGN.md "Substitutions"); they are module-cached
+because several benchmarks share them. ``sized_citation_graph`` builds
+the graph-size sweep of the efficiency experiments.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.generator import (
+    GeneratorConfig,
+    aminer_like_config,
+    generate_dataset,
+    mag_like_config,
+)
+from repro.data.ground_truth import GroundTruth, build_ground_truth
+from repro.data.schema import ScholarlyDataset
+from repro.core.model import ArticleRanker
+from repro.graph.csr import CSRGraph
+from repro.ranking import (
+    citation_count,
+    citation_rate,
+    citerank,
+    futurerank,
+    hits,
+    pagerank,
+    prank,
+    rescaled_pagerank,
+)
+
+
+@lru_cache(maxsize=None)
+def aminer_small(scale: int = 20_000
+                 ) -> Tuple[ScholarlyDataset, GroundTruth]:
+    """AMiner-like corpus + ground truth (cached)."""
+    dataset = generate_dataset(aminer_like_config(scale=scale))
+    truth = build_ground_truth(dataset, num_pairs=2_000, seed=13)
+    return dataset, truth
+
+
+@lru_cache(maxsize=None)
+def mag_small(scale: int = 40_000
+              ) -> Tuple[ScholarlyDataset, GroundTruth]:
+    """MAG-like corpus + ground truth (cached)."""
+    dataset = generate_dataset(mag_like_config(scale=scale))
+    truth = build_ground_truth(dataset, num_pairs=2_000, seed=17)
+    return dataset, truth
+
+
+@lru_cache(maxsize=None)
+def sized_citation_graph(num_articles: int, seed: int = 23
+                         ) -> Tuple[CSRGraph, np.ndarray]:
+    """A citation graph of the requested size for efficiency sweeps."""
+    config = GeneratorConfig(
+        num_articles=num_articles,
+        num_venues=max(20, num_articles // 500),
+        num_authors=max(100, num_articles // 4),
+        seed=seed,
+    )
+    dataset = generate_dataset(config)
+    graph = dataset.citation_csr()
+    return graph, dataset.article_years(graph)
+
+
+def compute_baseline_scores(dataset: ScholarlyDataset
+                            ) -> Dict[str, Dict[int, float]]:
+    """Every comparison method's scores, keyed by method name.
+
+    Methods: the paper's full model (``QISAR``), its prestige component
+    alone (``TWPR``), and the baselines PageRank, citation count,
+    citation rate, CiteRank, FutureRank, HITS authority, P-Rank
+    (heterogeneous co-ranking) and Rescaled PageRank (age-normalized).
+    """
+    graph = dataset.citation_csr()
+    years = dataset.article_years(graph)
+    observation = int(years.max())
+    ids = [int(i) for i in graph.node_ids]
+
+    def by_id(vector: np.ndarray) -> Dict[int, float]:
+        return {article_id: float(score)
+                for article_id, score in zip(ids, vector)}
+
+    ranker = ArticleRanker()
+    full = ranker.rank(dataset)
+
+    author_index = {a: i for i, a in enumerate(sorted(dataset.authors))}
+    author_lists = [
+        [author_index[a] for a in dataset.articles[article_id].author_ids]
+        for article_id in ids
+    ]
+    future_scores, _ = futurerank(graph, author_lists, len(author_index),
+                                  years, observation)
+
+    venue_index = {v: i for i, v in enumerate(sorted(dataset.venues))}
+    venue_of = np.asarray(
+        [venue_index.get(dataset.articles[article_id].venue_id, -1)
+         for article_id in ids], dtype=np.int64)
+    prank_scores, _, _ = prank(graph, author_lists, len(author_index),
+                               venue_of, max(len(venue_index), 1))
+
+    return {
+        "QISAR": full.by_id(),
+        "TWPR": by_id(full.components["article_prestige"]),
+        "PageRank": by_id(pagerank(graph).scores),
+        "CitationCount": by_id(citation_count(graph)),
+        "CitationRate": by_id(citation_rate(graph, years, observation)),
+        "CiteRank": by_id(citerank(graph, years, observation).scores),
+        "FutureRank": by_id(future_scores),
+        "HITS": by_id(hits(graph).authorities),
+        "PRank": by_id(prank_scores),
+        "RescaledPR": by_id(rescaled_pagerank(graph, years)),
+    }

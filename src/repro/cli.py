@@ -1,0 +1,308 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands:
+    generate  — synthesize a scholarly dataset and write it as JSONL.
+    rank      — rank a dataset (JSONL/AMiner/MAG) and print the top-k.
+    top       — filtered top-k (venue / author / year range).
+    venues    — rank the dataset's venues.
+    authors   — rank the dataset's authors.
+    sample    — carve a sub-corpus (random / snowball / forest-fire).
+    stats     — print citation-graph statistics of a dataset.
+    evaluate  — rank a *synthetic* dataset and score it against its
+                planted ground truth.
+    store     — persist a dataset into a SQLite store / list stored ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.core.model import ArticleRanker, RankerConfig
+from repro.data.aminer import parse_aminer
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.data.ground_truth import build_ground_truth
+from repro.data.io import load_dataset_jsonl, save_dataset_jsonl
+from repro.data.mag import parse_mag_directory
+from repro.data.schema import ScholarlyDataset
+from repro.eval.protocol import evaluate_ranking
+from repro.graph.stats import compute_stats
+from repro.storage.store import DatasetStore
+
+
+def _load_any(path: str) -> ScholarlyDataset:
+    """Load a dataset by sniffing the path type."""
+    target = Path(path)
+    if target.is_dir():
+        return parse_mag_directory(target)
+    if target.suffix in (".jsonl", ".gz") or target.name.endswith(
+            ".jsonl.gz"):
+        return load_dataset_jsonl(target)
+    return parse_aminer(target)
+
+
+def _add_ranker_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--damping", type=float, default=0.85)
+    parser.add_argument("--prestige-decay", type=float, default=0.1,
+                        help="lambda: TWPR edge time decay per year")
+    parser.add_argument("--popularity-decay", type=float, default=0.4,
+                        help="sigma: popularity decay per year")
+    parser.add_argument("--theta", type=float, default=0.5,
+                        help="prestige weight inside importance")
+    parser.add_argument("--weights", type=str, default="0.6,0.25,0.15",
+                        help="article,venue,author blend weights")
+
+
+def _ranker_from_args(args: argparse.Namespace) -> ArticleRanker:
+    try:
+        w_article, w_venue, w_author = (float(part) for part
+                                        in args.weights.split(","))
+    except ValueError:
+        raise ReproError(
+            f"--weights must be three comma-separated floats, "
+            f"got {args.weights!r}") from None
+    config = RankerConfig(
+        damping=args.damping, prestige_decay=args.prestige_decay,
+        popularity_decay=args.popularity_decay, theta=args.theta,
+        weight_article=w_article, weight_venue=w_venue,
+        weight_author=w_author)
+    return ArticleRanker(config)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        num_articles=args.articles, num_venues=args.venues,
+        num_authors=args.authors, start_year=args.start_year,
+        end_year=args.end_year, seed=args.seed)
+    dataset = generate_dataset(config)
+    save_dataset_jsonl(dataset, args.output)
+    print(f"wrote {dataset.num_articles} articles, "
+          f"{dataset.num_citations} citations to {args.output}")
+    return 0
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    dataset = _load_any(args.dataset)
+    result = _ranker_from_args(args).rank(dataset)
+    print(f"# top {args.top} of {dataset.num_articles} articles "
+          f"({dataset.name})")
+    for rank, (article_id, score) in enumerate(result.top(args.top),
+                                               start=1):
+        title = dataset.articles[article_id].title[:60]
+        year = dataset.articles[article_id].year
+        print(f"{rank:4d}  {score:.6f}  [{year}] {title}")
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    from repro.query import RankIndex
+
+    dataset = _load_any(args.dataset)
+    result = _ranker_from_args(args).rank(dataset)
+    index = RankIndex(dataset, result.by_id())
+    year_range = None
+    if args.years:
+        try:
+            low, high = (int(part) for part in args.years.split("-"))
+        except ValueError:
+            raise ReproError(
+                f"--years must look like 2005-2010, got {args.years!r}"
+            ) from None
+        year_range = (low, high)
+    entries = index.top(args.top, venue_id=args.venue,
+                        author_id=args.author, year_range=year_range)
+    if not entries:
+        print("(no articles match the filters)")
+        return 0
+    for entry in entries:
+        print(f"{entry.rank:4d}  {entry.score:.6f}  [{entry.year}] "
+              f"{entry.title[:60]}")
+    return 0
+
+
+def _command_venues(args: argparse.Namespace) -> int:
+    from repro.core.entity_rank import EntityRanker
+
+    dataset = _load_any(args.dataset)
+    ranking = EntityRanker(_ranker_from_args(args).config).rank_venues(
+        dataset)
+    for position, (venue_id, score) in enumerate(
+            ranking.top(args.top), start=1):
+        print(f"{position:4d}  {score:.6f}  "
+              f"{dataset.venues[venue_id].name}")
+    return 0
+
+
+def _command_authors(args: argparse.Namespace) -> int:
+    from repro.core.entity_rank import EntityRanker
+
+    dataset = _load_any(args.dataset)
+    ranking = EntityRanker(_ranker_from_args(args).config).rank_authors(
+        dataset)
+    for position, (author_id, score) in enumerate(
+            ranking.top(args.top), start=1):
+        print(f"{position:4d}  {score:.6f}  "
+              f"{dataset.authors[author_id].name}")
+    return 0
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    from repro.data.sampling import (
+        forest_fire_sample,
+        random_article_sample,
+        snowball_sample,
+    )
+
+    samplers = {"random": random_article_sample,
+                "snowball": snowball_sample,
+                "forest-fire": forest_fire_sample}
+    dataset = _load_any(args.dataset)
+    sample = samplers[args.method](dataset, args.size, seed=args.seed)
+    save_dataset_jsonl(sample, args.output)
+    print(f"wrote {sample.num_articles} articles "
+          f"({sample.num_citations} citations) to {args.output}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    dataset = _load_any(args.dataset)
+    graph = dataset.citation_csr()
+    stats = compute_stats(graph, dataset.article_years(graph))
+    print(f"# {dataset.name}")
+    for key, value in stats.as_row().items():
+        print(f"{key:>12}: {value}")
+    print(f"{'venues':>12}: {dataset.num_venues}")
+    print(f"{'authors':>12}: {dataset.num_authors}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_any(args.dataset)
+    truth = build_ground_truth(dataset, num_pairs=args.pairs,
+                               seed=args.seed)
+    result = _ranker_from_args(args).rank(dataset)
+    report = evaluate_ranking(result.by_id(), truth)
+    for key, value in report.as_row().items():
+        print(f"{key:>12}: {value}")
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    with DatasetStore(args.db) as store:
+        if args.dataset is None:
+            names = store.list_datasets()
+            if not names:
+                print("(store is empty)")
+            for name in names:
+                print(name)
+            return 0
+        dataset = _load_any(args.dataset)
+        store.save_dataset(dataset, overwrite=args.overwrite)
+        print(f"stored {dataset.name!r} "
+              f"({dataset.num_articles} articles) in {args.db}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query-independent scholarly article ranking")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a dataset to JSONL")
+    generate.add_argument("output")
+    generate.add_argument("--articles", type=int, default=10_000)
+    generate.add_argument("--venues", type=int, default=50)
+    generate.add_argument("--authors", type=int, default=3_000)
+    generate.add_argument("--start-year", type=int, default=1990)
+    generate.add_argument("--end-year", type=int, default=2015)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(handler=_command_generate)
+
+    rank = commands.add_parser(
+        "rank", help="rank a dataset (JSONL / AMiner / MAG dir)")
+    rank.add_argument("dataset")
+    rank.add_argument("--top", type=int, default=20)
+    _add_ranker_arguments(rank)
+    rank.set_defaults(handler=_command_rank)
+
+    top = commands.add_parser(
+        "top", help="filtered top-k over the ranking")
+    top.add_argument("dataset")
+    top.add_argument("--top", type=int, default=10)
+    top.add_argument("--venue", type=int, default=None,
+                     help="restrict to one venue id")
+    top.add_argument("--author", type=int, default=None,
+                     help="restrict to one author id")
+    top.add_argument("--years", type=str, default=None,
+                     help="publication-year range, e.g. 2005-2010")
+    _add_ranker_arguments(top)
+    top.set_defaults(handler=_command_top)
+
+    venues = commands.add_parser("venues", help="rank venues")
+    venues.add_argument("dataset")
+    venues.add_argument("--top", type=int, default=15)
+    _add_ranker_arguments(venues)
+    venues.set_defaults(handler=_command_venues)
+
+    authors = commands.add_parser("authors", help="rank authors")
+    authors.add_argument("dataset")
+    authors.add_argument("--top", type=int, default=15)
+    _add_ranker_arguments(authors)
+    authors.set_defaults(handler=_command_authors)
+
+    sample = commands.add_parser(
+        "sample", help="carve a sub-corpus out of a dataset")
+    sample.add_argument("dataset")
+    sample.add_argument("output")
+    sample.add_argument("--method", default="forest-fire",
+                        choices=["random", "snowball", "forest-fire"])
+    sample.add_argument("--size", type=int, required=True)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.set_defaults(handler=_command_sample)
+
+    stats = commands.add_parser("stats", help="citation-graph statistics")
+    stats.add_argument("dataset")
+    stats.set_defaults(handler=_command_stats)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score a synthetic dataset against ground truth")
+    evaluate.add_argument("dataset")
+    evaluate.add_argument("--pairs", type=int, default=2_000)
+    evaluate.add_argument("--seed", type=int, default=0)
+    _add_ranker_arguments(evaluate)
+    evaluate.set_defaults(handler=_command_evaluate)
+
+    store = commands.add_parser(
+        "store", help="persist datasets in a SQLite store")
+    store.add_argument("db")
+    store.add_argument("dataset", nargs="?")
+    store.add_argument("--overwrite", action="store_true")
+    store.set_defaults(handler=_command_store)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

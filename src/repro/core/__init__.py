@@ -1,0 +1,50 @@
+"""The paper's primary contribution: query-independent article ranking.
+
+Pipeline (see DESIGN.md "Core model"):
+
+1. **Prestige** of articles and venues via
+   :func:`~repro.core.twpr.time_weighted_pagerank` — PageRank whose edge
+   weights decay with the citation's time gap.
+2. **Popularity** via :func:`~repro.core.popularity.popularity_scores` —
+   time-decayed citation counts (recent citations count more).
+3. **Importance** per entity kind via
+   :func:`~repro.core.importance.combine_importance` — a normalized convex
+   combination of prestige and popularity.
+4. **Assembly** into a final article score by
+   :class:`~repro.core.model.ArticleRanker` — article importance blended
+   with the importance of its venue and authors.
+"""
+
+from repro.core.author_score import author_importance
+from repro.core.entity_rank import EntityRanker, EntityRanking
+from repro.core.importance import combine_importance, normalize_scores
+from repro.core.model import ArticleRanker, RankerConfig, RankingResult
+from repro.core.popularity import popularity_scores
+from repro.core.time_weight import (
+    TimeDecay,
+    exponential_decay,
+    linear_decay,
+    no_decay,
+)
+from repro.core.twpr import TWPRResult, time_weight_edges, time_weighted_pagerank
+from repro.core.venue_graph import build_venue_graph
+
+__all__ = [
+    "ArticleRanker",
+    "EntityRanker",
+    "EntityRanking",
+    "RankerConfig",
+    "RankingResult",
+    "TWPRResult",
+    "TimeDecay",
+    "author_importance",
+    "build_venue_graph",
+    "combine_importance",
+    "exponential_decay",
+    "linear_decay",
+    "no_decay",
+    "normalize_scores",
+    "popularity_scores",
+    "time_weight_edges",
+    "time_weighted_pagerank",
+]

@@ -1,0 +1,155 @@
+"""Parser/writer for the AMiner (DBLP-Citation-network) text format.
+
+The format the AMiner citation dumps use, one record per article::
+
+    #* title
+    #@ author1;author2
+    #t 1998
+    #c SIGMOD
+    #index 42
+    #% 7          (one line per reference, may repeat)
+    #! abstract   (ignored)
+
+Records are separated by blank lines. Venue and author ids are assigned by
+first appearance of their names. A real AMiner dump drops straight into
+:func:`parse_aminer`; the same function parses the miniature fixtures the
+tests generate through :func:`write_aminer`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ParseError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+PathLike = Union[str, Path]
+
+
+class _RecordBuilder:
+    """Accumulates the fields of one ``#*``-record."""
+
+    def __init__(self) -> None:
+        self.title: Optional[str] = None
+        self.authors: List[str] = []
+        self.year: Optional[int] = None
+        self.venue: Optional[str] = None
+        self.index: Optional[int] = None
+        self.references: List[int] = []
+
+    @property
+    def started(self) -> bool:
+        return any((self.title is not None, self.index is not None,
+                    self.year is not None, self.authors, self.references))
+
+
+def parse_aminer(path: PathLike) -> ScholarlyDataset:
+    """Parse an AMiner citation-network text file into a dataset.
+
+    Articles missing an ``#index`` raise; articles missing a year get year
+    0 (AMiner uses 0 for unknown). Dangling references are preserved (the
+    schema tolerates them; graph builders drop them).
+    """
+    path = Path(path)
+    dataset = ScholarlyDataset(name=path.stem)
+    venue_ids: Dict[str, int] = {}
+    author_ids: Dict[str, int] = {}
+
+    def finish(builder: _RecordBuilder, line_number: int) -> None:
+        if not builder.started:
+            return
+        if builder.index is None:
+            raise ParseError("record has no #index line", str(path),
+                             line_number)
+        venue_id = None
+        if builder.venue:
+            if builder.venue not in venue_ids:
+                venue_ids[builder.venue] = len(venue_ids)
+                dataset.add_venue(Venue(id=venue_ids[builder.venue],
+                                        name=builder.venue))
+            venue_id = venue_ids[builder.venue]
+        team: List[int] = []
+        for name in builder.authors:
+            if name not in author_ids:
+                author_ids[name] = len(author_ids)
+                dataset.add_author(Author(id=author_ids[name], name=name))
+            team.append(author_ids[name])
+        dataset.add_article(Article(
+            id=builder.index,
+            title=builder.title or "",
+            year=builder.year if builder.year is not None else 0,
+            venue_id=venue_id,
+            author_ids=tuple(team),
+            references=tuple(builder.references),
+        ))
+
+    builder = _RecordBuilder()
+    last_line = 0
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            last_line = line_number
+            line = raw.rstrip("\n")
+            if not line.strip():
+                finish(builder, line_number)
+                builder = _RecordBuilder()
+                continue
+            if line.startswith("#*"):
+                if builder.title is not None:
+                    # New record without separating blank line.
+                    finish(builder, line_number)
+                    builder = _RecordBuilder()
+                builder.title = line[2:].strip()
+            elif line.startswith("#@"):
+                names = [n.strip() for n in line[2:].split(";")]
+                builder.authors = [n for n in names if n]
+            elif line.startswith("#t"):
+                text = line[2:].strip()
+                try:
+                    builder.year = int(text) if text else 0
+                except ValueError:
+                    raise ParseError(f"bad year {text!r}", str(path),
+                                     line_number) from None
+            elif line.startswith("#c"):
+                builder.venue = line[2:].strip() or None
+            elif line.startswith("#index"):
+                text = line[6:].strip()
+                try:
+                    builder.index = int(text)
+                except ValueError:
+                    raise ParseError(f"bad index {text!r}", str(path),
+                                     line_number) from None
+            elif line.startswith("#%"):
+                text = line[2:].strip()
+                if text:
+                    try:
+                        builder.references.append(int(text))
+                    except ValueError:
+                        raise ParseError(f"bad reference {text!r}",
+                                         str(path), line_number) from None
+            elif line.startswith("#!") or line.startswith("#"):
+                continue  # abstract or unknown tag: ignored
+            else:
+                raise ParseError(f"unrecognized line {line[:40]!r}",
+                                 str(path), line_number)
+    finish(builder, last_line + 1)
+    return dataset
+
+
+def write_aminer(dataset: ScholarlyDataset, path: PathLike) -> None:
+    """Write ``dataset`` in AMiner text format (round-trips with parse)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for article in dataset.articles.values():
+            handle.write(f"#*{article.title}\n")
+            if article.author_ids:
+                names = ";".join(dataset.authors[a].name
+                                 for a in article.author_ids)
+                handle.write(f"#@{names}\n")
+            handle.write(f"#t{article.year}\n")
+            if article.venue_id is not None:
+                handle.write(f"#c{dataset.venues[article.venue_id].name}\n")
+            handle.write(f"#index{article.id}\n")
+            for ref in article.references:
+                handle.write(f"#%{ref}\n")
+            handle.write("\n")

@@ -1,0 +1,297 @@
+"""Synthetic scholarly-graph generator.
+
+Stands in for the AMiner / MAG dumps the paper evaluates on (offline
+environment — see DESIGN.md "Substitutions"). The generator reproduces the
+structural properties the paper's algorithms exploit:
+
+* articles arrive in yearly cohorts (the graph *grows*, enabling the
+  dynamic-ranking experiments);
+* citations point backward in time and attach preferentially by current
+  in-degree (power-law in-degree), recency (aging) and a planted **latent
+  quality** per article;
+* venues have prestige levels correlated with the quality of the articles
+  they publish; authors accumulate articles preferentially (productivity
+  skew).
+
+The planted quality is the evaluation ground truth: an article's "true
+importance" that expert judgments would approximate. Because quality causes
+citations only *stochastically* (moderated by recency and luck), rankers
+that read the citation network well recover quality better than raw
+citation counts — exactly the regime the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the synthetic scholarly graph.
+
+    Attributes:
+        num_articles: total article count across all years.
+        num_venues: venue count; venue prestige is log-normal.
+        num_authors: author-pool size; per-article team sampled
+            preferentially by past productivity.
+        start_year / end_year: publication-year span (inclusive); cohort
+            sizes grow geometrically by ``growth`` per year, matching the
+            exponential growth of real scholarly corpora.
+        growth: yearly cohort growth factor (>= 1).
+        mean_references: mean out-degree (references per article), Poisson.
+        pref_exponent: preferential-attachment exponent on in-degree.
+        aging: recency preference — attachment weight multiplies
+            ``exp(aging * year_of_candidate)``; larger favours recent work.
+        quality_sigma: log-normal sigma of latent quality.
+        quality_boost: attachment weight multiplies
+            ``exp(quality_boost * quality)``.
+        venue_quality_mix: fraction of an article's quality inherited from
+            its venue's prestige (0 = independent, 1 = fully venue-driven).
+        author_quality_mix: fraction of an article's pre-venue quality
+            inherited from its team's mean latent ability (strong authors
+            write strong papers — what makes authorship an informative
+            ranking signal).
+        team_size_mean: mean authors per article (>=1, shifted Poisson).
+        within_year_mean: mean number of *same-year* citations per article
+            (Poisson). Real corpora contain in-press cross-citations that
+            create small cycles; 0 (the default) keeps the graph a DAG.
+        seed: RNG seed; generation is fully deterministic given the config.
+    """
+
+    num_articles: int = 10_000
+    num_venues: int = 50
+    num_authors: int = 3_000
+    start_year: int = 1990
+    end_year: int = 2015
+    growth: float = 1.08
+    mean_references: float = 12.0
+    pref_exponent: float = 1.0
+    aging: float = 0.12
+    quality_sigma: float = 1.0
+    quality_boost: float = 1.2
+    venue_quality_mix: float = 0.4
+    author_quality_mix: float = 0.45
+    team_size_mean: float = 2.5
+    within_year_mean: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_articles <= 0:
+            raise ConfigError("num_articles must be positive")
+        if self.num_venues <= 0 or self.num_authors <= 0:
+            raise ConfigError("num_venues and num_authors must be positive")
+        if self.end_year < self.start_year:
+            raise ConfigError("end_year must be >= start_year")
+        if self.growth < 1.0:
+            raise ConfigError("growth must be >= 1")
+        if self.mean_references < 0:
+            raise ConfigError("mean_references must be non-negative")
+        if not 0.0 <= self.venue_quality_mix <= 1.0:
+            raise ConfigError("venue_quality_mix must be in [0, 1]")
+        if not 0.0 <= self.author_quality_mix <= 1.0:
+            raise ConfigError("author_quality_mix must be in [0, 1]")
+        if self.team_size_mean < 1.0:
+            raise ConfigError("team_size_mean must be >= 1")
+        if self.within_year_mean < 0.0:
+            raise ConfigError("within_year_mean must be non-negative")
+
+
+def _cohort_sizes(config: GeneratorConfig) -> List[int]:
+    """Split ``num_articles`` into geometrically growing yearly cohorts."""
+    num_years = config.end_year - config.start_year + 1
+    raw = np.power(config.growth, np.arange(num_years, dtype=np.float64))
+    sizes = np.floor(raw / raw.sum() * config.num_articles).astype(np.int64)
+    sizes = np.maximum(sizes, 1 if config.num_articles >= num_years else 0)
+    # Fix rounding drift on the most recent cohort.
+    drift = config.num_articles - int(sizes.sum())
+    sizes[-1] += drift
+    if sizes[-1] < 0:
+        raise ConfigError("num_articles too small for the year span")
+    return sizes.tolist()
+
+
+def generate_dataset(config: GeneratorConfig) -> ScholarlyDataset:
+    """Generate a :class:`ScholarlyDataset` according to ``config``.
+
+    Article ids are assigned in publication order (``0..n-1``) so id order
+    equals time order — a property the incremental-engine experiments rely
+    on when slicing snapshots.
+    """
+    rng = np.random.default_rng(config.seed)
+    dataset = ScholarlyDataset(name=f"synthetic-{config.seed}")
+
+    venue_prestige = rng.lognormal(mean=0.0, sigma=1.0,
+                                   size=config.num_venues)
+    venue_prestige /= venue_prestige.max()
+    for venue_id in range(config.num_venues):
+        dataset.add_venue(Venue(id=venue_id,
+                                name=f"Venue-{venue_id:03d}",
+                                prestige=float(venue_prestige[venue_id])))
+    for author_id in range(config.num_authors):
+        dataset.add_author(Author(id=author_id,
+                                  name=f"Author-{author_id:05d}"))
+
+    sizes = _cohort_sizes(config)
+    n = config.num_articles
+
+    years = np.empty(n, dtype=np.int64)
+    qualities = np.empty(n, dtype=np.float64)
+    venue_of = np.empty(n, dtype=np.int64)
+    in_degree = np.zeros(n, dtype=np.float64)
+    author_productivity = np.ones(config.num_authors, dtype=np.float64)
+    # Latent author ability: the hidden trait that makes authorship an
+    # informative ranking signal (mean-1 log-normal).
+    author_ability = rng.lognormal(mean=0.0, sigma=1.2,
+                                   size=config.num_authors)
+    author_ability /= author_ability.mean()
+    # Able authors publish more: productivity-weighted team sampling
+    # starts from ability, so the rich-get-richer process compounds on
+    # top of talent (as in real corpora).
+    author_productivity += author_ability
+
+    # Venue choice is quality-correlated: high-quality work lands in
+    # prestigious venues. Pre-rank venues once.
+    venue_order = np.argsort(-venue_prestige)
+
+    references: List[Sequence[int]] = [()] * n
+    author_lists: List[Sequence[int]] = [()] * n
+
+    next_id = 0
+    for offset, cohort in enumerate(sizes):
+        if cohort == 0:
+            continue
+        year = config.start_year + offset
+        first = next_id
+        next_id += cohort
+        ids = np.arange(first, next_id)
+        years[ids] = year
+
+        # Authors first: shifted-Poisson team size, drawn preferentially
+        # by productivity (rich-get-richer authorship). Sampling uses one
+        # inverse-CDF batch per cohort; duplicate draws within a team are
+        # collapsed, which approximates without-replacement sampling.
+        team_sizes = 1 + rng.poisson(config.team_size_mean - 1.0,
+                                     size=cohort)
+        cdf = np.cumsum(author_productivity)
+        cdf /= cdf[-1]
+        draws = np.searchsorted(cdf, rng.random(int(team_sizes.sum())))
+        team_ability = np.empty(cohort, dtype=np.float64)
+        cursor = 0
+        for position, article_id in enumerate(ids):
+            size = int(team_sizes[position])
+            team = np.unique(draws[cursor:cursor + size])
+            cursor += size
+            author_lists[article_id] = team.tolist()
+            author_productivity[team] += 1.0
+            team_ability[position] = author_ability[team].mean()
+
+        # Latent quality: a personal log-normal component, the team's
+        # ability, and the prestige of the (quality-matched) venue.
+        own = rng.lognormal(mean=0.0, sigma=config.quality_sigma,
+                            size=cohort)
+        own /= own.mean()
+        author_mix = config.author_quality_mix
+        pre_venue = (1 - author_mix) * own + author_mix * team_ability
+        # Match to venues: noisy quality rank -> venue prestige rank.
+        noisy_rank = np.argsort(np.argsort(-(pre_venue + rng.normal(
+            scale=pre_venue.std() + 1e-9, size=cohort))))
+        venue_ids = venue_order[
+            (noisy_rank * config.num_venues) // cohort]
+        venue_of[ids] = venue_ids
+        mix = config.venue_quality_mix
+        qualities[ids] = (1 - mix) * pre_venue \
+            + mix * venue_prestige[venue_ids] * pre_venue.mean() * 2.0
+
+        # References: attach to existing articles by preferential
+        # attachment x aging x quality. The time factor exp(-a(t - t_i))
+        # separates as exp(a * t_i) under normalization, so the weight
+        # vector is update-free within a cohort.
+        if first > 0 and config.mean_references > 0:
+            old = slice(0, first)
+            weights = (np.power(in_degree[old] + 1.0,
+                                config.pref_exponent)
+                       * np.exp(config.aging
+                                * (years[old] - year).astype(np.float64))
+                       * np.exp(config.quality_boost
+                                * np.minimum(qualities[old], 3.5)))
+            total = weights.sum()
+            probabilities = weights / total
+            ref_counts = rng.poisson(config.mean_references, size=cohort)
+            ref_counts = np.minimum(ref_counts, first)
+            draw_total = int(ref_counts.sum())
+            drawn = rng.choice(first, size=draw_total, replace=True,
+                               p=probabilities)
+            cursor = 0
+            for position, article_id in enumerate(ids):
+                count = int(ref_counts[position])
+                chosen = np.unique(drawn[cursor:cursor + count])
+                cursor += count
+                references[article_id] = chosen.tolist()
+                in_degree[chosen] += 1.0
+
+        # Same-year citations (in-press cross-references). Drawn
+        # uniformly within the cohort; mutual pairs create the small
+        # cycles real corpora exhibit.
+        if config.within_year_mean > 0 and cohort > 1:
+            peer_counts = rng.poisson(config.within_year_mean,
+                                      size=cohort)
+            for position, article_id in enumerate(ids):
+                count = int(min(peer_counts[position], cohort - 1))
+                if count == 0:
+                    continue
+                peers = rng.choice(cohort, size=count, replace=False)
+                extra = [int(ids[p]) for p in peers
+                         if int(ids[p]) != article_id]
+                if extra:
+                    merged = sorted(set(references[article_id])
+                                    | set(extra))
+                    references[article_id] = merged
+                    in_degree[extra] += 1.0
+
+    for article_id in range(n):
+        dataset.add_article(Article(
+            id=article_id,
+            title=f"Article-{article_id:06d}",
+            year=int(years[article_id]),
+            venue_id=int(venue_of[article_id]),
+            author_ids=tuple(int(a) for a in author_lists[article_id]),
+            references=tuple(int(r) for r in references[article_id]),
+            quality=float(qualities[article_id]),
+        ))
+    return dataset
+
+
+def aminer_like_config(scale: int = 25_000, seed: int = 7
+                       ) -> GeneratorConfig:
+    """Config resembling the AMiner DBLP-citation corpus (CS-venue skew)."""
+    return GeneratorConfig(
+        num_articles=scale,
+        num_venues=max(40, scale // 500),
+        num_authors=max(200, scale // 3),
+        start_year=1980,
+        end_year=2016,
+        growth=1.09,
+        mean_references=9.0,
+        seed=seed,
+    )
+
+
+def mag_like_config(scale: int = 60_000, seed: int = 11
+                    ) -> GeneratorConfig:
+    """Config resembling a MAG slice (broader, denser, faster-growing)."""
+    return GeneratorConfig(
+        num_articles=scale,
+        num_venues=max(120, scale // 400),
+        num_authors=max(500, scale // 2),
+        start_year=1970,
+        end_year=2016,
+        growth=1.07,
+        mean_references=14.0,
+        seed=seed,
+    )

@@ -1,0 +1,135 @@
+"""Ground-truth builders for effectiveness evaluation.
+
+The paper evaluates against human signals: expert pairwise judgments of
+article importance and curated lists of high-impact articles. With
+synthetic data the planted latent quality plays the expert's role (see
+DESIGN.md "Substitutions"):
+
+* :func:`pairwise_judgments` — sample article pairs whose quality gap is
+  large enough that an expert verdict would be unambiguous; the judged
+  order is "higher quality wins".
+* :func:`award_list` — the top-quality articles of each eligible year, a
+  synthetic "test-of-time award" list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.data.schema import ScholarlyDataset
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Evaluation targets derived from one dataset.
+
+    Attributes:
+        pairs: ``(better_id, worse_id)`` expert-style pairwise judgments.
+        awards: article ids of synthetic award winners (relevance set).
+        quality_by_id: latent quality per article id (graded relevance).
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    awards: Tuple[int, ...]
+    quality_by_id: Dict[int, float]
+
+
+def pairwise_judgments(dataset: ScholarlyDataset, num_pairs: int = 2_000,
+                       min_gap: float = 0.5, same_era_window: Optional[int]
+                       = None, seed: int = 0
+                       ) -> List[Tuple[int, int]]:
+    """Sample ``(better, worse)`` pairs by planted quality.
+
+    Pairs are kept only when the relative quality gap exceeds ``min_gap``
+    (as a fraction of the larger quality), mimicking that experts are shown
+    pairs they can actually judge. With ``same_era_window`` set, both
+    articles must be published within that many years of each other —
+    matching how judgment campaigns avoid apples-to-oranges eras.
+    """
+    if num_pairs <= 0:
+        raise DatasetError("num_pairs must be positive")
+    rng = np.random.default_rng(seed)
+    ids = np.asarray(sorted(dataset.articles), dtype=np.int64)
+    if len(ids) < 2:
+        raise DatasetError("need at least two articles for pairs")
+    quality = np.asarray([dataset.articles[i].quality for i in ids],
+                         dtype=np.float64)
+    if np.any(np.isnan(quality)) or None in {
+            dataset.articles[int(i)].quality for i in ids}:
+        raise DatasetError("pairwise judgments need planted quality")
+    years = np.asarray([dataset.articles[int(i)].year for i in ids])
+
+    pairs: List[Tuple[int, int]] = []
+    attempts = 0
+    max_attempts = num_pairs * 200
+    while len(pairs) < num_pairs and attempts < max_attempts:
+        take = min(4 * (num_pairs - len(pairs)), 100_000)
+        attempts += take
+        left = rng.integers(0, len(ids), size=take)
+        right = rng.integers(0, len(ids), size=take)
+        for a, b in zip(left, right):
+            if a == b:
+                continue
+            if same_era_window is not None \
+                    and abs(int(years[a]) - int(years[b])) \
+                    > same_era_window:
+                continue
+            qa, qb = quality[a], quality[b]
+            high, low = (a, b) if qa >= qb else (b, a)
+            gap = abs(qa - qb) / max(qa, qb, 1e-12)
+            if gap < min_gap:
+                continue
+            pairs.append((int(ids[high]), int(ids[low])))
+            if len(pairs) >= num_pairs:
+                break
+    if len(pairs) < num_pairs:
+        raise DatasetError(
+            f"could only sample {len(pairs)}/{num_pairs} judgable pairs; "
+            "lower min_gap or widen same_era_window")
+    return pairs
+
+
+def award_list(dataset: ScholarlyDataset, per_year: int = 3,
+               min_age: int = 5, observation_year: Optional[int] = None
+               ) -> List[int]:
+    """Synthetic test-of-time awards: top-quality articles per eligible year.
+
+    Only articles at least ``min_age`` years old at ``observation_year``
+    (default: dataset max year) are eligible, like real retrospective
+    awards.
+    """
+    if per_year <= 0:
+        raise DatasetError("per_year must be positive")
+    _, max_year = dataset.year_range()
+    horizon = observation_year if observation_year is not None else max_year
+    winners: List[int] = []
+    by_year: Dict[int, List] = {}
+    for article in dataset.articles.values():
+        if article.quality is None:
+            raise DatasetError("award list needs planted quality")
+        if article.year <= horizon - min_age:
+            by_year.setdefault(article.year, []).append(article)
+    for year in sorted(by_year):
+        ranked = sorted(by_year[year],
+                        key=lambda a: (-a.quality, a.id))
+        winners.extend(a.id for a in ranked[:per_year])
+    return winners
+
+
+def build_ground_truth(dataset: ScholarlyDataset, num_pairs: int = 2_000,
+                       min_gap: float = 0.5, per_year: int = 3,
+                       min_age: int = 5, seed: int = 0) -> GroundTruth:
+    """Bundle pairwise judgments, award list and graded quality."""
+    pairs = pairwise_judgments(dataset, num_pairs=num_pairs,
+                               min_gap=min_gap, seed=seed)
+    awards = award_list(dataset, per_year=per_year, min_age=min_age)
+    quality = {a.id: float(a.quality) for a in dataset.articles.values()
+               if a.quality is not None}
+    if len(quality) != dataset.num_articles:
+        raise DatasetError("all articles need planted quality")
+    return GroundTruth(pairs=tuple(pairs), awards=tuple(awards),
+                       quality_by_id=quality)

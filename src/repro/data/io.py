@@ -1,0 +1,93 @@
+"""JSONL serialization of datasets.
+
+One entity per line with a ``kind`` tag, so files stream and diff well and
+large datasets never need to be held as one JSON document. ``.gz`` paths
+are compressed transparently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.errors import ParseError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str) -> IO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_dataset_jsonl(dataset: ScholarlyDataset, path: PathLike) -> None:
+    """Write ``dataset`` to ``path`` as JSON lines (gzip if ``.gz``)."""
+    path = Path(path)
+    with _open(path, "w") as handle:
+        header = {"kind": "dataset", "name": dataset.name,
+                  "articles": dataset.num_articles,
+                  "venues": dataset.num_venues,
+                  "authors": dataset.num_authors}
+        handle.write(json.dumps(header) + "\n")
+        for venue in dataset.venues.values():
+            handle.write(json.dumps({
+                "kind": "venue", "id": venue.id, "name": venue.name,
+                "prestige": venue.prestige}) + "\n")
+        for author in dataset.authors.values():
+            handle.write(json.dumps({
+                "kind": "author", "id": author.id,
+                "name": author.name}) + "\n")
+        for article in dataset.articles.values():
+            handle.write(json.dumps({
+                "kind": "article", "id": article.id,
+                "title": article.title, "year": article.year,
+                "venue_id": article.venue_id,
+                "author_ids": list(article.author_ids),
+                "references": list(article.references),
+                "quality": article.quality}) + "\n")
+
+
+def load_dataset_jsonl(path: PathLike) -> ScholarlyDataset:
+    """Read a dataset written by :func:`save_dataset_jsonl`."""
+    path = Path(path)
+    dataset = ScholarlyDataset()
+    with _open(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ParseError(f"invalid JSON: {exc}", str(path),
+                                 line_number) from None
+            kind = record.get("kind")
+            try:
+                if kind == "dataset":
+                    dataset.name = record["name"]
+                elif kind == "venue":
+                    dataset.add_venue(Venue(
+                        id=record["id"], name=record["name"],
+                        prestige=record.get("prestige")))
+                elif kind == "author":
+                    dataset.add_author(Author(id=record["id"],
+                                              name=record["name"]))
+                elif kind == "article":
+                    dataset.add_article(Article(
+                        id=record["id"], title=record["title"],
+                        year=record["year"],
+                        venue_id=record.get("venue_id"),
+                        author_ids=tuple(record.get("author_ids", ())),
+                        references=tuple(record.get("references", ())),
+                        quality=record.get("quality")))
+                else:
+                    raise ParseError(f"unknown record kind {kind!r}",
+                                     str(path), line_number)
+            except KeyError as exc:
+                raise ParseError(f"missing field {exc}", str(path),
+                                 line_number) from None
+    return dataset

@@ -1,0 +1,171 @@
+"""Parser/writer for a documented subset of the MAG TSV layout.
+
+The Microsoft Academic Graph ships as a directory of headerless
+tab-separated files. This module supports the minimal file set article
+ranking needs (column positions follow the original schema where the
+original file has them):
+
+* ``Papers.txt`` — ``paper_id \\t title \\t year \\t venue_id`` where
+  ``venue_id`` may be empty.
+* ``PaperReferences.txt`` — ``paper_id \\t reference_id``.
+* ``PaperAuthorAffiliations.txt`` — ``paper_id \\t author_id``.
+* ``Venues.txt`` — ``venue_id \\t name`` (optional file).
+* ``Authors.txt`` — ``author_id \\t name`` (optional file).
+
+Missing optional files yield auto-named venues/authors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ParseError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+PathLike = Union[str, Path]
+
+PAPERS_FILE = "Papers.txt"
+REFERENCES_FILE = "PaperReferences.txt"
+AUTHORSHIP_FILE = "PaperAuthorAffiliations.txt"
+VENUES_FILE = "Venues.txt"
+AUTHORS_FILE = "Authors.txt"
+
+
+def _int_field(text: str, what: str, path: Path, line: int) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ParseError(f"bad {what} {text!r}", str(path), line) from None
+
+
+def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
+    """Parse a MAG-style directory into a :class:`ScholarlyDataset`."""
+    directory = Path(directory)
+    papers_path = directory / PAPERS_FILE
+    if not papers_path.exists():
+        raise ParseError(f"missing {PAPERS_FILE}", str(directory), 0)
+
+    dataset = ScholarlyDataset(name=directory.name)
+
+    references: Dict[int, List[int]] = {}
+    refs_path = directory / REFERENCES_FILE
+    if refs_path.exists():
+        with open(refs_path, encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.strip():
+                    continue
+                parts = raw.rstrip("\n").split("\t")
+                if len(parts) < 2:
+                    raise ParseError("expected 2 columns", str(refs_path),
+                                     line_number)
+                src = _int_field(parts[0], "paper id", refs_path,
+                                 line_number)
+                dst = _int_field(parts[1], "reference id", refs_path,
+                                 line_number)
+                references.setdefault(src, []).append(dst)
+
+    authorship: Dict[int, List[int]] = {}
+    auth_path = directory / AUTHORSHIP_FILE
+    if auth_path.exists():
+        with open(auth_path, encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.strip():
+                    continue
+                parts = raw.rstrip("\n").split("\t")
+                if len(parts) < 2:
+                    raise ParseError("expected 2 columns", str(auth_path),
+                                     line_number)
+                paper = _int_field(parts[0], "paper id", auth_path,
+                                   line_number)
+                author = _int_field(parts[1], "author id", auth_path,
+                                    line_number)
+                authorship.setdefault(paper, []).append(author)
+
+    venue_names: Dict[int, str] = {}
+    venues_path = directory / VENUES_FILE
+    if venues_path.exists():
+        with open(venues_path, encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.strip():
+                    continue
+                parts = raw.rstrip("\n").split("\t")
+                venue_id = _int_field(parts[0], "venue id", venues_path,
+                                      line_number)
+                venue_names[venue_id] = parts[1] if len(parts) > 1 else ""
+
+    author_names: Dict[int, str] = {}
+    authors_path = directory / AUTHORS_FILE
+    if authors_path.exists():
+        with open(authors_path, encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                if not raw.strip():
+                    continue
+                parts = raw.rstrip("\n").split("\t")
+                author_id = _int_field(parts[0], "author id", authors_path,
+                                       line_number)
+                author_names[author_id] = parts[1] if len(parts) > 1 else ""
+
+    seen_venues: Dict[int, None] = {}
+    seen_authors: Dict[int, None] = {}
+    with open(papers_path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            if not raw.strip():
+                continue
+            parts = raw.rstrip("\n").split("\t")
+            if len(parts) < 3:
+                raise ParseError("expected >= 3 columns", str(papers_path),
+                                 line_number)
+            paper_id = _int_field(parts[0], "paper id", papers_path,
+                                  line_number)
+            title = parts[1]
+            year = _int_field(parts[2], "year", papers_path, line_number)
+            venue_id = None
+            if len(parts) > 3 and parts[3].strip():
+                venue_id = _int_field(parts[3], "venue id", papers_path,
+                                      line_number)
+                seen_venues[venue_id] = None
+            team = tuple(authorship.get(paper_id, ()))
+            for author_id in team:
+                seen_authors[author_id] = None
+            dataset.add_article(Article(
+                id=paper_id, title=title, year=year, venue_id=venue_id,
+                author_ids=team,
+                references=tuple(references.get(paper_id, ())),
+            ))
+
+    for venue_id in seen_venues:
+        dataset.add_venue(Venue(
+            id=venue_id,
+            name=venue_names.get(venue_id, f"venue-{venue_id}")))
+    for author_id in seen_authors:
+        dataset.add_author(Author(
+            id=author_id,
+            name=author_names.get(author_id, f"author-{author_id}")))
+    return dataset
+
+
+def write_mag_directory(dataset: ScholarlyDataset,
+                        directory: PathLike) -> None:
+    """Write ``dataset`` as a MAG-style directory (round-trips)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / PAPERS_FILE, "w", encoding="utf-8") as handle:
+        for article in dataset.articles.values():
+            venue = "" if article.venue_id is None else str(article.venue_id)
+            handle.write(f"{article.id}\t{article.title}\t{article.year}"
+                         f"\t{venue}\n")
+    with open(directory / REFERENCES_FILE, "w", encoding="utf-8") as handle:
+        for article in dataset.articles.values():
+            for ref in article.references:
+                handle.write(f"{article.id}\t{ref}\n")
+    with open(directory / AUTHORSHIP_FILE, "w", encoding="utf-8") as handle:
+        for article in dataset.articles.values():
+            for author_id in article.author_ids:
+                handle.write(f"{article.id}\t{author_id}\n")
+    with open(directory / VENUES_FILE, "w", encoding="utf-8") as handle:
+        for venue in dataset.venues.values():
+            handle.write(f"{venue.id}\t{venue.name}\n")
+    with open(directory / AUTHORS_FILE, "w", encoding="utf-8") as handle:
+        for author in dataset.authors.values():
+            handle.write(f"{author.id}\t{author.name}\n")

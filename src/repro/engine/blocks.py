@@ -1,0 +1,261 @@
+"""Block-centric (graph-centric) PageRank execution.
+
+Distributed graph systems come in two paradigms. *Vertex-centric*
+(Pregel): every superstep, every vertex recomputes from its neighbours'
+previous values — one superstep is one Jacobi iteration, and information
+travels one hop per superstep. *Graph-centric* (Giraph++ / Blogel): each
+worker owns a whole subgraph and, within one superstep, iterates its block
+to **local convergence** before exchanging boundary values — information
+crosses an entire block per superstep, so far fewer (expensive,
+communication-bearing) supersteps are needed.
+
+The paper parallelizes its batch algorithm in the graph-centric paradigm;
+this module reproduces the claim measurably on one machine:
+:class:`BlockEngine` counts supersteps and boundary messages, and
+:func:`vertex_centric_pagerank` provides the Pregel-style baseline with
+identical accounting. Wall-clock scaling across real worker processes is
+in :mod:`repro.engine.parallel`.
+
+Dangling handling: when the dangling-mass redistribution vector equals
+the jump vector (our case — both uniform/personalized identically), the
+PageRank vector is the L1-normalized solution of the *leaky* system
+
+    y = damping * P~^T y + (1 - damping) * jump
+
+where ``P~`` simply has zero rows for dangling nodes: reinjected dangling
+mass is a rank-one term along ``jump`` that only rescales the solution.
+The engines therefore iterate the leaky system — which removes a global
+all-to-all coupling and lets blocks/workers converge along real graph
+edges only — and normalize once at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+from repro.ranking.pagerank import validate_jump
+
+
+@dataclass(frozen=True)
+class BlockRankResult:
+    """Outcome of a block- or vertex-centric solve with cost accounting.
+
+    ``messages`` counts cross-block edge traversals (the proxy for
+    network traffic); ``local_iterations`` sums the inner iterations all
+    blocks performed.
+    """
+
+    scores: np.ndarray
+    supersteps: int
+    messages: int
+    local_iterations: int
+    residual: float
+    converged: bool
+
+
+def _block_operators(graph: CSRGraph, partition: Partition,
+                     edge_weights: Optional[np.ndarray]
+                     ) -> Tuple[List[np.ndarray], List[csr_matrix],
+                                List[csr_matrix], np.ndarray, np.ndarray,
+                                int]:
+    """Split the pull operator into internal and boundary parts per block.
+
+    Returns ``(members, internal_ops, boundary_ops, dangling, jump_base,
+    cut_edges)`` where for block ``b`` with node set ``members[b]``:
+    ``internal_ops[b] @ scores[members[b]]`` pulls along within-block
+    edges and ``boundary_ops[b] @ scores`` pulls along edges entering the
+    block from outside.
+    """
+    n = graph.num_nodes
+    weights = graph.weights if edge_weights is None \
+        else np.asarray(edge_weights, dtype=np.float64)
+    if weights.shape != graph.weights.shape:
+        raise ConfigError("edge_weights must align with graph edges")
+
+    src_idx, dst_idx, _ = graph.edge_array()
+    strengths = np.bincount(src_idx, weights=weights, minlength=n)
+    dangling = strengths == 0.0
+    probability = weights / np.where(dangling, 1.0, strengths)[src_idx]
+
+    assignment = partition.assignment
+    internal_mask = assignment[src_idx] == assignment[dst_idx]
+    cut_edges = int(np.count_nonzero(~internal_mask))
+
+    members: List[np.ndarray] = []
+    internal_ops: List[csr_matrix] = []
+    boundary_ops: List[csr_matrix] = []
+    local_index = np.empty(n, dtype=np.int64)
+    for block in range(partition.num_blocks):
+        nodes = partition.members(block)
+        members.append(nodes)
+        local_index[nodes] = np.arange(len(nodes))
+        in_block_dst = assignment[dst_idx] == block
+        internal = in_block_dst & internal_mask
+        boundary = in_block_dst & ~internal_mask
+        internal_ops.append(csr_matrix(
+            (probability[internal],
+             (local_index[dst_idx[internal]],
+              local_index[src_idx[internal]])),
+            shape=(len(nodes), len(nodes))))
+        boundary_ops.append(csr_matrix(
+            (probability[boundary],
+             (local_index[dst_idx[boundary]], src_idx[boundary])),
+            shape=(len(nodes), n)))
+    return members, internal_ops, boundary_ops, dangling, probability, \
+        cut_edges
+
+
+def solve_block(internal_op: csr_matrix, external: np.ndarray,
+                jump_block: np.ndarray, initial: np.ndarray,
+                damping: float, local_tol: float,
+                local_max_iter: int) -> Tuple[np.ndarray, int]:
+    """Iterate one block to local convergence with fixed external input.
+
+    Solves ``s = damping * (P_bb^T s + external) + (1-damping) * jump_b``
+    by Jacobi iteration from ``initial``. Returns the block scores and
+    the number of inner iterations. Module-level so worker processes can
+    import it.
+    """
+    scores = initial.copy()
+    constant = damping * external + (1.0 - damping) * jump_block
+    iterations = 0
+    for iterations in range(1, local_max_iter + 1):
+        updated = damping * (internal_op @ scores) + constant
+        change = float(np.abs(updated - scores).sum())
+        scores = updated
+        if change <= local_tol:
+            break
+    return scores, iterations
+
+
+class BlockEngine:
+    """Sequential graph-centric PageRank over a partitioned graph.
+
+    The fixed point matches :func:`repro.ranking.pagerank.pagerank` with
+    the same damping/jump/weights; only the path (and the communication
+    cost) differs.
+    """
+
+    def __init__(self, graph: CSRGraph, partition: Partition,
+                 damping: float = 0.85,
+                 jump: Optional[np.ndarray] = None,
+                 edge_weights: Optional[np.ndarray] = None) -> None:
+        if partition.num_nodes != graph.num_nodes:
+            raise ConfigError("partition does not cover this graph")
+        if not 0.0 <= damping < 1.0:
+            raise ConfigError(f"damping must be in [0, 1), got {damping}")
+        self.graph = graph
+        self.partition = partition
+        self.damping = damping
+        self.jump = validate_jump(jump, graph.num_nodes)
+        (self._members, self._internal_ops, self._boundary_ops,
+         self._dangling, _, self._cut_edges) = _block_operators(
+            graph, partition, edge_weights)
+
+    def run(self, tol: float = 1e-10, max_supersteps: int = 100,
+            local_tol: float = 1e-12, local_max_iter: int = 50,
+            initial: Optional[np.ndarray] = None,
+            block_order: Optional[Sequence[int]] = None
+            ) -> BlockRankResult:
+        """Iterate supersteps until the global L1 change drops below tol.
+
+        Within a superstep, blocks consume the *freshest* available
+        scores (Gauss–Seidel across blocks) — the asynchronous-within-
+        partition behaviour that gives graph-centric systems their
+        superstep advantage. ``block_order`` fixes the processing order;
+        the default walks blocks from the highest node indices down,
+        which, for a time-ordered range partition of a citation graph,
+        processes citing cohorts before the cohorts they cite.
+        """
+        if tol <= 0 or local_tol <= 0:
+            raise ConfigError("tolerances must be positive")
+        if max_supersteps <= 0 or local_max_iter <= 0:
+            raise ConfigError("iteration budgets must be positive")
+        n = self.graph.num_nodes
+        if n == 0:
+            return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
+        order = list(block_order) if block_order is not None \
+            else list(range(self.partition.num_blocks - 1, -1, -1))
+        if sorted(order) != list(range(self.partition.num_blocks)):
+            raise ConfigError("block_order must permute all blocks")
+
+        scores = self.jump.copy() if initial is None \
+            else np.asarray(initial, dtype=np.float64) / float(np.sum(initial))
+        messages = 0
+        local_iterations = 0
+        residual = float("inf")
+        supersteps = 0
+        for supersteps in range(1, max_supersteps + 1):
+            previous = scores.copy()
+            current = scores.copy()
+            for block in order:
+                nodes = self._members[block]
+                external = self._boundary_ops[block] @ current
+                block_scores, inner = solve_block(
+                    self._internal_ops[block], external, self.jump[nodes],
+                    current[nodes], self.damping, local_tol,
+                    local_max_iter)
+                current[nodes] = block_scores
+                local_iterations += inner
+            messages += self._cut_edges
+            residual = float(np.abs(current - previous).sum())
+            scores = current
+            if residual <= tol:
+                break
+        converged = residual <= tol
+        scores = scores / scores.sum()
+        return BlockRankResult(scores, supersteps, messages,
+                               local_iterations, residual, converged)
+
+
+def vertex_centric_pagerank(graph: CSRGraph, partition: Partition,
+                            damping: float = 0.85, tol: float = 1e-10,
+                            max_supersteps: int = 200,
+                            jump: Optional[np.ndarray] = None,
+                            edge_weights: Optional[np.ndarray] = None
+                            ) -> BlockRankResult:
+    """Pregel-style baseline: one Jacobi iteration per superstep.
+
+    Identical accounting to :class:`BlockEngine` — every superstep sends
+    every cut edge once — so the two are directly comparable in the E5
+    tables.
+    """
+    if not 0.0 <= damping < 1.0:
+        raise ConfigError(f"damping must be in [0, 1), got {damping}")
+    if tol <= 0 or max_supersteps <= 0:
+        raise ConfigError("tol and max_supersteps must be positive")
+    n = graph.num_nodes
+    if n == 0:
+        return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
+    if partition.num_nodes != n:
+        raise ConfigError("partition does not cover this graph")
+
+    from repro.ranking.pagerank import build_transition
+
+    transition_t, _ = build_transition(graph, edge_weights)
+    jump_vector = validate_jump(jump, n)
+    cut = partition.edge_cut(graph)
+
+    scores = jump_vector.copy()
+    messages = 0
+    residual = float("inf")
+    supersteps = 0
+    for supersteps in range(1, max_supersteps + 1):
+        new_scores = damping * (transition_t @ scores) \
+            + (1.0 - damping) * jump_vector
+        messages += cut
+        residual = float(np.abs(new_scores - scores).sum())
+        scores = new_scores
+        if residual <= tol:
+            break
+    converged = residual <= tol
+    scores = scores / scores.sum()
+    return BlockRankResult(scores, supersteps, messages, supersteps,
+                           residual, converged)

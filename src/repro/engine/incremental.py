@@ -1,0 +1,404 @@
+"""Incremental (dynamic) prestige maintenance.
+
+Recomputing TWPR from scratch on every arrival batch wastes work: a new
+article perturbs the stationary distribution mostly *near* the articles
+it cites, and the perturbation decays geometrically with distance
+(damping < 1 contracts the propagation). The paper's incremental
+algorithm exploits this by splitting the graph into an **affected area**
+(recomputed by iteration) and an **unaffected area** (scores kept, only
+rescaled for the changed node count).
+
+Affected-area discovery: seed every new node and every node whose
+in-neighbourhood changed with an estimated score perturbation, then relax
+the estimate along out-edges (``estimate * damping * transition
+probability``) and keep expanding while the estimate exceeds
+``delta_threshold / n``. Small thresholds grow the area toward exactness;
+large thresholds keep it tiny and cheap — E7 sweeps this trade-off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import ConfigError
+from repro.data.schema import ScholarlyDataset
+from repro.core.time_weight import TimeDecay, exponential_decay
+from repro.core.twpr import (
+    _ragged_offsets,
+    time_weight_edges,
+    time_weighted_pagerank,
+)
+from repro.engine.updates import UpdateBatch, apply_update
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class AffectedArea:
+    """Nodes whose prestige the incremental step re-solves."""
+
+    nodes: np.ndarray
+    seeds: np.ndarray
+    fraction: float
+
+
+@dataclass(frozen=True)
+class IncrementalReport:
+    """Outcome of applying one update batch incrementally."""
+
+    affected: AffectedArea
+    iterations: int
+    residual: float
+    converged: bool
+    seconds: float
+    num_nodes: int
+    num_edges: int
+
+
+class IncrementalEngine:
+    """Maintains TWPR prestige scores under article-arrival batches."""
+
+    def __init__(self, dataset: ScholarlyDataset, damping: float = 0.85,
+                 decay: Optional[TimeDecay] = None,
+                 delta_threshold: float = 1e-3, tol: float = 1e-10,
+                 max_iter: int = 200) -> None:
+        """Solve the initial snapshot exactly and remember its state.
+
+        Args:
+            dataset: initial snapshot (taken as-is, not copied).
+            damping: TWPR damping factor.
+            decay: TWPR time-decay kernel (default exponential(0.1)).
+            delta_threshold: affected-area expansion threshold, expressed
+                relative to the uniform score (a node joins the affected
+                area while its estimated perturbation exceeds
+                ``delta_threshold / n``).
+            tol / max_iter: convergence control of the re-solves.
+        """
+        if not 0.0 <= damping < 1.0:
+            raise ConfigError(f"damping must be in [0, 1), got {damping}")
+        if delta_threshold <= 0:
+            raise ConfigError("delta_threshold must be positive")
+        if tol <= 0 or max_iter <= 0:
+            raise ConfigError("tol and max_iter must be positive")
+        self.damping = damping
+        self.decay = decay if decay is not None else exponential_decay(0.1)
+        self.delta_threshold = delta_threshold
+        self.tol = tol
+        self.max_iter = max_iter
+
+        self.dataset = dataset
+        self.graph = dataset.citation_csr()
+        self.years = dataset.article_years(self.graph)
+        self._edge_weights = time_weight_edges(self.graph, self.years,
+                                               self.decay)
+        initial = time_weighted_pagerank(
+            self.graph, self.years, decay=self.decay, damping=damping,
+            tol=tol, max_iter=max_iter, method="auto")
+        self.scores = initial.scores
+
+    # ------------------------------------------------------------------
+
+    def scores_by_id(self) -> Dict[int, float]:
+        """Current prestige keyed by article id."""
+        return {int(node): float(score)
+                for node, score in zip(self.graph.node_ids, self.scores)}
+
+    def apply(self, batch: UpdateBatch) -> IncrementalReport:
+        """Apply one arrival batch, re-solving only the affected area.
+
+        When the batch's article ids are all larger than every existing id
+        (the normal arrival pattern: article ids are time-ordered), the new
+        CSR is built by *appending* rows to the old one in O(batch) time —
+        no O(n + m) rebuild. Out-of-order ids fall back to a full rebuild.
+        """
+        start = time.perf_counter()
+        old_n = self.graph.num_nodes
+        old_scores = self.scores
+
+        self.dataset = apply_update(self.dataset, batch)
+        appended = self._append_graph(batch)
+        if appended is None:
+            graph = self.dataset.citation_csr()
+            years = self.dataset.article_years(graph)
+            weights = time_weight_edges(graph, years, self.decay)
+            old_index = {int(node): i
+                         for i, node in enumerate(self.graph.node_ids)}
+            transferred = np.full(graph.num_nodes,
+                                  1.0 / graph.num_nodes)
+            new_positions = []
+            scale = old_n / graph.num_nodes
+            for position, node in enumerate(graph.node_ids):
+                old_position = old_index.get(int(node))
+                if old_position is None:
+                    new_positions.append(position)
+                else:
+                    transferred[position] = \
+                        old_scores[old_position] * scale
+            new_nodes = np.asarray(new_positions, dtype=np.int64)
+            changed_sources = np.zeros(0, dtype=np.int64)
+            scores = transferred
+        else:
+            graph, years, weights, new_nodes, changed_sources = appended
+            n = graph.num_nodes
+            scores = np.full(n, 1.0 / n, dtype=np.float64)
+            scores[:old_n] = old_scores * (old_n / n)
+
+        affected = self._discover_affected(graph, weights, scores,
+                                           new_nodes, changed_sources)
+        scores, iterations, residual, converged = self._resolve(
+            graph, weights, scores, affected.nodes)
+
+        self.graph = graph
+        self.years = years
+        self._edge_weights = weights
+        self.scores = scores
+        return IncrementalReport(
+            affected=affected, iterations=iterations, residual=residual,
+            converged=converged, seconds=time.perf_counter() - start,
+            num_nodes=graph.num_nodes, num_edges=graph.num_edges)
+
+    def _append_graph(self, batch: UpdateBatch):
+        """Extend the CSR without a Python-level full rebuild.
+
+        Pure article arrivals append rows in O(batch); citation
+        insertions between existing articles re-sort the combined edge
+        arrays in numpy (O(m log m), still far cheaper than rebuilding
+        from the dataset). Returns ``None`` when article ids arrive out
+        of order (the caller then rebuilds from the dataset), otherwise
+        ``(graph, years, edge_time_weights, new_node_indices,
+        changed_source_indices)``.
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        if not batch.articles and not batch.citations:
+            return (self.graph, self.years, self._edge_weights,
+                    empty, empty)
+        old_n = self.graph.num_nodes
+        max_old = int(self.graph.node_ids[-1]) if old_n else -1
+        new_articles = sorted(batch.articles, key=lambda a: a.id)
+        if new_articles and new_articles[0].id <= max_old:
+            return None
+
+        index_of: Dict[int, int] = {
+            int(node): i for i, node in enumerate(self.graph.node_ids)}
+        for offset, article in enumerate(new_articles):
+            index_of[article.id] = old_n + offset
+
+        def edge_weight(citing_year: int, cited_id: int) -> float:
+            cited_year = self.dataset.articles[cited_id].year
+            gap = np.asarray([max(citing_year - cited_year, 0)],
+                             dtype=np.float64)
+            return float(self.decay(gap)[0])
+
+        new_counts = []
+        new_targets = []
+        new_weights = []
+        for article in new_articles:
+            row = []
+            row_weights = []
+            for ref in article.references:
+                target = index_of.get(ref)
+                if target is None or ref == article.id:
+                    continue
+                row.append(target)
+                row_weights.append(edge_weight(article.year, ref))
+            new_counts.append(len(row))
+            new_targets.extend(row)
+            new_weights.extend(row_weights)
+
+        node_ids = np.concatenate([
+            self.graph.node_ids,
+            np.asarray([a.id for a in new_articles], dtype=np.int64)])
+        years = np.concatenate([
+            self.years,
+            np.asarray([a.year for a in new_articles], dtype=np.int64)])
+        new_nodes = np.arange(old_n, old_n + len(new_articles),
+                              dtype=np.int64)
+
+        if not batch.citations:
+            indptr = np.concatenate([
+                self.graph.indptr,
+                self.graph.indptr[-1] + np.cumsum(new_counts)])
+            indices = np.concatenate([
+                self.graph.indices,
+                np.asarray(new_targets, dtype=np.int64)])
+            ones = np.ones(len(new_targets), dtype=np.float64)
+            graph = CSRGraph(indptr, indices,
+                             np.concatenate([self.graph.weights, ones]),
+                             node_ids)
+            weights = np.concatenate([
+                self._edge_weights,
+                np.asarray(new_weights, dtype=np.float64)])
+            return graph, years, weights, new_nodes, empty
+
+        # Citation insertions touch existing rows: merge edge arrays and
+        # re-sort by source (numpy-level, no per-article Python work).
+        inserted_src = []
+        inserted_dst = []
+        inserted_weights = []
+        changed = set()
+        existing_targets: Dict[int, set] = {}
+        for citing, cited in batch.citations:
+            source = index_of.get(citing)
+            target = index_of.get(cited)
+            if source is None or target is None or citing == cited:
+                continue
+            if source < old_n:
+                known = existing_targets.get(source)
+                if known is None:
+                    known = set(int(t) for t in
+                                self.graph.neighbors(source))
+                    existing_targets[source] = known
+                if target in known:
+                    continue
+                known.add(target)
+                changed.add(source)
+            citing_year = self.dataset.articles[citing].year
+            inserted_src.append(source)
+            inserted_dst.append(target)
+            inserted_weights.append(edge_weight(citing_year, cited))
+
+        n = old_n + len(new_articles)
+        old_src, old_dst, old_graph_weights = self.graph.edge_array()
+        appended_src = np.repeat(new_nodes, new_counts) \
+            if new_articles else empty
+        src = np.concatenate([old_src, appended_src,
+                              np.asarray(inserted_src, dtype=np.int64)])
+        dst = np.concatenate([old_dst,
+                              np.asarray(new_targets, dtype=np.int64),
+                              np.asarray(inserted_dst, dtype=np.int64)])
+        graph_weights = np.concatenate([
+            old_graph_weights,
+            np.ones(len(new_targets) + len(inserted_src))])
+        time_weights = np.concatenate([
+            self._edge_weights,
+            np.asarray(new_weights, dtype=np.float64),
+            np.asarray(inserted_weights, dtype=np.float64)])
+
+        order = np.argsort(src, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        graph = CSRGraph(indptr, dst[order], graph_weights[order],
+                         node_ids)
+        changed_sources = np.asarray(sorted(changed), dtype=np.int64)
+        return (graph, years, time_weights[order], new_nodes,
+                changed_sources)
+
+    # ------------------------------------------------------------------
+    # affected-area discovery
+
+    def _discover_affected(self, graph: CSRGraph, weights: np.ndarray,
+                           scores: np.ndarray, new_nodes: np.ndarray,
+                           changed_sources: Optional[np.ndarray] = None
+                           ) -> AffectedArea:
+        """Expand perturbation estimates from the update's seed nodes.
+
+        Seeds: new nodes carry their full (uniform) score as estimated
+        perturbation; *changed sources* — existing articles whose
+        reference list grew — carry their current score (their outgoing
+        distribution shifted, so everything they point at may move by
+        up to that much, damped).
+
+        Vectorized frontier relaxation: each wave pushes every frontier
+        node's estimate across its out-edges (damped by the transition
+        probability) and keeps the per-target maximum; a node joins the
+        frontier whenever its estimate grows while at or above the
+        threshold. Geometric damping guarantees termination.
+        """
+        n = graph.num_nodes
+        src_idx = np.repeat(np.arange(n, dtype=np.int64),
+                            np.diff(graph.indptr))
+        strengths = np.bincount(src_idx, weights=weights, minlength=n)
+        safe = np.where(strengths > 0, strengths, 1.0)
+
+        estimate = np.zeros(n, dtype=np.float64)
+        estimate[new_nodes] = 1.0 / n
+        if changed_sources is not None and len(changed_sources):
+            estimate[changed_sources] = np.maximum(
+                estimate[changed_sources], scores[changed_sources])
+        threshold = self.delta_threshold / n
+        in_area = np.zeros(n, dtype=bool)
+        in_area[new_nodes] = True
+        if changed_sources is not None and len(changed_sources):
+            in_area[changed_sources] = True
+
+        seeds = new_nodes if changed_sources is None \
+            or not len(changed_sources) else np.unique(
+                np.concatenate([new_nodes, changed_sources]))
+        frontier = seeds
+        while len(frontier):
+            starts = graph.indptr[frontier]
+            stops = graph.indptr[frontier + 1]
+            counts = stops - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            gather = np.repeat(starts, counts) + _ragged_offsets(counts)
+            targets = graph.indices[gather]
+            transfers = (np.repeat(estimate[frontier] / safe[frontier],
+                                   counts)
+                         * self.damping * weights[gather])
+            improved = np.zeros(n, dtype=np.float64)
+            np.maximum.at(improved, targets, transfers)
+            grew = (improved > estimate) & (improved >= threshold)
+            estimate = np.maximum(estimate, improved)
+            frontier = np.flatnonzero(grew)
+            in_area[frontier] = True
+
+        nodes = np.flatnonzero(in_area | (estimate >= threshold))
+        return AffectedArea(nodes=nodes, seeds=seeds,
+                            fraction=len(nodes) / max(n, 1))
+
+    # ------------------------------------------------------------------
+    # boundary-fixed re-solve
+
+    def _resolve(self, graph: CSRGraph, weights: np.ndarray,
+                 scores: np.ndarray, affected: np.ndarray):
+        """Iterate the affected rows only, unaffected scores held fixed."""
+        n = graph.num_nodes
+        src_idx, dst_idx, _ = graph.edge_array()
+        strengths = np.bincount(src_idx, weights=weights, minlength=n)
+        dangling = strengths == 0.0
+        probability = weights / np.where(dangling, 1.0,
+                                         strengths)[src_idx]
+
+        local = np.full(n, -1, dtype=np.int64)
+        local[affected] = np.arange(len(affected))
+        into_affected = local[dst_idx] >= 0
+        pull = csr_matrix(
+            (probability[into_affected],
+             (local[dst_idx[into_affected]], src_idx[into_affected])),
+            shape=(len(affected), n))
+
+        jump = 1.0 / n
+        scores = scores.copy()
+        residual = float("inf")
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            dangling_mass = float(scores[dangling].sum())
+            updated = self.damping * (pull @ scores
+                                      + dangling_mass * jump) \
+                + (1.0 - self.damping) * jump
+            residual = float(np.abs(updated - scores[affected]).sum())
+            scores[affected] = updated
+            if residual <= self.tol:
+                break
+        converged = residual <= self.tol
+        scores /= scores.sum()
+        return scores, iterations, residual, converged
+
+    # ------------------------------------------------------------------
+
+    def exact_scores(self) -> np.ndarray:
+        """Full TWPR recompute on the current graph (the E6 comparator)."""
+        result = time_weighted_pagerank(
+            self.graph, self.years, decay=self.decay, damping=self.damping,
+            tol=self.tol, max_iter=self.max_iter, method="auto")
+        return result.scores
+
+    def error_vs_exact(self) -> float:
+        """L1 distance between maintained and exactly recomputed scores."""
+        return float(np.abs(self.scores - self.exact_scores()).sum())

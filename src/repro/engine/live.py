@@ -1,0 +1,76 @@
+"""LiveRanker: full-model dynamic article ranking.
+
+The incremental engine maintains the expensive part of the model —
+TWPR prestige — under arrival batches; every other stage of the
+assembled model (popularity, venue and author importance, the blend) is
+linear-time and recomputed exactly per batch. :class:`LiveRanker` wires
+the two together into the interface a live scholarly index would run:
+
+    live = LiveRanker(bootstrap_dataset)
+    for batch in arrivals:
+        result, report = live.apply(batch)   # full RankingResult
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.core.model import ArticleRanker, RankerConfig, RankingResult
+from repro.core.time_weight import exponential_decay
+from repro.data.schema import ScholarlyDataset
+from repro.engine.incremental import IncrementalEngine, IncrementalReport
+from repro.engine.updates import UpdateBatch
+
+
+class LiveRanker:
+    """Maintains the full article ranking under update batches."""
+
+    def __init__(self, dataset: ScholarlyDataset,
+                 config: Optional[RankerConfig] = None,
+                 delta_threshold: float = 1e-3) -> None:
+        """Bootstrap on ``dataset`` (one exact solve), then stay live.
+
+        ``config.solver`` is ignored (prestige is maintained by the
+        incremental engine); ``config.observation_year`` must be unset —
+        the observation horizon tracks the newest article automatically.
+        """
+        self.config = config or RankerConfig()
+        if self.config.observation_year is not None:
+            raise ConfigError(
+                "LiveRanker manages the observation horizon itself; "
+                "leave observation_year unset")
+        self._ranker = ArticleRanker(self.config)
+        self._engine = IncrementalEngine(
+            dataset,
+            damping=self.config.damping,
+            decay=exponential_decay(self.config.prestige_decay),
+            delta_threshold=delta_threshold,
+            tol=self.config.tol,
+            max_iter=self.config.max_iter)
+        self._result = self._ranker.rank_with_prestige(
+            dataset, self._engine.scores, graph=self._engine.graph)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> ScholarlyDataset:
+        return self._engine.dataset
+
+    @property
+    def result(self) -> RankingResult:
+        """The current full-model ranking."""
+        return self._result
+
+    def apply(self, batch: UpdateBatch
+              ) -> Tuple[RankingResult, IncrementalReport]:
+        """Ingest one batch; return the refreshed ranking and a report."""
+        report = self._engine.apply(batch)
+        self._result = self._ranker.rank_with_prestige(
+            self._engine.dataset, self._engine.scores,
+            graph=self._engine.graph)
+        return self._result, report
+
+    def prestige_error_vs_exact(self) -> float:
+        """Drift of maintained prestige vs a cold solve (L1)."""
+        return self._engine.error_vs_exact()

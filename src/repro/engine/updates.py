@@ -1,0 +1,185 @@
+"""Update batches for dynamic scholarly ranking.
+
+Real scholarly graphs change almost exclusively by *addition*: new
+articles arrive citing existing ones. An :class:`UpdateBatch` models one
+such arrival (with any venues/authors the new articles introduce), and
+the helpers slice a generated dataset into an initial snapshot plus a
+stream of batches — the workload of experiments E6/E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import DatasetError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A unit of graph change arriving at once.
+
+    Two change kinds, matching how scholarly graphs actually evolve:
+
+    * ``articles`` — newly published articles (with their references),
+      plus any venues/authors they introduce;
+    * ``citations`` — ``(citing, cited)`` pairs added between *existing*
+      articles (late reference resolution, errata, lazy indexing).
+    """
+
+    articles: Tuple[Article, ...]
+    venues: Tuple[Venue, ...] = ()
+    authors: Tuple[Author, ...] = ()
+    citations: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def num_articles(self) -> int:
+        return len(self.articles)
+
+    @property
+    def num_citations(self) -> int:
+        return sum(len(a.references) for a in self.articles) \
+            + len(self.citations)
+
+
+def apply_update(dataset: ScholarlyDataset,
+                 batch: UpdateBatch) -> ScholarlyDataset:
+    """Return a new dataset with ``batch`` applied (input is untouched).
+
+    New article ids must not collide with existing ones; venues/authors
+    already present are tolerated in the batch (no-ops). Edge additions
+    in ``batch.citations`` must reference articles that exist after the
+    article additions; duplicates of existing references are no-ops.
+    """
+    updated = ScholarlyDataset(name=dataset.name)
+    updated.articles.update(dataset.articles)
+    updated.venues.update(dataset.venues)
+    updated.authors.update(dataset.authors)
+    for venue in batch.venues:
+        if venue.id not in updated.venues:
+            updated.add_venue(venue)
+    for author in batch.authors:
+        if author.id not in updated.authors:
+            updated.add_author(author)
+    for article in batch.articles:
+        updated.add_article(article)
+    for citing, cited in batch.citations:
+        if citing not in updated.articles:
+            raise DatasetError(
+                f"citation update references unknown article {citing}")
+        if cited not in updated.articles:
+            raise DatasetError(
+                f"citation update references unknown article {cited}")
+        if citing == cited:
+            raise DatasetError(f"citation update is a self-citation "
+                               f"({citing})")
+        article = updated.articles[citing]
+        if cited not in article.references:
+            updated.articles[citing] = Article(
+                id=article.id, title=article.title, year=article.year,
+                venue_id=article.venue_id, author_ids=article.author_ids,
+                references=article.references + (cited,),
+                quality=article.quality)
+    return updated
+
+
+def _missing_entities(dataset_venues, dataset_authors,
+                      articles: List[Article], source: ScholarlyDataset
+                      ) -> Tuple[Tuple[Venue, ...], Tuple[Author, ...]]:
+    """Entities used by ``articles`` but absent from the base dataset."""
+    venues = {}
+    authors = {}
+    for article in articles:
+        if article.venue_id is not None \
+                and article.venue_id not in dataset_venues:
+            venues[article.venue_id] = source.venues[article.venue_id]
+        for author_id in article.author_ids:
+            if author_id not in dataset_authors:
+                authors[author_id] = source.authors[author_id]
+    return tuple(venues.values()), tuple(authors.values())
+
+
+def yearly_updates(dataset: ScholarlyDataset, from_year: int
+                   ) -> Tuple[ScholarlyDataset, List[UpdateBatch]]:
+    """Split ``dataset`` into a base snapshot and one batch per year.
+
+    The base holds everything strictly before ``from_year``; each batch
+    holds one publication year (ascending). References inside a batch to
+    even-newer articles are trimmed so every prefix is self-consistent.
+    """
+    min_year, max_year = dataset.year_range()
+    if not min_year < from_year <= max_year:
+        raise DatasetError(
+            f"from_year must lie inside ({min_year}, {max_year}]")
+    base = dataset.snapshot_until(from_year - 1,
+                                  name=f"{dataset.name}@base")
+    batches: List[UpdateBatch] = []
+    known_venues = set(base.venues)
+    known_authors = set(base.authors)
+    seen_articles = set(base.articles)
+    for year in range(from_year, max_year + 1):
+        cohort = dataset.articles_in_year(year)
+        if not cohort:
+            continue
+        cohort_ids = {a.id for a in cohort}
+        visible = seen_articles | cohort_ids
+        trimmed = [
+            Article(id=a.id, title=a.title, year=a.year,
+                    venue_id=a.venue_id, author_ids=a.author_ids,
+                    references=tuple(r for r in a.references
+                                     if r in visible),
+                    quality=a.quality)
+            for a in cohort
+        ]
+        venues, authors = _missing_entities(known_venues, known_authors,
+                                            trimmed, dataset)
+        batches.append(UpdateBatch(articles=tuple(trimmed),
+                                   venues=venues, authors=authors))
+        known_venues.update(v.id for v in venues)
+        known_authors.update(a.id for a in authors)
+        seen_articles |= cohort_ids
+    return base, batches
+
+
+def fraction_update(dataset: ScholarlyDataset, fraction: float
+                    ) -> Tuple[ScholarlyDataset, UpdateBatch]:
+    """Split off the newest ``fraction`` of articles as one batch.
+
+    Articles are ordered by ``(year, id)``; the newest slice becomes the
+    batch (its internal cross-references preserved), the rest the base.
+    Used to sweep update size in E6.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise DatasetError(f"fraction must be in (0, 1), got {fraction}")
+    ordered = sorted(dataset.articles.values(),
+                     key=lambda a: (a.year, a.id))
+    split = len(ordered) - max(1, int(round(fraction * len(ordered))))
+    if split <= 0:
+        raise DatasetError("fraction leaves an empty base")
+    base_articles = ordered[:split]
+    batch_articles = ordered[split:]
+    base_ids = {a.id for a in base_articles}
+
+    base = ScholarlyDataset(name=f"{dataset.name}@base")
+    for article in base_articles:
+        refs = tuple(r for r in article.references if r in base_ids)
+        base.articles[article.id] = Article(
+            id=article.id, title=article.title, year=article.year,
+            venue_id=article.venue_id, author_ids=article.author_ids,
+            references=refs, quality=article.quality)
+    used_venues = {a.venue_id for a in base_articles
+                   if a.venue_id is not None}
+    used_authors = {author for a in base_articles
+                    for author in a.author_ids}
+    for venue_id in used_venues:
+        base.venues[venue_id] = dataset.venues[venue_id]
+    for author_id in used_authors:
+        base.authors[author_id] = dataset.authors[author_id]
+
+    venues, authors = _missing_entities(set(base.venues),
+                                        set(base.authors),
+                                        batch_articles, dataset)
+    batch = UpdateBatch(articles=tuple(batch_articles), venues=venues,
+                        authors=authors)
+    return base, batch

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad node id, duplicate edge, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node id does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} not found in graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"edge {src!r} -> {dst!r} not found in graph")
+        self.src = src
+        self.dst = dst
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or internally inconsistent."""
+
+
+class ParseError(DatasetError):
+    """A dataset file could not be parsed.
+
+    Carries the offending location so error messages point at the line.
+    """
+
+    def __init__(self, message: str, path: str = "", line: int = 0) -> None:
+        location = f"{path}:{line}: " if path else ""
+        super().__init__(f"{location}{message}")
+        self.path = path
+        self.line = line
+
+
+class StorageError(ReproError):
+    """The persistent store rejected an operation."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value for a model or engine."""
+
+
+class PartitionError(ReproError):
+    """A graph partition is invalid (uncovered nodes, overlap, bad count)."""

@@ -1,0 +1,29 @@
+"""Effectiveness metrics and evaluation protocols."""
+
+from repro.eval.metrics import (
+    average_precision,
+    kendall_tau,
+    ndcg_at_k,
+    pairwise_accuracy,
+    precision_at_k,
+    rank_disagreement,
+    recall_at_k,
+    spearman_rho,
+    top_k_overlap,
+)
+from repro.eval.protocol import EvalReport, evaluate_ranking, young_pairs
+
+__all__ = [
+    "average_precision",
+    "kendall_tau",
+    "ndcg_at_k",
+    "pairwise_accuracy",
+    "precision_at_k",
+    "rank_disagreement",
+    "recall_at_k",
+    "spearman_rho",
+    "top_k_overlap",
+    "EvalReport",
+    "evaluate_ranking",
+    "young_pairs",
+]

@@ -1,0 +1,86 @@
+"""Evaluation protocols: one call from ranking scores to a metric bundle.
+
+:func:`evaluate_ranking` is what every effectiveness benchmark row calls;
+:func:`young_pairs` restricts pairwise judgments to recently published
+articles — the slice where static rankers are known to fail and the
+paper's time-aware model is supposed to shine (experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.data.ground_truth import GroundTruth
+from repro.data.schema import ScholarlyDataset
+from repro.eval.metrics import (
+    ndcg_at_k,
+    pairwise_accuracy,
+    recall_at_k,
+    spearman_rho,
+)
+
+
+@dataclass(frozen=True)
+class EvalReport:
+    """Metric bundle of one ranking against one ground truth."""
+
+    pairwise: float
+    ndcg: Dict[int, float]
+    recall: Dict[int, float]
+    quality_spearman: float
+
+    def as_row(self) -> Dict[str, str]:
+        """Flatten for table rendering (stable key order)."""
+        row = {"pairwise": f"{self.pairwise:.4f}"}
+        for k in sorted(self.ndcg):
+            row[f"ndcg@{k}"] = f"{self.ndcg[k]:.4f}"
+        for k in sorted(self.recall):
+            row[f"recall@{k}"] = f"{self.recall[k]:.4f}"
+        row["spearman"] = f"{self.quality_spearman:.4f}"
+        return row
+
+
+def evaluate_ranking(scores: Mapping[int, float], truth: GroundTruth,
+                     ndcg_ks: Sequence[int] = (50,),
+                     recall_ks: Sequence[int] = (100,)) -> EvalReport:
+    """Evaluate one ranking against a :class:`GroundTruth` bundle."""
+    if not scores:
+        raise ConfigError("scores are empty")
+    missing = [i for i in truth.quality_by_id if i not in scores]
+    if missing:
+        raise ConfigError(
+            f"{len(missing)} ground-truth articles missing from scores "
+            f"(first: {missing[:3]})")
+    pairwise = pairwise_accuracy(scores, truth.pairs)
+    ndcg = {k: ndcg_at_k(scores, truth.quality_by_id, k) for k in ndcg_ks}
+    recall = {k: recall_at_k(scores, set(truth.awards), k)
+              for k in recall_ks}
+    ids = sorted(truth.quality_by_id)
+    quality_spearman = spearman_rho(
+        [truth.quality_by_id[i] for i in ids],
+        [scores[i] for i in ids])
+    return EvalReport(pairwise=pairwise, ndcg=ndcg, recall=recall,
+                      quality_spearman=quality_spearman)
+
+
+def young_pairs(dataset: ScholarlyDataset, truth: GroundTruth,
+                window: int = 3) -> Tuple[Tuple[int, int], ...]:
+    """The subset of judgment pairs where *both* articles are young.
+
+    Young = published within ``window`` years of the dataset's newest
+    article. Raises when no pair qualifies (widen the window).
+    """
+    if window < 0:
+        raise ConfigError("window must be non-negative")
+    _, max_year = dataset.year_range()
+    cutoff = max_year - window
+    young = {article.id for article in dataset.articles.values()
+             if article.year >= cutoff}
+    pairs = tuple((a, b) for a, b in truth.pairs
+                  if a in young and b in young)
+    if not pairs:
+        raise ConfigError(
+            f"no judgment pairs with both articles published >= {cutoff}")
+    return pairs

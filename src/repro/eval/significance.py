@@ -1,0 +1,117 @@
+"""Statistical significance of effectiveness differences.
+
+Effectiveness tables claim "method A beats method B"; these tests say
+whether the margin survives sampling noise, following standard IR
+methodology:
+
+* :func:`paired_bootstrap_test` — bootstrap over judgment pairs for
+  pairwise accuracy: resample the pair set, count how often the
+  advantage of A over B disappears.
+* :func:`permutation_test` — sign-flipping permutation test on the
+  per-pair outcome differences (exact in expectation, no distributional
+  assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of one significance test."""
+
+    advantage: float
+    p_value: float
+    iterations: int
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05."""
+        return self.p_value < 0.05
+
+
+def _pair_outcomes(scores: Mapping[int, float],
+                   pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Per-pair credit (1 correct / 0.5 tie / 0 wrong) of one method."""
+    if not pairs:
+        raise ConfigError("no pairs to evaluate")
+    outcomes = np.empty(len(pairs), dtype=np.float64)
+    for position, (better, worse) in enumerate(pairs):
+        try:
+            better_score = scores[better]
+            worse_score = scores[worse]
+        except KeyError as exc:
+            raise ConfigError(
+                f"pair article {exc.args[0]} missing from scores"
+            ) from None
+        if better_score > worse_score:
+            outcomes[position] = 1.0
+        elif better_score == worse_score:
+            outcomes[position] = 0.5
+        else:
+            outcomes[position] = 0.0
+    return outcomes
+
+
+def paired_bootstrap_test(scores_a: Mapping[int, float],
+                          scores_b: Mapping[int, float],
+                          pairs: Sequence[Tuple[int, int]],
+                          iterations: int = 2000,
+                          seed: int = 0) -> SignificanceResult:
+    """Bootstrap p-value for "A's pairwise accuracy exceeds B's".
+
+    ``p_value`` is the bootstrap probability that the advantage is <= 0
+    (one-sided). ``advantage`` is the observed accuracy difference.
+    """
+    if iterations <= 0:
+        raise ConfigError("iterations must be positive")
+    outcomes_a = _pair_outcomes(scores_a, pairs)
+    outcomes_b = _pair_outcomes(scores_b, pairs)
+    difference = outcomes_a - outcomes_b
+    advantage = float(difference.mean())
+
+    rng = np.random.default_rng(seed)
+    n = len(difference)
+    losses = 0
+    for _ in range(iterations):
+        sample = difference[rng.integers(0, n, size=n)]
+        if sample.mean() <= 0:
+            losses += 1
+    return SignificanceResult(advantage=advantage,
+                              p_value=losses / iterations,
+                              iterations=iterations)
+
+
+def permutation_test(scores_a: Mapping[int, float],
+                     scores_b: Mapping[int, float],
+                     pairs: Sequence[Tuple[int, int]],
+                     iterations: int = 2000,
+                     seed: int = 0) -> SignificanceResult:
+    """Sign-flipping permutation test on per-pair outcome differences.
+
+    Under the null (methods interchangeable) each pair's difference is
+    symmetric around zero; ``p_value`` is the fraction of sign-flipped
+    replicates whose mean difference reaches the observed one.
+    """
+    if iterations <= 0:
+        raise ConfigError("iterations must be positive")
+    difference = _pair_outcomes(scores_a, pairs) \
+        - _pair_outcomes(scores_b, pairs)
+    observed = float(difference.mean())
+
+    rng = np.random.default_rng(seed)
+    n = len(difference)
+    at_least = 0
+    for _ in range(iterations):
+        signs = rng.integers(0, 2, size=n) * 2 - 1
+        if (difference * signs).mean() >= observed:
+            at_least += 1
+    return SignificanceResult(advantage=observed,
+                              p_value=at_least / iterations,
+                              iterations=iterations)

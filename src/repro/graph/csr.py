@@ -1,0 +1,206 @@
+"""Immutable compressed-sparse-row graph snapshot.
+
+:class:`CSRGraph` is the representation every iterative solver runs on.
+Nodes are re-indexed to the contiguous range ``0..n-1``; the original ids
+are kept in :attr:`CSRGraph.node_ids` and the inverse mapping is available
+through :meth:`CSRGraph.index_of`.
+
+The forward CSR stores *out*-edges (``u``'s references); the lazily built
+reverse CSR stores *in*-edges (``u``'s citers) and is cached because both
+PageRank-style pull iterations and popularity sums consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, NodeNotFoundError
+
+
+class CSRGraph:
+    """A frozen directed graph in CSR form.
+
+    Attributes:
+        indptr: ``int64[n+1]`` — out-edge slice boundaries per node index.
+        indices: ``int64[m]`` — destination node *indices* of out-edges.
+        weights: ``float64[m]`` — edge weights aligned with ``indices``.
+        node_ids: ``int64[n]`` — original node id of each index.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "node_ids",
+                 "_id_to_index", "_reverse")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 weights: np.ndarray, node_ids: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1 or weights.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if len(indices) != len(weights):
+            raise GraphError("indices and weights must have equal length")
+        if len(indptr) != len(node_ids) + 1:
+            raise GraphError("indptr length must be num_nodes + 1")
+        if len(indptr) > 0 and indptr[-1] != len(indices):
+            raise GraphError("indptr[-1] must equal the edge count")
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self.node_ids = np.ascontiguousarray(node_ids, dtype=np.int64)
+        self._id_to_index: Optional[Dict[int, int]] = None
+        self._reverse: Optional["CSRGraph"] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]],
+                   nodes: Optional[Sequence[int]] = None,
+                   weights: Optional[Sequence[float]] = None) -> "CSRGraph":
+        """Build from ``(src, dst)`` pairs over arbitrary integer ids.
+
+        ``nodes`` may list ids explicitly (to include isolated nodes and fix
+        index order); otherwise ids are collected from the edges in sorted
+        order. ``weights`` aligns with ``edges`` and defaults to all ones.
+        """
+        edge_list = list(edges)
+        if weights is not None:
+            weight_list = [float(w) for w in weights]
+            if len(weight_list) != len(edge_list):
+                raise GraphError("weights must align one-to-one with edges")
+        else:
+            weight_list = [1.0] * len(edge_list)
+
+        if nodes is not None:
+            node_ids = np.asarray(list(nodes), dtype=np.int64)
+            if len(np.unique(node_ids)) != len(node_ids):
+                raise GraphError("duplicate ids in explicit node list")
+        else:
+            seen = {u for u, _ in edge_list} | {v for _, v in edge_list}
+            node_ids = np.asarray(sorted(seen), dtype=np.int64)
+
+        id_to_index = {int(node): i for i, node in enumerate(node_ids)}
+        n = len(node_ids)
+        src_idx = np.empty(len(edge_list), dtype=np.int64)
+        dst_idx = np.empty(len(edge_list), dtype=np.int64)
+        for k, (u, v) in enumerate(edge_list):
+            try:
+                src_idx[k] = id_to_index[u]
+                dst_idx[k] = id_to_index[v]
+            except KeyError as exc:
+                raise NodeNotFoundError(int(exc.args[0])) from None
+        return cls._from_indexed(n, src_idx, dst_idx,
+                                 np.asarray(weight_list), node_ids)
+
+    @classmethod
+    def from_digraph(cls, graph) -> "CSRGraph":
+        """Snapshot a :class:`~repro.graph.digraph.DiGraph`."""
+        node_ids = np.asarray(sorted(graph.nodes()), dtype=np.int64)
+        id_to_index = {int(node): i for i, node in enumerate(node_ids)}
+        m = graph.num_edges
+        src_idx = np.empty(m, dtype=np.int64)
+        dst_idx = np.empty(m, dtype=np.int64)
+        weights = np.empty(m, dtype=np.float64)
+        for k, (u, v, w) in enumerate(graph.edges()):
+            src_idx[k] = id_to_index[u]
+            dst_idx[k] = id_to_index[v]
+            weights[k] = w
+        return cls._from_indexed(len(node_ids), src_idx, dst_idx,
+                                 weights, node_ids)
+
+    @classmethod
+    def _from_indexed(cls, n: int, src_idx: np.ndarray, dst_idx: np.ndarray,
+                      weights: np.ndarray, node_ids: np.ndarray) -> "CSRGraph":
+        """Assemble CSR arrays from pre-indexed edge endpoints."""
+        counts = np.bincount(src_idx, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(src_idx, kind="stable")
+        indices = dst_idx[order]
+        data = np.asarray(weights, dtype=np.float64)[order]
+        return cls(indptr, indices, data, node_ids)
+
+    # ------------------------------------------------------------------
+    # basic queries
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    def index_of(self, node_id: int) -> int:
+        """Map an original node id to its contiguous index."""
+        if self._id_to_index is None:
+            self._id_to_index = {int(v): i for i, v in enumerate(self.node_ids)}
+        try:
+            return self._id_to_index[int(node_id)]
+        except KeyError:
+            raise NodeNotFoundError(int(node_id)) from None
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Out-neighbour *indices* of the node at ``index``."""
+        if not 0 <= index < self.num_nodes:
+            raise NodeNotFoundError(index)
+        return self.indices[self.indptr[index]:self.indptr[index + 1]]
+
+    def neighbor_weights(self, index: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors`."""
+        if not 0 <= index < self.num_nodes:
+            raise NodeNotFoundError(index)
+        return self.weights[self.indptr[index]:self.indptr[index + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """``int64[n]`` out-degree of every node."""
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """``int64[n]`` in-degree of every node."""
+        return np.bincount(self.indices, minlength=self.num_nodes)
+
+    def out_strengths(self) -> np.ndarray:
+        """``float64[n]`` sum of outgoing edge weights per node."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
+                        np.diff(self.indptr))
+        return np.bincount(src, weights=self.weights,
+                           minlength=self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # derived structures
+
+    def reverse(self) -> "CSRGraph":
+        """Edge-reversed snapshot (cached). Node indexing is preserved."""
+        if self._reverse is None:
+            n = self.num_nodes
+            src_of_edge = np.repeat(np.arange(n, dtype=np.int64),
+                                    np.diff(self.indptr))
+            rev = CSRGraph._from_indexed(n, self.indices, src_of_edge,
+                                         self.weights, self.node_ids)
+            rev._reverse = self
+            self._reverse = rev
+        return self._reverse
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(src_idx, dst_idx, weights)`` arrays for all edges."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64),
+                        np.diff(self.indptr))
+        return src, self.indices.copy(), self.weights.copy()
+
+    def to_scipy(self):
+        """Return the adjacency as a ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        n = self.num_nodes
+        return csr_matrix((self.weights, self.indices, self.indptr),
+                          shape=(n, n))
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        """Iterate ``(src_index, dst_index, weight)`` triples."""
+        for u in range(self.num_nodes):
+            start, stop = self.indptr[u], self.indptr[u + 1]
+            for k in range(start, stop):
+                yield u, int(self.indices[k]), float(self.weights[k])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges})"

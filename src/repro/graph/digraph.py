@@ -1,0 +1,207 @@
+"""Mutable directed graph with weighted edges.
+
+:class:`DiGraph` is the construction-time representation of a citation
+network: node ids are arbitrary integers (article ids from a dataset),
+edges are weighted, and both forward and reverse adjacency are maintained
+so successor and predecessor queries are O(degree).
+
+The iterative solvers never run on a ``DiGraph`` directly — they consume an
+immutable :class:`~repro.graph.csr.CSRGraph` snapshot via :meth:`DiGraph.to_csr`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+
+class DiGraph:
+    """A mutable directed graph with float edge weights.
+
+    Parallel edges are not allowed: re-adding an existing edge overwrites
+    its weight (or accumulates, with ``accumulate=True``), which matches how
+    aggregated graphs such as venue citation graphs are built.
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[int, Dict[int, float]] = {}
+        self._pred: Dict[int, Dict[int, float]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_node(self, node: int) -> None:
+        """Add ``node`` to the graph. Adding an existing node is a no-op."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_nodes(self, nodes: Iterable[int]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, src: int, dst: int, weight: float = 1.0,
+                 accumulate: bool = False) -> None:
+        """Add the edge ``src -> dst``.
+
+        Missing endpoints are created. If the edge already exists its weight
+        is overwritten, or added to when ``accumulate`` is true.
+        """
+        if weight < 0:
+            raise GraphError(f"edge weight must be non-negative, got {weight}")
+        self.add_node(src)
+        self.add_node(dst)
+        existing = self._succ[src].get(dst)
+        if existing is None:
+            self._num_edges += 1
+            new_weight = weight
+        else:
+            new_weight = existing + weight if accumulate else weight
+        self._succ[src][dst] = new_weight
+        self._pred[dst][src] = new_weight
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]],
+                  accumulate: bool = False) -> None:
+        """Add unweighted (weight 1.0) edges from an iterable of pairs."""
+        for src, dst in edges:
+            self.add_edge(src, dst, 1.0, accumulate=accumulate)
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Remove the edge ``src -> dst``; raise if it does not exist."""
+        try:
+            del self._succ[src][dst]
+            del self._pred[dst][src]
+        except KeyError:
+            raise EdgeNotFoundError(src, dst) from None
+        self._num_edges -= 1
+
+    def remove_node(self, node: int) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for dst in list(self._succ[node]):
+            self.remove_edge(node, dst)
+        for src in list(self._pred[node]):
+            self.remove_edge(src, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._succ
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def edge_weight(self, src: int, dst: int) -> float:
+        """Return the weight of ``src -> dst``; raise if absent."""
+        try:
+            return self._succ[src][dst]
+        except KeyError:
+            raise EdgeNotFoundError(src, dst) from None
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids in insertion order."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(src, dst, weight)`` triples."""
+        for src, targets in self._succ.items():
+            for dst, weight in targets.items():
+                yield src, dst, weight
+
+    def successors(self, node: int) -> Iterator[int]:
+        """Iterate over nodes that ``node`` points to (its references)."""
+        try:
+            return iter(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: int) -> Iterator[int]:
+        """Iterate over nodes pointing to ``node`` (its citers)."""
+        try:
+            return iter(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: int) -> int:
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_degree(self, node: int) -> int:
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_weight(self, node: int) -> float:
+        """Sum of outgoing edge weights of ``node``."""
+        try:
+            return sum(self._succ[node].values())
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    # ------------------------------------------------------------------
+    # derived graphs
+
+    def copy(self) -> "DiGraph":
+        """Return an independent deep copy."""
+        clone = DiGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for src, dst, weight in self.edges():
+            clone.add_edge(src, dst, weight)
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node in self._succ:
+            rev.add_node(node)
+        for src, dst, weight in self.edges():
+            rev.add_edge(dst, src, weight)
+        return rev
+
+    def subgraph(self, nodes: Iterable[int]) -> "DiGraph":
+        """Return the induced subgraph on ``nodes``.
+
+        Unknown ids raise :class:`NodeNotFoundError`.
+        """
+        keep = set(nodes)
+        sub = DiGraph()
+        for node in keep:
+            if node not in self._succ:
+                raise NodeNotFoundError(node)
+            sub.add_node(node)
+        for node in keep:
+            for dst, weight in self._succ[node].items():
+                if dst in keep:
+                    sub.add_edge(node, dst, weight)
+        return sub
+
+    def to_csr(self) -> "CSRGraph":
+        """Snapshot this graph as an immutable :class:`CSRGraph`."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_digraph(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(nodes={self.num_nodes}, edges={self.num_edges})"

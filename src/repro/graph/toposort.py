@@ -1,0 +1,55 @@
+"""Topological ordering (Kahn's algorithm) over CSR snapshots.
+
+Used by the batch TWPR optimization: on an acyclic citation graph the
+prestige linear system is triangular when swept in topological order, so a
+single Gauss–Seidel pass per direction converges dramatically faster than
+blind power iteration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def topological_sort(graph: CSRGraph) -> Optional[List[int]]:
+    """Return node indices in topological order, or ``None`` if cyclic.
+
+    An edge ``u -> v`` places ``u`` before ``v`` in the returned order.
+    Ties (nodes whose in-degree reaches zero together) are broken by index,
+    making the order deterministic.
+    """
+    n = graph.num_nodes
+    in_deg = graph.in_degrees().copy()
+    ready = deque(int(i) for i in np.flatnonzero(in_deg == 0))
+    order: List[int] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for child in graph.neighbors(node):
+            in_deg[child] -= 1
+            if in_deg[child] == 0:
+                ready.append(int(child))
+    if len(order) != n:
+        return None
+    return order
+
+
+def is_dag(graph: CSRGraph) -> bool:
+    """True when ``graph`` contains no directed cycle."""
+    return topological_sort(graph) is not None
+
+
+def dag_violations(graph: CSRGraph, years: np.ndarray) -> int:
+    """Count edges pointing *forward* in time (``t(src) < t(dst)``).
+
+    A citation normally points backward in time; forward edges come from
+    in-press cross-citations and data noise. The count feeds the dataset
+    statistics table (experiment E9).
+    """
+    src_idx, dst_idx, _ = graph.edge_array()
+    return int(np.count_nonzero(years[src_idx] < years[dst_idx]))

@@ -1,0 +1,103 @@
+"""Graph traversal utilities: BFS distances, reachability, components.
+
+Used by the analysis layer (citation-depth studies, affected-area
+inspection) and by the sampling module. All routines are iterative and
+vectorize the frontier expansion, so million-edge graphs are fine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graph.csr import CSRGraph
+
+
+def _check_sources(graph: CSRGraph, sources: Iterable[int]) -> np.ndarray:
+    array = np.asarray(list(sources), dtype=np.int64)
+    if len(array) and (array.min() < 0 or array.max() >= graph.num_nodes):
+        bad = int(array[(array < 0) | (array >= graph.num_nodes)][0])
+        raise NodeNotFoundError(bad)
+    return array
+
+
+def bfs_distances(graph: CSRGraph, sources: Iterable[int],
+                  reverse: bool = False) -> np.ndarray:
+    """Hop distance from the nearest source (-1 = unreachable).
+
+    ``reverse=True`` walks in-edges instead (distance *to* the sources
+    along citation direction — e.g. "how many hops of citers away").
+    """
+    work_graph = graph.reverse() if reverse else graph
+    n = work_graph.num_nodes
+    distances = np.full(n, -1, dtype=np.int64)
+    frontier = np.unique(_check_sources(graph, sources))
+    distances[frontier] = 0
+    depth = 0
+    while len(frontier):
+        depth += 1
+        starts = work_graph.indptr[frontier]
+        counts = work_graph.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        from repro.core.twpr import _ragged_offsets
+
+        gather = np.repeat(starts, counts) + _ragged_offsets(counts)
+        targets = np.unique(work_graph.indices[gather])
+        fresh = targets[distances[targets] == -1]
+        distances[fresh] = depth
+        frontier = fresh
+    return distances
+
+
+def reachable_set(graph: CSRGraph, sources: Iterable[int],
+                  reverse: bool = False) -> np.ndarray:
+    """Node indices reachable from ``sources`` (including them)."""
+    distances = bfs_distances(graph, sources, reverse=reverse)
+    return np.flatnonzero(distances >= 0)
+
+
+def weakly_connected_components(graph: CSRGraph) -> List[np.ndarray]:
+    """Components of the undirected view, largest first."""
+    n = graph.num_nodes
+    reverse = graph.reverse()
+    unvisited = np.ones(n, dtype=bool)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if not unvisited[start]:
+            continue
+        members = [start]
+        unvisited[start] = False
+        frontier = np.asarray([start], dtype=np.int64)
+        while len(frontier):
+            neighbors = np.concatenate(
+                [graph.indices[graph.indptr[f]:graph.indptr[f + 1]]
+                 for f in frontier]
+                + [reverse.indices[reverse.indptr[f]:
+                                   reverse.indptr[f + 1]]
+                   for f in frontier]) if len(frontier) else \
+                np.zeros(0, dtype=np.int64)
+            neighbors = np.unique(neighbors)
+            fresh = neighbors[unvisited[neighbors]]
+            unvisited[fresh] = False
+            members.extend(int(x) for x in fresh)
+            frontier = fresh
+        components.append(np.asarray(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def citation_depth(graph: CSRGraph) -> int:
+    """Length of the longest citation chain (levels - 1).
+
+    The quantity that governs how fast iterative solvers converge on
+    (near-)acyclic citation graphs — see EXPERIMENTS.md notes on E4.
+    """
+    from repro.core.twpr import _node_levels
+
+    if graph.num_nodes == 0:
+        return 0
+    return int(_node_levels(graph).max())

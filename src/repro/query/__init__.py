@@ -1,0 +1,10 @@
+"""Query layer over precomputed rankings.
+
+"Query independent" means scores are computed offline; serving them
+still needs fast top-k with filters. :class:`~repro.query.index.RankIndex`
+is that read path.
+"""
+
+from repro.query.index import RankEntry, RankIndex
+
+__all__ = ["RankEntry", "RankIndex"]

@@ -1,0 +1,158 @@
+"""Top-k retrieval over a precomputed article ranking.
+
+:class:`RankIndex` materializes one ranking (article id -> score) into
+sorted arrays plus venue/author/year posting lists, supporting the read
+operations a scholarly search backend issues against a query-independent
+score: global top-k, filtered top-k (venue, author, year range),
+pagination, and per-article rank/percentile lookups.
+
+All reads are O(k + log n) against immutable numpy arrays; rebuilding
+after a re-rank is one constructor call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, NodeNotFoundError
+from repro.data.schema import ScholarlyDataset
+
+
+@dataclass(frozen=True)
+class RankEntry:
+    """One row of a ranking result list."""
+
+    rank: int
+    article_id: int
+    score: float
+    year: int
+    title: str
+
+
+class RankIndex:
+    """Immutable serving index over one ranking of one dataset."""
+
+    def __init__(self, dataset: ScholarlyDataset,
+                 scores: Mapping[int, float]) -> None:
+        """Build the index.
+
+        ``scores`` must cover every article of ``dataset`` (extra ids are
+        rejected too — a mismatched ranking is a bug worth failing on).
+        """
+        if set(scores) != set(dataset.articles):
+            raise ConfigError(
+                "scores must cover exactly the dataset's articles")
+        self._dataset = dataset
+        ids = np.asarray(sorted(dataset.articles), dtype=np.int64)
+        values = np.asarray([scores[int(i)] for i in ids],
+                            dtype=np.float64)
+        order = np.lexsort((ids, -values))
+        self._ids = ids[order]
+        self._scores = values[order]
+        self._years = np.asarray(
+            [dataset.articles[int(i)].year for i in self._ids],
+            dtype=np.int64)
+        self._rank_of: Dict[int, int] = {
+            int(article_id): position
+            for position, article_id in enumerate(self._ids)}
+
+        self._by_venue: Dict[int, List[int]] = {}
+        self._by_author: Dict[int, List[int]] = {}
+        for position, article_id in enumerate(self._ids):
+            article = dataset.articles[int(article_id)]
+            if article.venue_id is not None:
+                self._by_venue.setdefault(article.venue_id,
+                                          []).append(position)
+            for author_id in article.author_ids:
+                self._by_author.setdefault(author_id,
+                                           []).append(position)
+
+    # ------------------------------------------------------------------
+    # lookups
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def rank_of(self, article_id: int) -> int:
+        """1-based rank of an article (1 = best)."""
+        try:
+            return self._rank_of[int(article_id)] + 1
+        except KeyError:
+            raise NodeNotFoundError(int(article_id)) from None
+
+    def score_of(self, article_id: int) -> float:
+        return float(self._scores[self.rank_of(article_id) - 1])
+
+    def percentile(self, article_id: int) -> float:
+        """Fraction of the corpus this article outranks (0..1]."""
+        rank = self.rank_of(article_id)
+        return 1.0 - (rank - 1) / len(self._ids)
+
+    # ------------------------------------------------------------------
+    # retrieval
+
+    def _entry(self, position: int, rank: int) -> RankEntry:
+        article_id = int(self._ids[position])
+        article = self._dataset.articles[article_id]
+        return RankEntry(rank=rank, article_id=article_id,
+                         score=float(self._scores[position]),
+                         year=article.year, title=article.title)
+
+    def top(self, k: int = 10, venue_id: Optional[int] = None,
+            author_id: Optional[int] = None,
+            year_range: Optional[Tuple[int, int]] = None
+            ) -> List[RankEntry]:
+        """Best ``k`` articles matching every given filter.
+
+        Returned ``rank`` values are positions *within the filtered
+        list* (1-based). Filters compose (AND semantics).
+        """
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        results: List[RankEntry] = []
+        for rank, position in enumerate(
+                self._filtered_positions(venue_id, author_id, year_range),
+                start=1):
+            results.append(self._entry(position, rank))
+            if len(results) >= k:
+                break
+        return results
+
+    def page(self, offset: int, limit: int) -> List[RankEntry]:
+        """Global ranking slice ``[offset, offset+limit)`` (0-based)."""
+        if offset < 0 or limit <= 0:
+            raise ConfigError("offset must be >= 0 and limit positive")
+        stop = min(offset + limit, len(self._ids))
+        return [self._entry(position, position + 1)
+                for position in range(offset, stop)]
+
+    def _filtered_positions(self, venue_id: Optional[int],
+                            author_id: Optional[int],
+                            year_range: Optional[Tuple[int, int]]
+                            ) -> Iterator[int]:
+        """Positions in score order matching the filters."""
+        if year_range is not None and year_range[0] > year_range[1]:
+            raise ConfigError("year_range must be (low, high)")
+
+        candidates: Optional[List[int]] = None
+        if venue_id is not None:
+            candidates = self._by_venue.get(venue_id, [])
+        if author_id is not None:
+            author_positions = self._by_author.get(author_id, [])
+            if candidates is None:
+                candidates = author_positions
+            else:
+                author_set = set(author_positions)
+                candidates = [p for p in candidates if p in author_set]
+
+        positions = candidates if candidates is not None \
+            else range(len(self._ids))
+        for position in positions:
+            if year_range is not None:
+                year = int(self._years[position])
+                if not year_range[0] <= year <= year_range[1]:
+                    continue
+            yield position

@@ -1,0 +1,15 @@
+"""Raw citation count — the simplest query-independent baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def citation_count(graph: CSRGraph) -> np.ndarray:
+    """``float64[n]`` in-degree of every node of the citation graph.
+
+    Edges point citing -> cited, so in-degree is the citation count.
+    """
+    return graph.in_degrees().astype(np.float64)

@@ -1,0 +1,46 @@
+"""CiteRank (Walker, Xie, Yan, Maslov 2007).
+
+A random reader starts at a paper chosen with probability proportional to
+``exp(-age / tau)`` — readers discover literature through *recent* papers —
+and follows references backward with probability ``alpha`` per step. The
+stationary visit distribution is exactly personalized PageRank with an
+exponential-recency jump vector, so it reuses the shared engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.pagerank import PageRankResult, pagerank
+
+
+def citerank(graph: CSRGraph, years: np.ndarray, observation_year: int,
+             tau: float = 2.6, alpha: float = 0.5, tol: float = 1e-10,
+             max_iter: int = 200) -> PageRankResult:
+    """Compute CiteRank scores.
+
+    Args:
+        graph: citation graph (citing -> cited).
+        years: publication year per node index.
+        observation_year: "today"; papers older than it decay in the
+            jump vector.
+        tau: characteristic discovery age in years (the paper's fitted
+            value is about 2.6).
+        alpha: probability of following a reference (plays the role of
+            the damping factor).
+    """
+    if tau <= 0:
+        raise ConfigError("tau must be positive")
+    years = np.asarray(years, dtype=np.float64)
+    if years.shape != (graph.num_nodes,):
+        raise ConfigError("years must align with graph nodes")
+    age = observation_year - years
+    if np.any(age < 0):
+        raise ConfigError("observation_year precedes some publications")
+    jump = np.exp(-age / tau)
+    if jump.sum() <= 0:  # pragma: no cover - exp never underflows to all-0
+        raise ConfigError("recency jump vector has no mass")
+    return pagerank(graph, damping=alpha, tol=tol, max_iter=max_iter,
+                    jump=jump)

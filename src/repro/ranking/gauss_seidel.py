@@ -1,0 +1,135 @@
+"""Gauss–Seidel PageRank: in-place sweeps in a caller-chosen node order.
+
+On a citation graph — which is acyclic up to a few mutual-citation cycles —
+score flows strictly from newer to older articles. Sweeping nodes so that
+every node is updated *after* the nodes that feed it makes one sweep
+propagate information across the whole graph, instead of one hop per
+iteration as in Jacobi/power iteration. This is the batch TWPR
+optimization benchmarked in E4: on a DAG it converges in a handful of
+sweeps at the same fixed point as :func:`repro.ranking.pagerank.pagerank`.
+
+The dangling correction uses the *current* (partially updated) scores for
+the dangling sum, updated lazily once per sweep; the fixed point is
+identical because at convergence the scores stop changing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.graph.scc import condensation
+from repro.graph.toposort import topological_sort
+from repro.ranking.pagerank import PageRankResult, validate_jump
+
+
+def influence_order(graph: CSRGraph) -> np.ndarray:
+    """Node order such that score sources come before their targets.
+
+    An edge ``u -> v`` passes score from ``u`` to ``v``, so ``u`` should be
+    swept first: this is plain topological order. Cyclic graphs fall back
+    to topological order of the SCC condensation (members of one SCC are
+    swept together, in index order).
+    """
+    order = topological_sort(graph)
+    if order is not None:
+        return np.asarray(order, dtype=np.int64)
+    dag, membership = condensation(graph)
+    component_order = topological_sort(dag)
+    if component_order is None:  # pragma: no cover - condensation is a DAG
+        raise ConfigError("condensation was not acyclic")
+    rank_of_component = np.empty(dag.num_nodes, dtype=np.int64)
+    for rank, component in enumerate(component_order):
+        rank_of_component[component] = rank
+    keys = rank_of_component[membership]
+    return np.argsort(keys, kind="stable").astype(np.int64)
+
+
+def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
+                          tol: float = 1e-10, max_sweeps: int = 100,
+                          jump: Optional[np.ndarray] = None,
+                          edge_weights: Optional[np.ndarray] = None,
+                          order: Optional[Sequence[int]] = None,
+                          initial: Optional[np.ndarray] = None,
+                          raise_on_divergence: bool = False
+                          ) -> PageRankResult:
+    """PageRank via Gauss–Seidel sweeps.
+
+    Args mirror :func:`repro.ranking.pagerank.pagerank`; additionally
+    ``order`` fixes the sweep order (default: :func:`influence_order`).
+    Convergence is measured as the L1 change of one full sweep.
+    """
+    if not 0.0 <= damping < 1.0:
+        raise ConfigError(f"damping must be in [0, 1), got {damping}")
+    if tol <= 0:
+        raise ConfigError("tol must be positive")
+    if max_sweeps <= 0:
+        raise ConfigError("max_sweeps must be positive")
+
+    n = graph.num_nodes
+    if n == 0:
+        return PageRankResult(np.zeros(0), 0, 0.0, True)
+
+    jump_vector = validate_jump(jump, n)
+    weights = graph.weights if edge_weights is None \
+        else np.asarray(edge_weights, dtype=np.float64)
+    if weights.shape != graph.weights.shape:
+        raise ConfigError("edge_weights must align with graph edges")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigError("edge weights must be finite and non-negative")
+
+    # Per-edge transition probability, grouped by *destination* so each
+    # node can pull from its in-neighbours during the sweep.
+    src_of_edge = np.repeat(np.arange(n, dtype=np.int64),
+                            np.diff(graph.indptr))
+    strengths = np.bincount(src_of_edge, weights=weights, minlength=n)
+    dangling = strengths == 0.0
+    probability = weights / np.where(dangling, 1.0, strengths)[src_of_edge]
+
+    # Regroup edges by destination so each node can pull from its
+    # in-neighbours during the sweep.
+    dst_of_edge = graph.indices
+    order_by_dst = np.argsort(dst_of_edge, kind="stable")
+    in_prob = probability[order_by_dst]
+    in_src = src_of_edge[order_by_dst]
+    in_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(dst_of_edge, minlength=n), out=in_ptr[1:])
+
+    sweep_order = np.asarray(order if order is not None
+                             else influence_order(graph), dtype=np.int64)
+    if sorted(sweep_order.tolist()) != list(range(n)):
+        raise ConfigError("order must be a permutation of all node indices")
+
+    if initial is not None:
+        scores = np.asarray(initial, dtype=np.float64).copy()
+        if scores.shape != (n,):
+            raise ConfigError(f"initial must have shape ({n},)")
+        scores /= scores.sum()
+    else:
+        scores = jump_vector.copy()
+
+    residual = float("inf")
+    sweeps = 0
+    for sweeps in range(1, max_sweeps + 1):
+        previous = scores.copy()
+        dangling_mass = float(scores[dangling].sum())
+        for node in sweep_order:
+            start, stop = in_ptr[node], in_ptr[node + 1]
+            pulled = float(np.dot(in_prob[start:stop],
+                                  scores[in_src[start:stop]]))
+            scores[node] = damping * (pulled
+                                      + dangling_mass * jump_vector[node]) \
+                + (1.0 - damping) * jump_vector[node]
+        scores /= scores.sum()
+        residual = float(np.abs(scores - previous).sum())
+        if residual <= tol:
+            return PageRankResult(scores, sweeps, residual, True)
+    if raise_on_divergence:
+        raise ConvergenceError(
+            f"Gauss-Seidel PageRank did not reach tol={tol} in "
+            f"{max_sweeps} sweeps (residual={residual:.3e})",
+            sweeps, residual)
+    return PageRankResult(scores, sweeps, residual, False)

@@ -1,0 +1,128 @@
+"""P-Rank (Yan, Ding & Sugimoto, 2011) — heterogeneous co-ranking.
+
+Prestige propagates through three coupled networks: papers endorse the
+papers they cite (citation network), papers and their authors reinforce
+each other (authorship network), and papers and their venues reinforce
+each other (publication network):
+
+    P  = alpha * C^T P + beta * A^T U + gamma * V^T J + base/n
+    U  = normalize(A P)        (author score = mean of their papers)
+    J  = normalize(V P)        (venue score = mean of their papers)
+
+with ``C`` the out-normalized citation matrix, ``A`` the author->paper
+incidence (rows normalized), ``V`` the venue->paper incidence (rows
+normalized). A baseline the paper's ensemble is naturally compared to:
+the same entity kinds, but no time-awareness at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import ConfigError, ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.ranking.pagerank import build_transition
+
+
+@dataclass(frozen=True)
+class PRankConfig:
+    """Signal weights of P-Rank (must satisfy alpha+beta+gamma <= 1)."""
+
+    alpha: float = 0.5
+    beta: float = 0.2
+    gamma: float = 0.2
+    tol: float = 1e-10
+    max_iter: int = 200
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.alpha + self.beta + self.gamma > 1.0 + 1e-12:
+            raise ConfigError("alpha + beta + gamma must be <= 1")
+        if self.tol <= 0 or self.max_iter <= 0:
+            raise ConfigError("tol and max_iter must be positive")
+
+
+def _incidence(memberships: Sequence[Sequence[int]], num_groups: int,
+               n: int, what: str) -> csr_matrix:
+    """Group-by-paper incidence with rows normalized per group."""
+    rows = []
+    cols = []
+    for paper, groups in enumerate(memberships):
+        for group in groups:
+            if not 0 <= group < num_groups:
+                raise ConfigError(
+                    f"{what} index {group} out of range [0, {num_groups})")
+            rows.append(group)
+            cols.append(paper)
+    matrix = csr_matrix((np.ones(len(rows)), (rows, cols)),
+                        shape=(num_groups, n))
+    per_group = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.where(per_group > 0, 1.0 / np.maximum(per_group, 1.0), 0.0)
+    matrix.data *= np.repeat(scale, np.diff(matrix.indptr))
+    return matrix
+
+
+def prank(graph: CSRGraph, author_lists: Sequence[Sequence[int]],
+          num_authors: int, venue_of: Sequence[int], num_venues: int,
+          config: PRankConfig = PRankConfig(),
+          raise_on_divergence: bool = False
+          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run P-Rank; return ``(paper, author, venue)`` score vectors.
+
+    ``venue_of[i]`` is the venue index of paper ``i`` (-1 = none).
+    """
+    n = graph.num_nodes
+    if len(author_lists) != n:
+        raise ConfigError("author_lists must align with graph nodes")
+    venue_of = np.asarray(venue_of, dtype=np.int64)
+    if venue_of.shape != (n,):
+        raise ConfigError("venue_of must align with graph nodes")
+    if n == 0:
+        return (np.zeros(0), np.zeros(num_authors), np.zeros(num_venues))
+
+    transition_t, dangling = build_transition(graph)
+    author_incidence = _incidence(author_lists, num_authors, n, "author")
+    venue_lists = [[int(v)] if v >= 0 else [] for v in venue_of]
+    venue_incidence = _incidence(venue_lists, num_venues, n, "venue")
+    author_t = author_incidence.T.tocsr()
+    venue_t = venue_incidence.T.tocsr()
+
+    uniform = np.full(n, 1.0 / n)
+    papers = uniform.copy()
+    authors = np.full(num_authors, 1.0 / max(num_authors, 1))
+    venues = np.full(num_venues, 1.0 / max(num_venues, 1))
+    base = max(0.0, 1.0 - config.alpha - config.beta - config.gamma)
+
+    def renormalize(vector: np.ndarray) -> np.ndarray:
+        total = vector.sum()
+        return vector / total if total > 0 else vector
+
+    residual = float("inf")
+    iterations = 0
+    for iterations in range(1, config.max_iter + 1):
+        dangling_mass = float(papers[dangling].sum())
+        citation_part = transition_t @ papers + dangling_mass * uniform
+        new_papers = (config.alpha * citation_part
+                      + config.beta * renormalize(author_t @ authors)
+                      + config.gamma * renormalize(venue_t @ venues)
+                      + base * uniform)
+        new_papers = renormalize(new_papers)
+        new_authors = renormalize(author_incidence @ new_papers)
+        new_venues = renormalize(venue_incidence @ new_papers)
+        residual = float(np.abs(new_papers - papers).sum()
+                         + np.abs(new_authors - authors).sum()
+                         + np.abs(new_venues - venues).sum())
+        papers, authors, venues = new_papers, new_authors, new_venues
+        if residual <= config.tol:
+            return papers, authors, venues
+    if raise_on_divergence:
+        raise ConvergenceError(
+            f"P-Rank did not reach tol={config.tol} in "
+            f"{config.max_iter} iterations", iterations, residual)
+    return papers, authors, venues

@@ -1,0 +1,77 @@
+"""Rescaled PageRank (Mariani, Medo & Zhang, 2016).
+
+Static PageRank is biased against recent articles: they simply have not
+had time to accumulate citations. Rescaled PageRank removes the age bias
+*post hoc*: each article's PageRank is standardized against the
+PageRank distribution of its temporal neighbourhood — the ``window``
+articles published immediately around it in time order:
+
+    R(i) = (PR(i) - mean(PR(window_i))) / std(PR(window_i))
+
+A z-score of how exceptional an article is *for its age cohort*. This is
+the strongest purely structural time-corrected baseline and a natural
+comparison for the paper's time-weighted approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.pagerank import pagerank
+
+
+def rescale_by_age(scores: np.ndarray, years: np.ndarray,
+                   window: int = 1000) -> np.ndarray:
+    """Standardize ``scores`` within a sliding temporal window.
+
+    Articles are ordered by ``(year, index)``; each article's mean/std
+    is taken over the ``window`` nearest articles in that order (clipped
+    at the corpus boundaries, so every window has exactly
+    ``min(window, n)`` members). Zero-variance windows yield 0.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    years = np.asarray(years)
+    if scores.shape != years.shape:
+        raise ConfigError("scores and years must align")
+    if window < 2:
+        raise ConfigError("window must be at least 2")
+    n = len(scores)
+    if n == 0:
+        return scores.copy()
+
+    order = np.lexsort((np.arange(n), years))
+    ordered = scores[order]
+    width = min(window, n)
+
+    # Sliding-window mean/std via cumulative sums; windows are clipped
+    # to [0, n) and shifted to keep exactly `width` members.
+    starts = np.arange(n) - width // 2
+    starts = np.clip(starts, 0, n - width)
+    stops = starts + width
+    cumsum = np.concatenate([[0.0], np.cumsum(ordered)])
+    cumsq = np.concatenate([[0.0], np.cumsum(ordered ** 2)])
+    mean = (cumsum[stops] - cumsum[starts]) / width
+    variance = (cumsq[stops] - cumsq[starts]) / width - mean ** 2
+    std = np.sqrt(np.maximum(variance, 0.0))
+
+    rescaled_ordered = np.zeros(n, dtype=np.float64)
+    positive = std > 0
+    rescaled_ordered[positive] = (ordered[positive] - mean[positive]) \
+        / std[positive]
+    rescaled = np.empty(n, dtype=np.float64)
+    rescaled[order] = rescaled_ordered
+    return rescaled
+
+
+def rescaled_pagerank(graph: CSRGraph, years: np.ndarray,
+                      window: int = 1000, damping: float = 0.85,
+                      tol: float = 1e-10, max_iter: int = 200
+                      ) -> np.ndarray:
+    """PageRank standardized against same-age articles."""
+    years = np.asarray(years)
+    if years.shape != (graph.num_nodes,):
+        raise ConfigError("years must align with graph nodes")
+    base = pagerank(graph, damping=damping, tol=tol, max_iter=max_iter)
+    return rescale_by_age(base.scores, years, window=window)

@@ -1,0 +1,5 @@
+"""SQLite-backed persistent store for scholarly datasets and rankings."""
+
+from repro.storage.store import DatasetStore
+
+__all__ = ["DatasetStore"]

@@ -1,0 +1,282 @@
+"""SQLite persistence for datasets and computed rankings.
+
+Parsing a multi-gigabyte AMiner/MAG dump is far slower than reading rows
+back out of SQLite, so the store lets a pipeline ingest once and re-rank
+many times. Rankings are stored per ``(dataset, method)`` so experiment
+sweeps can cache and compare methods.
+
+The store keeps everything in a single database file; ``:memory:`` works
+for tests. Connections are used as context managers so every write is
+transactional.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import StorageError
+from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+PathLike = Union[str, Path]
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS datasets (
+    name TEXT PRIMARY KEY,
+    num_articles INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS articles (
+    dataset TEXT NOT NULL REFERENCES datasets(name) ON DELETE CASCADE,
+    id INTEGER NOT NULL,
+    title TEXT NOT NULL,
+    year INTEGER NOT NULL,
+    venue_id INTEGER,
+    quality REAL,
+    PRIMARY KEY (dataset, id)
+);
+CREATE TABLE IF NOT EXISTS citations (
+    dataset TEXT NOT NULL,
+    citing INTEGER NOT NULL,
+    cited INTEGER NOT NULL,
+    PRIMARY KEY (dataset, citing, cited)
+);
+CREATE TABLE IF NOT EXISTS authorship (
+    dataset TEXT NOT NULL,
+    article_id INTEGER NOT NULL,
+    author_id INTEGER NOT NULL,
+    position INTEGER NOT NULL,
+    PRIMARY KEY (dataset, article_id, position)
+);
+CREATE TABLE IF NOT EXISTS venues (
+    dataset TEXT NOT NULL,
+    id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    prestige REAL,
+    PRIMARY KEY (dataset, id)
+);
+CREATE TABLE IF NOT EXISTS authors (
+    dataset TEXT NOT NULL,
+    id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    PRIMARY KEY (dataset, id)
+);
+CREATE TABLE IF NOT EXISTS rankings (
+    dataset TEXT NOT NULL,
+    method TEXT NOT NULL,
+    article_id INTEGER NOT NULL,
+    score REAL NOT NULL,
+    PRIMARY KEY (dataset, method, article_id)
+);
+CREATE INDEX IF NOT EXISTS idx_articles_year
+    ON articles(dataset, year);
+CREATE INDEX IF NOT EXISTS idx_citations_cited
+    ON citations(dataset, cited);
+CREATE INDEX IF NOT EXISTS idx_rankings_score
+    ON rankings(dataset, method, score DESC);
+"""
+
+
+class DatasetStore:
+    """A SQLite store for datasets and per-method ranking scores."""
+
+    def __init__(self, path: PathLike = ":memory:") -> None:
+        self._path = str(path)
+        self._conn = sqlite3.connect(self._path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
+                ("schema_version", str(_SCHEMA_VERSION)))
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "DatasetStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # datasets
+
+    def list_datasets(self) -> List[str]:
+        """Names of stored datasets, sorted."""
+        rows = self._conn.execute(
+            "SELECT name FROM datasets ORDER BY name").fetchall()
+        return [row[0] for row in rows]
+
+    def has_dataset(self, name: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM datasets WHERE name = ?", (name,)).fetchone()
+        return row is not None
+
+    def save_dataset(self, dataset: ScholarlyDataset,
+                     overwrite: bool = False) -> None:
+        """Persist ``dataset`` under its own name."""
+        if self.has_dataset(dataset.name):
+            if not overwrite:
+                raise StorageError(
+                    f"dataset {dataset.name!r} already stored "
+                    "(pass overwrite=True to replace)")
+            self.delete_dataset(dataset.name)
+        name = dataset.name
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO datasets(name, num_articles) VALUES(?, ?)",
+                (name, dataset.num_articles))
+            self._conn.executemany(
+                "INSERT INTO venues VALUES(?, ?, ?, ?)",
+                ((name, v.id, v.name, v.prestige)
+                 for v in dataset.venues.values()))
+            self._conn.executemany(
+                "INSERT INTO authors VALUES(?, ?, ?)",
+                ((name, a.id, a.name) for a in dataset.authors.values()))
+            self._conn.executemany(
+                "INSERT INTO articles VALUES(?, ?, ?, ?, ?, ?)",
+                ((name, a.id, a.title, a.year, a.venue_id, a.quality)
+                 for a in dataset.articles.values()))
+            self._conn.executemany(
+                "INSERT INTO citations VALUES(?, ?, ?)",
+                ((name, a.id, ref) for a in dataset.articles.values()
+                 for ref in dict.fromkeys(a.references)))
+            self._conn.executemany(
+                "INSERT INTO authorship VALUES(?, ?, ?, ?)",
+                ((name, a.id, author_id, position)
+                 for a in dataset.articles.values()
+                 for position, author_id in enumerate(a.author_ids)))
+
+    def load_dataset(self, name: str) -> ScholarlyDataset:
+        """Reconstruct a stored dataset."""
+        if not self.has_dataset(name):
+            raise StorageError(f"no stored dataset named {name!r}")
+        dataset = ScholarlyDataset(name=name)
+        for venue_id, venue_name, prestige in self._conn.execute(
+                "SELECT id, name, prestige FROM venues WHERE dataset = ?",
+                (name,)):
+            dataset.add_venue(Venue(id=venue_id, name=venue_name,
+                                    prestige=prestige))
+        for author_id, author_name in self._conn.execute(
+                "SELECT id, name FROM authors WHERE dataset = ?", (name,)):
+            dataset.add_author(Author(id=author_id, name=author_name))
+
+        references: Dict[int, List[int]] = {}
+        for citing, cited in self._conn.execute(
+                "SELECT citing, cited FROM citations WHERE dataset = ?"
+                " ORDER BY citing, cited", (name,)):
+            references.setdefault(citing, []).append(cited)
+        teams: Dict[int, List[int]] = {}
+        for article_id, author_id in self._conn.execute(
+                "SELECT article_id, author_id FROM authorship "
+                "WHERE dataset = ? ORDER BY article_id, position", (name,)):
+            teams.setdefault(article_id, []).append(author_id)
+        for article_id, title, year, venue_id, quality in self._conn.execute(
+                "SELECT id, title, year, venue_id, quality FROM articles "
+                "WHERE dataset = ? ORDER BY id", (name,)):
+            dataset.add_article(Article(
+                id=article_id, title=title, year=year, venue_id=venue_id,
+                author_ids=tuple(teams.get(article_id, ())),
+                references=tuple(references.get(article_id, ())),
+                quality=quality))
+        return dataset
+
+    def delete_dataset(self, name: str) -> None:
+        """Remove a dataset and everything attached to it."""
+        if not self.has_dataset(name):
+            raise StorageError(f"no stored dataset named {name!r}")
+        with self._conn:
+            for table in ("rankings", "authorship", "citations",
+                          "articles", "venues", "authors"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE dataset = ?", (name,))
+            self._conn.execute("DELETE FROM datasets WHERE name = ?",
+                               (name,))
+
+    # ------------------------------------------------------------------
+    # rankings
+
+    def save_ranking(self, dataset: str, method: str,
+                     scores: Dict[int, float],
+                     overwrite: bool = False) -> None:
+        """Persist per-article ``scores`` of one ranking ``method``."""
+        if not self.has_dataset(dataset):
+            raise StorageError(f"no stored dataset named {dataset!r}")
+        existing = self._conn.execute(
+            "SELECT 1 FROM rankings WHERE dataset = ? AND method = ? "
+            "LIMIT 1", (dataset, method)).fetchone()
+        if existing and not overwrite:
+            raise StorageError(
+                f"ranking {method!r} for {dataset!r} already stored")
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM rankings WHERE dataset = ? AND method = ?",
+                (dataset, method))
+            self._conn.executemany(
+                "INSERT INTO rankings VALUES(?, ?, ?, ?)",
+                ((dataset, method, article_id, float(score))
+                 for article_id, score in scores.items()))
+
+    def load_ranking(self, dataset: str, method: str) -> Dict[int, float]:
+        """Load a stored ranking as ``{article_id: score}``."""
+        rows = self._conn.execute(
+            "SELECT article_id, score FROM rankings "
+            "WHERE dataset = ? AND method = ?", (dataset, method)).fetchall()
+        if not rows:
+            raise StorageError(
+                f"no ranking {method!r} stored for {dataset!r}")
+        return {article_id: score for article_id, score in rows}
+
+    def list_rankings(self, dataset: str) -> List[str]:
+        """Method names with stored rankings for ``dataset``."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT method FROM rankings WHERE dataset = ? "
+            "ORDER BY method", (dataset,)).fetchall()
+        return [row[0] for row in rows]
+
+    def top_articles(self, dataset: str, method: str,
+                     limit: int = 10) -> List[Tuple[int, float]]:
+        """Highest-scored ``(article_id, score)`` pairs for a ranking."""
+        rows = self._conn.execute(
+            "SELECT article_id, score FROM rankings "
+            "WHERE dataset = ? AND method = ? "
+            "ORDER BY score DESC, article_id ASC LIMIT ?",
+            (dataset, method, limit)).fetchall()
+        if not rows:
+            raise StorageError(
+                f"no ranking {method!r} stored for {dataset!r}")
+        return [(article_id, score) for article_id, score in rows]
+
+    # ------------------------------------------------------------------
+    # analytics helpers
+
+    def citation_counts(self, dataset: str,
+                        limit: Optional[int] = None
+                        ) -> List[Tuple[int, int]]:
+        """``(article_id, citations)`` sorted by citations descending."""
+        if not self.has_dataset(dataset):
+            raise StorageError(f"no stored dataset named {dataset!r}")
+        query = ("SELECT cited, COUNT(*) AS c FROM citations "
+                 "WHERE dataset = ? GROUP BY cited ORDER BY c DESC, cited")
+        if limit is not None:
+            query += " LIMIT ?"
+            rows = self._conn.execute(query, (dataset, limit)).fetchall()
+        else:
+            rows = self._conn.execute(query, (dataset,)).fetchall()
+        return [(cited, count) for cited, count in rows]
+
+    def articles_per_year(self, dataset: str) -> Dict[int, int]:
+        """Publication counts keyed by year."""
+        if not self.has_dataset(dataset):
+            raise StorageError(f"no stored dataset named {dataset!r}")
+        rows = self._conn.execute(
+            "SELECT year, COUNT(*) FROM articles WHERE dataset = ? "
+            "GROUP BY year ORDER BY year", (dataset,)).fetchall()
+        return {year: count for year, count in rows}

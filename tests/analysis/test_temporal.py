@@ -1,0 +1,105 @@
+"""Temporal analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DatasetError
+from repro.analysis.temporal import (
+    citation_history,
+    rising_stars,
+    score_trajectories,
+    sleeping_beauty_coefficient,
+)
+
+
+class TestCitationHistory:
+    def test_tiny_dataset(self, tiny_dataset):
+        history = citation_history(tiny_dataset, 0)
+        # Article 0 (2000) cited by 1 (2003) and 2 (2005).
+        assert history[2003] == 1
+        assert history[2005] == 1
+        assert history[2004] == 0
+        assert min(history) == 2000
+        assert max(history) == 2010
+
+    def test_uncited_article(self, tiny_dataset):
+        history = citation_history(tiny_dataset, 4)
+        assert all(count == 0 for count in history.values())
+
+    def test_unknown_article(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            citation_history(tiny_dataset, 99)
+
+
+class TestSleepingBeauty:
+    def test_immediate_peak_is_zero(self):
+        assert sleeping_beauty_coefficient(
+            {2000: 10, 2001: 5, 2002: 1}) == 0.0
+
+    def test_late_awakening_is_large(self):
+        dormant = {year: 0 for year in range(2000, 2019)}
+        dormant[2019] = 40
+        coefficient = sleeping_beauty_coefficient(dormant)
+        # Each dormant year contributes ~line_t; a long sleep scores big.
+        assert coefficient > 100
+
+    def test_linear_growth_is_zero(self):
+        linear = {2000 + t: 2 * t for t in range(10)}
+        assert sleeping_beauty_coefficient(linear) == pytest.approx(0.0)
+
+    def test_deeper_sag_scores_higher(self):
+        shallow = {2000: 0, 2001: 3, 2002: 6, 2003: 10}
+        deep = {2000: 0, 2001: 0, 2002: 0, 2003: 10}
+        assert sleeping_beauty_coefficient(deep) > \
+            sleeping_beauty_coefficient(shallow)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sleeping_beauty_coefficient({})
+
+
+class TestTrajectories:
+    def test_alignment_with_nan_for_absent(self):
+        snapshots = [{1: 0.5}, {1: 0.6, 2: 0.1}, {1: 0.7, 2: 0.3}]
+        trajectories = score_trajectories(snapshots)
+        assert trajectories[1] == [0.5, 0.6, 0.7]
+        assert np.isnan(trajectories[2][0])
+        assert trajectories[2][1:] == [0.1, 0.3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            score_trajectories([])
+
+
+class TestRisingStars:
+    def test_fastest_growth_first(self):
+        snapshots = [{1: 0.1, 2: 0.1}, {1: 0.2, 2: 0.4}]
+        stars = rising_stars(snapshots, k=2)
+        assert stars[0][0] == 2
+        assert stars[0][1] == pytest.approx(3.0)
+        assert stars[1] == (1, pytest.approx(1.0))
+
+    def test_min_presence_filters_newcomers(self):
+        snapshots = [{1: 0.1}, {1: 0.2}, {1: 0.3, 2: 9.0}]
+        stars = rising_stars(snapshots, k=5, min_presence=2)
+        assert all(article_id != 2 for article_id, _ in stars)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rising_stars([{1: 1.0}], k=0)
+        with pytest.raises(ConfigError):
+            rising_stars([{1: 1.0}], min_presence=1)
+
+    def test_on_real_snapshots(self, small_dataset):
+        from repro.core.model import ArticleRanker
+
+        _, max_year = small_dataset.year_range()
+        ranker = ArticleRanker()
+        snapshots = []
+        for year in (max_year - 2, max_year - 1, max_year):
+            snap = small_dataset.snapshot_until(year)
+            snapshots.append(ranker.rank(snap).by_id())
+        stars = rising_stars(snapshots, k=5)
+        assert len(stars) == 5
+        growths = [growth for _, growth in stars]
+        assert growths == sorted(growths, reverse=True)

@@ -1,0 +1,63 @@
+"""Table renderer tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.bench.tables import render_rows, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table("T", ["name", "value"],
+                           [["pagerank", 1], ["cc", 123456]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "123456" in lines[4]
+        # Columns aligned: 'value' header starts where values start.
+        assert lines[1].index("value") == lines[3].index("1")
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_table("T", ["a"], [["x", "y"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ConfigError):
+            render_table("T", [], [])
+
+    def test_no_rows(self):
+        out = render_table("T", ["a"], [])
+        assert out.splitlines()[-1].startswith("-")
+
+
+class TestRenderRows:
+    def test_dict_rows(self):
+        out = render_rows("T", [{"m": "pr", "acc": 0.9},
+                                {"m": "cc", "acc": 0.7}])
+        assert "acc" in out
+        assert "0.7" in out
+
+    def test_missing_key_blank(self):
+        out = render_rows("T", [{"a": 1, "b": 2}, {"a": 3}])
+        assert "3" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_rows("T", [])
+
+
+class TestRenderSeries:
+    def test_series_table(self):
+        out = render_series("F", "n", [10, 20],
+                            {"naive": [1.0, 2.0], "opt": [0.5, 0.6]})
+        lines = out.splitlines()
+        assert lines[1].split() == ["n", "naive", "opt"]
+        assert len(lines) == 5
+
+    def test_misaligned_series(self):
+        with pytest.raises(ConfigError):
+            render_series("F", "n", [1, 2], {"s": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(ConfigError):
+            render_series("F", "n", [1], {})

@@ -1,0 +1,55 @@
+"""Benchmark workload builder tests (small scales to stay fast)."""
+
+import pytest
+
+from repro.bench.runner import ExperimentLog
+from repro.bench.workloads import (
+    aminer_small,
+    compute_baseline_scores,
+    mag_small,
+    sized_citation_graph,
+)
+
+
+class TestWorkloads:
+    def test_aminer_small_cached(self):
+        first = aminer_small(scale=2000)
+        second = aminer_small(scale=2000)
+        assert first is second
+        dataset, truth = first
+        assert dataset.num_articles == 2000
+        assert len(truth.pairs) == 2000
+
+    def test_mag_small(self):
+        dataset, truth = mag_small(scale=2000)
+        assert dataset.num_articles == 2000
+        assert len(truth.awards) > 0
+
+    def test_sized_citation_graph(self):
+        graph, years = sized_citation_graph(1500)
+        assert graph.num_nodes == 1500
+        assert years.shape == (1500,)
+
+    def test_compute_baseline_scores(self):
+        dataset, _ = aminer_small(scale=2000)
+        scores = compute_baseline_scores(dataset)
+        expected = {"QISAR", "TWPR", "PageRank", "CitationCount",
+                    "CitationRate", "CiteRank", "FutureRank", "HITS",
+                    "PRank", "RescaledPR"}
+        assert set(scores) == expected
+        for method, by_id in scores.items():
+            assert len(by_id) == dataset.num_articles, method
+
+
+class TestExperimentLog:
+    def test_accumulates_and_saves(self, tmp_path, capsys):
+        log = ExperimentLog("e-test")
+        log.add("BLOCK ONE")
+        log.add("BLOCK TWO", echo=False)
+        out = capsys.readouterr().out
+        assert "BLOCK ONE" in out
+        assert "BLOCK TWO" not in out
+        path = log.save(tmp_path / "run.log")
+        content = path.read_text()
+        assert content.startswith("# e-test")
+        assert "BLOCK TWO" in content

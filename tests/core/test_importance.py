@@ -1,0 +1,117 @@
+"""Score normalization and prestige/popularity combination tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.core.importance import combine_importance, normalize_scores
+
+positive_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=30).map(np.array)
+
+
+class TestNormalize:
+    def test_sum(self):
+        out = normalize_scores(np.array([1.0, 3.0]), "sum")
+        assert out.tolist() == [0.25, 0.75]
+
+    def test_sum_all_zero(self):
+        out = normalize_scores(np.zeros(3), "sum")
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_max(self):
+        out = normalize_scores(np.array([2.0, 4.0]), "max")
+        assert out.tolist() == [0.5, 1.0]
+
+    def test_zscore(self):
+        out = normalize_scores(np.array([1.0, 2.0, 3.0]), "zscore")
+        assert out.mean() == pytest.approx(0.0)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_zscore_constant_vector(self):
+        out = normalize_scores(np.array([5.0, 5.0]), "zscore")
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_rank(self):
+        out = normalize_scores(np.array([10.0, 30.0, 20.0]), "rank")
+        assert out.tolist() == [0.0, 1.0, 0.5]
+
+    def test_rank_ties_share_average(self):
+        out = normalize_scores(np.array([1.0, 1.0, 2.0]), "rank")
+        assert out[0] == out[1] == pytest.approx(0.25)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_rank_single_element(self):
+        assert normalize_scores(np.array([7.0]), "rank").tolist() == [1.0]
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            normalize_scores(np.array([1.0]), "league")
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize_scores(np.array([np.nan]), "sum")
+
+    def test_empty(self):
+        assert len(normalize_scores(np.array([]), "rank")) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(positive_vectors)
+    def test_rank_preserves_order(self, values):
+        # Values within 1e-9 relative of each other are quantized into
+        # ties on purpose; only clearly distinct values must keep order.
+        ranked = normalize_scores(values, "rank")
+        peak = np.abs(values).max()
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if values[i] < values[j] \
+                        and values[j] - values[i] > 1e-8 * max(peak, 1.0):
+                    assert ranked[i] < ranked[j]
+
+    def test_rank_quantizes_solver_noise_into_ties(self):
+        base = 1.0
+        noisy = np.array([base, base + 1e-13, base * 2])
+        ranked = normalize_scores(noisy, "rank")
+        assert ranked[0] == ranked[1]
+        assert ranked[2] > ranked[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(positive_vectors)
+    def test_sum_is_distribution(self, values):
+        out = normalize_scores(values, "sum")
+        total = out.sum()
+        assert total == pytest.approx(1.0) or total == 0.0
+
+
+class TestCombine:
+    def test_theta_extremes(self):
+        prestige = np.array([1.0, 0.0])
+        popularity = np.array([0.0, 1.0])
+        only_prestige = combine_importance(prestige, popularity, theta=1.0)
+        only_popularity = combine_importance(prestige, popularity,
+                                             theta=0.0)
+        assert only_prestige[0] > only_prestige[1]
+        assert only_popularity[1] > only_popularity[0]
+
+    def test_balanced(self):
+        prestige = np.array([1.0, 0.0])
+        popularity = np.array([0.0, 1.0])
+        balanced = combine_importance(prestige, popularity, theta=0.5)
+        assert balanced[0] == pytest.approx(balanced[1])
+
+    def test_scale_invariance_via_normalization(self):
+        prestige = np.array([1.0, 2.0])
+        popularity = np.array([1000.0, 4000.0])
+        combined = combine_importance(prestige, popularity, theta=0.5)
+        rescaled = combine_importance(prestige * 7, popularity / 13,
+                                      theta=0.5)
+        assert np.allclose(combined, rescaled)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            combine_importance(np.array([1.0]), np.array([1.0]), theta=1.5)
+        with pytest.raises(ConfigError):
+            combine_importance(np.array([1.0]), np.array([1.0, 2.0]))

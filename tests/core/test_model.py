@@ -1,0 +1,123 @@
+"""Assembled model tests."""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.errors import ConfigError, DatasetError
+from repro.core.model import ArticleRanker, RankerConfig
+from repro.data.schema import ScholarlyDataset
+from repro.ranking.citation_count import citation_count
+
+
+class TestRankerConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"prestige_decay": -0.1},
+        {"popularity_decay": -1.0},
+        {"theta": 1.5},
+        {"weight_article": -0.1},
+        {"weight_article": 0, "weight_venue": 0, "weight_author": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            RankerConfig(**kwargs)
+
+    def test_blend_weights_normalized(self):
+        config = RankerConfig(weight_article=2, weight_venue=1,
+                              weight_author=1)
+        assert config.blend_weights() == (0.5, 0.25, 0.25)
+
+    def test_with_config_override(self):
+        ranker = ArticleRanker().with_config(theta=0.9)
+        assert ranker.config.theta == 0.9
+        assert ranker.config.damping == 0.85
+
+
+class TestRank:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return ArticleRanker().rank(small_dataset)
+
+    def test_scores_cover_all_articles(self, result, small_dataset):
+        assert len(result.scores) == small_dataset.num_articles
+        assert set(result.by_id()) == set(small_dataset.articles)
+
+    def test_components_present_and_aligned(self, result, small_dataset):
+        expected = {"article_prestige", "article_popularity",
+                    "article_importance", "venue_feature",
+                    "author_feature"}
+        assert set(result.components) == expected
+        for vector in result.components.values():
+            assert len(vector) == small_dataset.num_articles
+
+    def test_diagnostics(self, result):
+        diag = result.diagnostics
+        assert diag["twpr_converged"]
+        assert diag["twpr_method"] == "levels"
+        assert set(diag["timings"]) == {
+            "build_graph", "article_prestige", "article_popularity",
+            "venue", "author", "assembly"}
+
+    def test_top_k(self, result):
+        top = result.top(5)
+        assert len(top) == 5
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+        with pytest.raises(ConfigError):
+            result.top(0)
+
+    def test_deterministic(self, small_dataset, result):
+        again = ArticleRanker().rank(small_dataset)
+        assert np.array_equal(again.scores, result.scores)
+
+    def test_beats_citation_count_on_quality(self, small_dataset, result):
+        graph = small_dataset.citation_csr()
+        quality = small_dataset.article_qualities(graph)
+        model_rho = spearmanr(quality, result.scores).statistic
+        count_rho = spearmanr(quality, citation_count(graph)).statistic
+        assert model_rho > count_rho
+
+
+class TestConfigEffects:
+    def test_prestige_only_vs_popularity_only(self, small_dataset):
+        prestige_only = ArticleRanker(RankerConfig(
+            theta=1.0, weight_venue=0, weight_author=0,
+            weight_article=1)).rank(small_dataset)
+        popularity_only = ArticleRanker(RankerConfig(
+            theta=0.0, weight_venue=0, weight_author=0,
+            weight_article=1)).rank(small_dataset)
+        assert not np.allclose(prestige_only.scores,
+                               popularity_only.scores)
+
+    def test_venue_only_blend_follows_venue_feature(self, small_dataset):
+        result = ArticleRanker(RankerConfig(
+            weight_article=0, weight_venue=1,
+            weight_author=0)).rank(small_dataset)
+        venue_rho = spearmanr(result.scores,
+                              result.components["venue_feature"]).statistic
+        assert venue_rho > 0.999
+
+    def test_observation_year_must_cover_dataset(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        ranker = ArticleRanker(RankerConfig(observation_year=max_year - 1))
+        with pytest.raises(ConfigError):
+            ranker.rank(small_dataset)
+
+    def test_later_observation_year_allowed(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        ranker = ArticleRanker(RankerConfig(
+            observation_year=max_year + 3))
+        result = ranker.rank(small_dataset)
+        assert len(result.scores) == small_dataset.num_articles
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            ArticleRanker().rank(ScholarlyDataset())
+
+    def test_tiny_dataset(self, tiny_dataset):
+        result = ArticleRanker().rank(tiny_dataset)
+        assert len(result.scores) == 5
+        # The foundational, heavily-cited, top-venue article 0 must not
+        # rank last despite its age.
+        ranked = [article_id for article_id, _ in result.top(5)]
+        assert ranked.index(0) < 4

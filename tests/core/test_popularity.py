@@ -1,0 +1,70 @@
+"""Popularity (decayed citation count) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.core.popularity import popularity_scores
+from repro.core.time_weight import exponential_decay, no_decay
+
+
+@pytest.fixture()
+def two_citers():
+    """0 is cited by 1 (old, 2002) and 2 (fresh, 2010)."""
+    graph = CSRGraph.from_edges([(1, 0), (2, 0)], nodes=[0, 1, 2])
+    years = np.array([2000, 2002, 2010])
+    return graph, years
+
+
+class TestPopularity:
+    def test_hand_computed(self, two_citers):
+        graph, years = two_citers
+        scores = popularity_scores(graph, years, 2010,
+                                   decay=exponential_decay(0.5))
+        expected = np.exp(-0.5 * 8) + np.exp(0.0)
+        assert scores[0] == pytest.approx(expected)
+        assert scores[1] == 0.0
+        assert scores[2] == 0.0
+
+    def test_no_decay_equals_citation_count(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        scores = popularity_scores(graph, years, int(years.max()),
+                                   decay=no_decay())
+        assert np.array_equal(scores, graph.in_degrees().astype(float))
+
+    def test_recent_citations_weigh_more(self, two_citers):
+        graph, years = two_citers
+        scores = popularity_scores(graph, years, 2010,
+                                   decay=exponential_decay(0.5))
+        fresh_only = np.exp(0.0)
+        assert scores[0] < 2 * fresh_only
+        assert scores[0] > fresh_only
+
+    def test_default_decay(self, two_citers):
+        graph, years = two_citers
+        scores = popularity_scores(graph, years, 2010)
+        assert scores[0] > 0
+
+    def test_self_boost_breaks_zero_ties(self, two_citers):
+        graph, years = two_citers
+        scores = popularity_scores(graph, years, 2010,
+                                   decay=exponential_decay(0.5),
+                                   self_boost=0.1)
+        # Uncited nodes 1 and 2 now differ by recency.
+        assert scores[2] > scores[1] > 0
+
+    def test_validation(self, two_citers):
+        graph, years = two_citers
+        with pytest.raises(ConfigError):
+            popularity_scores(graph, years[:2], 2010)
+        with pytest.raises(ConfigError):
+            popularity_scores(graph, years, 2005)
+        with pytest.raises(ConfigError):
+            popularity_scores(graph, years, 2010, self_boost=-1.0)
+
+    def test_empty_graph(self):
+        scores = popularity_scores(CSRGraph.from_edges([], nodes=[]),
+                                   np.array([]), 2010)
+        assert len(scores) == 0

@@ -1,0 +1,60 @@
+"""Time-decay kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.time_weight import exponential_decay, linear_decay, no_decay
+
+
+class TestExponential:
+    def test_gap_zero_is_one(self):
+        decay = exponential_decay(0.3)
+        assert decay(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        decay = exponential_decay(0.3)
+        gaps = np.arange(0.0, 20.0)
+        values = decay(gaps)
+        assert (np.diff(values) < 0).all()
+        assert (values > 0).all()
+
+    def test_known_value(self):
+        decay = exponential_decay(0.5)
+        assert decay(np.array([2.0]))[0] == pytest.approx(np.exp(-1.0))
+
+    def test_negative_gap_clamped(self):
+        decay = exponential_decay(0.5)
+        assert decay(np.array([-3.0]))[0] == pytest.approx(1.0)
+
+    def test_zero_rate_is_constant(self):
+        decay = exponential_decay(0.0)
+        assert np.allclose(decay(np.array([0.0, 5.0, 50.0])), 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            exponential_decay(-0.1)
+
+
+class TestLinear:
+    def test_fades_to_floor(self):
+        decay = linear_decay(horizon=10.0, floor=0.1)
+        assert decay(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert decay(np.array([10.0]))[0] == pytest.approx(0.1)
+        assert decay(np.array([100.0]))[0] == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        decay = linear_decay(horizon=10.0, floor=0.0)
+        assert decay(np.array([5.0]))[0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            linear_decay(horizon=0)
+        with pytest.raises(ConfigError):
+            linear_decay(floor=1.5)
+
+
+class TestNoDecay:
+    def test_constant_one(self):
+        decay = no_decay()
+        assert np.allclose(decay(np.array([0.0, 3.0, 300.0])), 1.0)

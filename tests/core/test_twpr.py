@@ -1,0 +1,165 @@
+"""Time-Weighted PageRank: solver agreement, reductions, optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.core.time_weight import exponential_decay, no_decay
+from repro.core.twpr import (
+    time_weight_edges,
+    time_weighted_pagerank,
+)
+from repro.ranking.pagerank import pagerank
+
+
+@pytest.fixture()
+def dated_graph():
+    """2 cites {0,1}; 3 cites {2}; years make the gaps differ."""
+    graph = CSRGraph.from_edges([(2, 0), (2, 1), (3, 2)],
+                                nodes=[0, 1, 2, 3])
+    years = np.array([1990, 2004, 2005, 2010])
+    return graph, years
+
+
+class TestEdgeWeights:
+    def test_weights_reflect_gap(self, dated_graph):
+        graph, years = dated_graph
+        weights = time_weight_edges(graph, years, exponential_decay(0.1))
+        # Edge order within node 2: targets 0 (gap 15) and 1 (gap 1).
+        idx2 = graph.index_of(2)
+        slice_ = slice(graph.indptr[idx2], graph.indptr[idx2 + 1])
+        targets = graph.indices[slice_]
+        gap_by_target = {int(t): w
+                         for t, w in zip(targets, weights[slice_])}
+        assert gap_by_target[graph.index_of(0)] == \
+            pytest.approx(np.exp(-1.5))
+        assert gap_by_target[graph.index_of(1)] == \
+            pytest.approx(np.exp(-0.1))
+
+    def test_forward_in_time_edges_get_full_weight(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        years = np.array([2000, 2005])  # cited is newer: data noise
+        weights = time_weight_edges(graph, years, exponential_decay(0.5))
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_alignment_validated(self, dated_graph):
+        graph, years = dated_graph
+        with pytest.raises(ConfigError):
+            time_weight_edges(graph, years[:2], exponential_decay(0.1))
+
+    def test_bad_decay_output_rejected(self, dated_graph):
+        graph, years = dated_graph
+        with pytest.raises(ConfigError):
+            time_weight_edges(graph, years, lambda gap: gap * 10 + 2)
+
+
+class TestReduction:
+    def test_no_decay_equals_pagerank(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        twpr = time_weighted_pagerank(graph, years, decay=no_decay(),
+                                      tol=1e-12)
+        plain = pagerank(graph, tol=1e-12, max_iter=500)
+        assert np.abs(twpr.scores - plain.scores).sum() < 1e-8
+
+    def test_decay_shifts_mass_to_recently_cited(self, dated_graph):
+        graph, years = dated_graph
+        flat = time_weighted_pagerank(graph, years, decay=no_decay())
+        decayed = time_weighted_pagerank(graph, years,
+                                         decay=exponential_decay(0.3))
+        # Node 1 (cited across a 1-year gap) gains relative to node 0
+        # (cited across a 15-year gap).
+        assert decayed.scores[1] > flat.scores[1]
+        assert decayed.scores[0] < flat.scores[0]
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("method", ["power", "gauss_seidel", "levels"])
+    def test_methods_share_fixed_point(self, small_dataset, method):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        reference = time_weighted_pagerank(graph, years, method="power",
+                                           tol=1e-12, max_iter=500)
+        result = time_weighted_pagerank(graph, years, method=method,
+                                        tol=1e-12, max_iter=500)
+        assert result.converged
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_levels_much_fewer_iterations_on_dag(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        power = time_weighted_pagerank(graph, years, method="power")
+        levels = time_weighted_pagerank(graph, years, method="levels")
+        assert levels.iterations <= power.iterations / 5
+
+    def test_cyclic_graph_still_converges(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (2, 0), (2, 1)])
+        years = np.array([2000, 2000, 2005])
+        for method in ("power", "gauss_seidel", "levels"):
+            result = time_weighted_pagerank(graph, years, method=method,
+                                            tol=1e-11, max_iter=500)
+            assert result.converged, method
+        power = time_weighted_pagerank(graph, years, method="power",
+                                       tol=1e-12, max_iter=500)
+        levels = time_weighted_pagerank(graph, years, method="levels",
+                                        tol=1e-12, max_iter=500)
+        assert np.abs(power.scores - levels.scores).sum() < 1e-8
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=20),
+           st.lists(st.integers(1990, 2010), min_size=8, max_size=8))
+    def test_agreement_on_random_graphs(self, edges, year_list):
+        graph = CSRGraph.from_edges(edges, nodes=range(8))
+        years = np.array(year_list)
+        power = time_weighted_pagerank(graph, years, method="power",
+                                       tol=1e-12, max_iter=1000)
+        levels = time_weighted_pagerank(graph, years, method="levels",
+                                        tol=1e-12, max_iter=1000)
+        assert np.abs(power.scores - levels.scores).sum() < 1e-7
+
+
+class TestInterface:
+    def test_auto_uses_levels(self, dated_graph):
+        graph, years = dated_graph
+        result = time_weighted_pagerank(graph, years, method="auto")
+        assert result.method == "levels"
+
+    def test_unknown_method(self, dated_graph):
+        graph, years = dated_graph
+        with pytest.raises(ConfigError):
+            time_weighted_pagerank(graph, years, method="magic")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"damping": 1.0}, {"tol": 0}, {"max_iter": 0},
+    ])
+    def test_invalid_parameters(self, dated_graph, kwargs):
+        graph, years = dated_graph
+        with pytest.raises(ConfigError):
+            time_weighted_pagerank(graph, years, **kwargs)
+
+    def test_raise_on_divergence(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 0)])
+        years = np.array([2000, 2001, 2002])
+        with pytest.raises(ConvergenceError):
+            time_weighted_pagerank(graph, years, method="power",
+                                   tol=1e-15, max_iter=2,
+                                   raise_on_divergence=True)
+
+    def test_empty_graph(self):
+        result = time_weighted_pagerank(
+            CSRGraph.from_edges([], nodes=[]), np.array([]))
+        assert result.converged
+
+    def test_warm_start(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        cold = time_weighted_pagerank(graph, years, method="power",
+                                      tol=1e-12, max_iter=500)
+        warm = time_weighted_pagerank(graph, years, method="power",
+                                      tol=1e-12, max_iter=500,
+                                      initial=cold.scores)
+        assert warm.iterations < cold.iterations

@@ -1,0 +1,121 @@
+"""AMiner text-format parser/writer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.data.aminer import parse_aminer, write_aminer
+
+SAMPLE = """\
+#*Foundations of Ranking
+#@Ada Lovelace;Bob Noyce
+#t1998
+#cVLDB
+#index0
+
+#*A Follow-up
+#@Ada Lovelace
+#t2001
+#cSIGMOD
+#index1
+#%0
+#!This abstract is ignored entirely.
+
+#*No Venue Paper
+#t2003
+#index2
+#%0
+#%1
+"""
+
+
+class TestParse:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text(SAMPLE)
+        return parse_aminer(path)
+
+    def test_articles(self, dataset):
+        assert dataset.num_articles == 3
+        assert dataset.articles[0].title == "Foundations of Ranking"
+        assert dataset.articles[0].year == 1998
+        assert dataset.articles[1].references == (0,)
+        assert dataset.articles[2].references == (0, 1)
+
+    def test_authors_shared_by_name(self, dataset):
+        ada = dataset.articles[0].author_ids[0]
+        assert dataset.articles[1].author_ids == (ada,)
+        assert dataset.num_authors == 2
+
+    def test_venues_by_name(self, dataset):
+        assert dataset.num_venues == 2
+        venue = dataset.articles[0].venue_id
+        assert dataset.venues[venue].name == "VLDB"
+        assert dataset.articles[2].venue_id is None
+
+    def test_no_trailing_blank_line(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*Solo\n#t2000\n#index7")
+        dataset = parse_aminer(path)
+        assert dataset.num_articles == 1
+        assert 7 in dataset.articles
+
+    def test_missing_blank_separator(self, tmp_path):
+        # A new #* without a blank line must still close the record.
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*One\n#t2000\n#index1\n#*Two\n#t2001\n#index2\n")
+        dataset = parse_aminer(path)
+        assert dataset.num_articles == 2
+
+    def test_empty_year_defaults_to_zero(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*X\n#t\n#index1\n")
+        assert parse_aminer(path).articles[1].year == 0
+
+
+class TestParseErrors:
+    def test_missing_index(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*X\n#t2000\n\n")
+        with pytest.raises(ParseError, match="no #index"):
+            parse_aminer(path)
+
+    def test_bad_year(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*X\n#ttwenty\n#index1\n")
+        with pytest.raises(ParseError, match="bad year"):
+            parse_aminer(path)
+
+    def test_bad_reference(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*X\n#t2000\n#index1\n#%abc\n")
+        with pytest.raises(ParseError, match="bad reference"):
+            parse_aminer(path)
+
+    def test_unrecognized_line(self, tmp_path):
+        path = tmp_path / "aminer.txt"
+        path.write_text("#*X\n#t2000\n#index1\nrogue line\n")
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_aminer(path)
+
+
+class TestRoundTrip:
+    def test_tiny_dataset(self, tiny_dataset, tmp_path):
+        path = tmp_path / "out.txt"
+        write_aminer(tiny_dataset, path)
+        loaded = parse_aminer(path)
+        assert loaded.num_articles == tiny_dataset.num_articles
+        assert loaded.num_citations == tiny_dataset.num_citations
+        for article_id, original in tiny_dataset.articles.items():
+            parsed = loaded.articles[article_id]
+            assert parsed.title == original.title
+            assert parsed.year == original.year
+            assert parsed.references == original.references
+
+    def test_generated_dataset(self, small_dataset, tmp_path):
+        path = tmp_path / "out.txt"
+        write_aminer(small_dataset, path)
+        loaded = parse_aminer(path)
+        assert loaded.num_articles == small_dataset.num_articles
+        assert loaded.num_citations == small_dataset.num_citations
+        assert loaded.num_venues == small_dataset.num_venues

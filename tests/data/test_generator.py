@@ -1,0 +1,127 @@
+"""Synthetic-generator tests: determinism, structure, config validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.data.generator import (
+    GeneratorConfig,
+    aminer_like_config,
+    generate_dataset,
+    mag_like_config,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"num_articles": 0},
+        {"num_venues": 0},
+        {"num_authors": -1},
+        {"start_year": 2010, "end_year": 2000},
+        {"growth": 0.9},
+        {"mean_references": -1.0},
+        {"venue_quality_mix": 1.5},
+        {"team_size_mean": 0.5},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(**kwargs)
+
+    def test_presets_valid(self):
+        assert aminer_like_config(scale=5000).num_articles == 5000
+        assert mag_like_config(scale=5000).num_articles == 5000
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(GeneratorConfig(
+            num_articles=1500, num_venues=10, num_authors=300,
+            start_year=2000, end_year=2012, seed=5))
+
+    def test_article_count_exact(self, dataset):
+        assert dataset.num_articles == 1500
+
+    def test_years_in_range(self, dataset):
+        for article in dataset.articles.values():
+            assert 2000 <= article.year <= 2012
+
+    def test_ids_are_time_ordered(self, dataset):
+        years = [dataset.articles[i].year for i in range(1500)]
+        assert years == sorted(years)
+
+    def test_references_point_backward(self, dataset):
+        for article in dataset.articles.values():
+            for ref in article.references:
+                assert dataset.articles[ref].year <= article.year
+                assert ref < article.id
+
+    def test_no_duplicate_references(self, dataset):
+        for article in dataset.articles.values():
+            assert len(set(article.references)) == len(article.references)
+
+    def test_every_article_has_quality_and_venue(self, dataset):
+        for article in dataset.articles.values():
+            assert article.quality is not None and article.quality > 0
+            assert article.venue_id in dataset.venues
+            assert len(article.author_ids) >= 1
+
+    def test_validates_strictly(self, dataset):
+        assert dataset.validate(strict=True) == []
+
+    def test_cohorts_grow(self, dataset):
+        first = len(dataset.articles_in_year(2000))
+        last = len(dataset.articles_in_year(2012))
+        assert last > first
+
+    def test_in_degree_heavy_tailed(self, dataset):
+        graph = dataset.citation_csr()
+        in_deg = graph.in_degrees()
+        assert in_deg.max() > 20 * max(in_deg.mean(), 1e-9)
+
+    def test_quality_correlates_with_citations(self, dataset):
+        from scipy.stats import spearmanr
+        graph = dataset.citation_csr()
+        rho = spearmanr(dataset.article_qualities(graph),
+                        graph.in_degrees()).statistic
+        assert 0.1 < rho < 0.9  # informative but noisy, by design
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = GeneratorConfig(num_articles=400, num_venues=8,
+                                 num_authors=100, seed=3)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.articles == b.articles
+        assert a.venues == b.venues
+        assert a.authors == b.authors
+
+    def test_different_seed_differs(self):
+        base = dict(num_articles=400, num_venues=8, num_authors=100)
+        a = generate_dataset(GeneratorConfig(seed=1, **base))
+        b = generate_dataset(GeneratorConfig(seed=2, **base))
+        assert a.articles != b.articles
+
+
+class TestEdgeCases:
+    def test_single_year(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=50, num_venues=3, num_authors=10,
+            start_year=2005, end_year=2005, seed=1))
+        assert dataset.num_articles == 50
+        # Single cohort: nothing to cite.
+        assert dataset.num_citations == 0
+
+    def test_zero_references(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=100, num_venues=3, num_authors=10,
+            mean_references=0.0, seed=1))
+        assert dataset.num_citations == 0
+
+    def test_tiny_corpus(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=30, num_venues=2, num_authors=5,
+            start_year=2000, end_year=2002, seed=1))
+        assert dataset.num_articles == 30
+        assert dataset.validate(strict=True) == []

@@ -1,0 +1,56 @@
+"""Within-year citation (cycle) generation tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.graph.toposort import is_dag
+
+
+class TestWithinYearCitations:
+    def test_default_is_dag(self, small_dataset):
+        assert is_dag(small_dataset.citation_csr())
+
+    def test_positive_mean_creates_same_year_edges(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=800, num_venues=8, num_authors=200,
+            within_year_mean=1.0, seed=9))
+        same_year = sum(
+            1 for citing, cited in dataset.citation_edges()
+            if dataset.articles[citing].year
+            == dataset.articles[cited].year)
+        assert same_year > 0
+
+    def test_references_never_point_to_future_years(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=800, num_venues=8, num_authors=200,
+            within_year_mean=1.0, seed=9))
+        for article in dataset.articles.values():
+            for ref in article.references:
+                assert dataset.articles[ref].year <= article.year
+
+    def test_no_self_citations(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=500, num_venues=5, num_authors=100,
+            within_year_mean=2.0, seed=3))
+        for article in dataset.articles.values():
+            assert article.id not in article.references
+
+    def test_validates(self):
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=500, num_venues=5, num_authors=100,
+            within_year_mean=1.0, seed=3))
+        assert dataset.validate(strict=True) == []
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(within_year_mean=-0.5)
+
+    def test_model_runs_on_cyclic_corpus(self):
+        from repro.core.model import ArticleRanker
+        dataset = generate_dataset(GeneratorConfig(
+            num_articles=600, num_venues=6, num_authors=150,
+            within_year_mean=1.0, seed=5))
+        assert not is_dag(dataset.citation_csr())
+        result = ArticleRanker().rank(dataset)
+        assert result.diagnostics["twpr_converged"]

@@ -1,0 +1,105 @@
+"""Ground-truth builder tests."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.data.ground_truth import (
+    award_list,
+    build_ground_truth,
+    pairwise_judgments,
+)
+from repro.data.schema import Article, ScholarlyDataset
+
+
+class TestPairwiseJudgments:
+    def test_pairs_ordered_by_quality(self, small_dataset):
+        pairs = pairwise_judgments(small_dataset, num_pairs=200, seed=1)
+        assert len(pairs) == 200
+        for better, worse in pairs:
+            assert small_dataset.articles[better].quality \
+                >= small_dataset.articles[worse].quality
+
+    def test_min_gap_respected(self, small_dataset):
+        pairs = pairwise_judgments(small_dataset, num_pairs=100,
+                                   min_gap=0.6, seed=1)
+        for better, worse in pairs:
+            qb = small_dataset.articles[better].quality
+            qw = small_dataset.articles[worse].quality
+            assert (qb - qw) / qb >= 0.6
+
+    def test_same_era_window(self, small_dataset):
+        pairs = pairwise_judgments(small_dataset, num_pairs=100,
+                                   same_era_window=2, seed=1)
+        for a, b in pairs:
+            assert abs(small_dataset.articles[a].year
+                       - small_dataset.articles[b].year) <= 2
+
+    def test_deterministic(self, small_dataset):
+        a = pairwise_judgments(small_dataset, num_pairs=50, seed=7)
+        b = pairwise_judgments(small_dataset, num_pairs=50, seed=7)
+        assert a == b
+
+    def test_impossible_gap_raises(self, small_dataset):
+        with pytest.raises(DatasetError, match="judgable"):
+            pairwise_judgments(small_dataset, num_pairs=100,
+                               min_gap=0.999999, seed=1)
+
+    def test_needs_two_articles(self):
+        dataset = ScholarlyDataset()
+        dataset.add_article(Article(id=1, title="a", year=2000,
+                                    quality=1.0))
+        with pytest.raises(DatasetError):
+            pairwise_judgments(dataset, num_pairs=10)
+
+    def test_zero_pairs_rejected(self, small_dataset):
+        with pytest.raises(DatasetError):
+            pairwise_judgments(small_dataset, num_pairs=0)
+
+
+class TestAwardList:
+    def test_only_old_enough_articles(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        winners = award_list(small_dataset, per_year=2, min_age=5)
+        for winner in winners:
+            assert small_dataset.articles[winner].year <= max_year - 5
+
+    def test_per_year_cap(self, small_dataset):
+        winners = award_list(small_dataset, per_year=2, min_age=5)
+        by_year = {}
+        for winner in winners:
+            year = small_dataset.articles[winner].year
+            by_year[year] = by_year.get(year, 0) + 1
+        assert all(count <= 2 for count in by_year.values())
+
+    def test_winners_are_top_quality(self, tiny_dataset):
+        winners = award_list(tiny_dataset, per_year=1, min_age=0,
+                             observation_year=2010)
+        # One winner per populated year; each must be that year's best.
+        for winner in winners:
+            year = tiny_dataset.articles[winner].year
+            best = max((a for a in tiny_dataset.articles.values()
+                        if a.year == year), key=lambda a: a.quality)
+            assert winner == best.id
+
+    def test_requires_quality(self):
+        dataset = ScholarlyDataset()
+        dataset.add_article(Article(id=1, title="a", year=2000))
+        with pytest.raises(DatasetError):
+            award_list(dataset, min_age=0)
+
+    def test_per_year_positive(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            award_list(tiny_dataset, per_year=0)
+
+
+class TestBundle:
+    def test_build_ground_truth(self, small_dataset):
+        truth = build_ground_truth(small_dataset, num_pairs=100, seed=3)
+        assert len(truth.pairs) == 100
+        assert len(truth.awards) > 0
+        assert len(truth.quality_by_id) == small_dataset.num_articles
+
+    def test_quality_map_matches_articles(self, small_dataset):
+        truth = build_ground_truth(small_dataset, num_pairs=50, seed=3)
+        for article_id, quality in list(truth.quality_by_id.items())[:20]:
+            assert small_dataset.articles[article_id].quality == quality

@@ -1,0 +1,60 @@
+"""JSONL round-trip and parse-error tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.data.io import load_dataset_jsonl, save_dataset_jsonl
+
+
+class TestRoundTrip:
+    def test_plain_jsonl(self, tiny_dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset_jsonl(tiny_dataset, path)
+        loaded = load_dataset_jsonl(path)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.articles == tiny_dataset.articles
+        assert loaded.venues == tiny_dataset.venues
+        assert loaded.authors == tiny_dataset.authors
+
+    def test_gzip_jsonl(self, tiny_dataset, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        save_dataset_jsonl(tiny_dataset, path)
+        loaded = load_dataset_jsonl(path)
+        assert loaded.articles == tiny_dataset.articles
+
+    def test_generated_dataset_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "gen.jsonl"
+        save_dataset_jsonl(small_dataset, path)
+        loaded = load_dataset_jsonl(path)
+        assert loaded.num_articles == small_dataset.num_articles
+        assert loaded.num_citations == small_dataset.num_citations
+        sample_id = next(iter(small_dataset.articles))
+        assert loaded.articles[sample_id] == \
+            small_dataset.articles[sample_id]
+
+
+class TestParseErrors:
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "dataset", "name": "x"}\nnot json\n')
+        with pytest.raises(ParseError, match="bad.jsonl:2"):
+            load_dataset_jsonl(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ParseError, match="unknown record kind"):
+            load_dataset_jsonl(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "article", "id": 1}\n')
+        with pytest.raises(ParseError, match="missing field"):
+            load_dataset_jsonl(path)
+
+    def test_blank_lines_tolerated(self, tiny_dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_dataset_jsonl(tiny_dataset, path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = load_dataset_jsonl(path)
+        assert loaded.num_articles == tiny_dataset.num_articles

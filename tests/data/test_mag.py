@@ -1,0 +1,90 @@
+"""MAG TSV directory parser/writer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.data.mag import (
+    AUTHORS_FILE,
+    AUTHORSHIP_FILE,
+    PAPERS_FILE,
+    REFERENCES_FILE,
+    VENUES_FILE,
+    parse_mag_directory,
+    write_mag_directory,
+)
+
+
+def write_minimal(directory):
+    (directory / PAPERS_FILE).write_text(
+        "1\tFirst\t2000\t10\n"
+        "2\tSecond\t2005\t\n"
+        "3\tThird\t2008\t11\n")
+    (directory / REFERENCES_FILE).write_text("2\t1\n3\t1\n3\t2\n")
+    (directory / AUTHORSHIP_FILE).write_text("1\t100\n2\t100\n2\t101\n")
+    (directory / VENUES_FILE).write_text("10\tVLDB\n11\tICDE\n")
+    (directory / AUTHORS_FILE).write_text("100\tAda\n101\tBob\n")
+
+
+class TestParse:
+    def test_full_directory(self, tmp_path):
+        write_minimal(tmp_path)
+        dataset = parse_mag_directory(tmp_path)
+        assert dataset.num_articles == 3
+        assert dataset.articles[2].venue_id is None
+        assert dataset.articles[3].references == (1, 2)
+        assert dataset.articles[2].author_ids == (100, 101)
+        assert dataset.venues[10].name == "VLDB"
+        assert dataset.authors[101].name == "Bob"
+
+    def test_optional_files_missing(self, tmp_path):
+        (tmp_path / PAPERS_FILE).write_text("1\tOnly\t2000\t5\n")
+        dataset = parse_mag_directory(tmp_path)
+        assert dataset.num_articles == 1
+        assert dataset.venues[5].name == "venue-5"
+        assert dataset.num_authors == 0
+
+    def test_missing_papers_file(self, tmp_path):
+        with pytest.raises(ParseError, match="missing Papers.txt"):
+            parse_mag_directory(tmp_path)
+
+    def test_bad_paper_id(self, tmp_path):
+        (tmp_path / PAPERS_FILE).write_text("abc\tX\t2000\t\n")
+        with pytest.raises(ParseError, match="bad paper id"):
+            parse_mag_directory(tmp_path)
+
+    def test_bad_year(self, tmp_path):
+        (tmp_path / PAPERS_FILE).write_text("1\tX\tsoon\t\n")
+        with pytest.raises(ParseError, match="bad year"):
+            parse_mag_directory(tmp_path)
+
+    def test_short_reference_row(self, tmp_path):
+        (tmp_path / PAPERS_FILE).write_text("1\tX\t2000\t\n")
+        (tmp_path / REFERENCES_FILE).write_text("1\n")
+        with pytest.raises(ParseError, match="expected 2 columns"):
+            parse_mag_directory(tmp_path)
+
+    def test_titles_may_be_empty(self, tmp_path):
+        (tmp_path / PAPERS_FILE).write_text("1\t\t2000\t\n")
+        dataset = parse_mag_directory(tmp_path)
+        assert dataset.articles[1].title == ""
+
+
+class TestRoundTrip:
+    def test_tiny_dataset(self, tiny_dataset, tmp_path):
+        write_mag_directory(tiny_dataset, tmp_path / "mag")
+        loaded = parse_mag_directory(tmp_path / "mag")
+        assert loaded.num_articles == tiny_dataset.num_articles
+        assert loaded.num_citations == tiny_dataset.num_citations
+        assert loaded.num_venues == tiny_dataset.num_venues
+        assert loaded.num_authors == tiny_dataset.num_authors
+        for article_id, original in tiny_dataset.articles.items():
+            parsed = loaded.articles[article_id]
+            assert parsed.year == original.year
+            assert set(parsed.references) == set(original.references)
+            assert set(parsed.author_ids) == set(original.author_ids)
+
+    def test_generated_dataset(self, small_dataset, tmp_path):
+        write_mag_directory(small_dataset, tmp_path / "mag")
+        loaded = parse_mag_directory(tmp_path / "mag")
+        assert loaded.num_articles == small_dataset.num_articles
+        assert loaded.num_citations == small_dataset.num_citations

@@ -1,0 +1,84 @@
+"""Dataset sampler tests."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.data.sampling import (
+    forest_fire_sample,
+    random_article_sample,
+    snowball_sample,
+)
+
+SAMPLERS = [random_article_sample, snowball_sample, forest_fire_sample]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("sampler", SAMPLERS,
+                             ids=[s.__name__ for s in SAMPLERS])
+    def test_size_and_consistency(self, small_dataset, sampler):
+        sample = sampler(small_dataset, 200, seed=1)
+        assert sample.num_articles == 200
+        assert sample.validate(strict=True) == []
+        for article_id, article in sample.articles.items():
+            original = small_dataset.articles[article_id]
+            assert set(article.references) <= set(original.references)
+            assert article.author_ids == original.author_ids
+
+    @pytest.mark.parametrize("sampler", SAMPLERS,
+                             ids=[s.__name__ for s in SAMPLERS])
+    def test_deterministic(self, small_dataset, sampler):
+        a = sampler(small_dataset, 150, seed=5)
+        b = sampler(small_dataset, 150, seed=5)
+        assert set(a.articles) == set(b.articles)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS,
+                             ids=[s.__name__ for s in SAMPLERS])
+    def test_size_validation(self, small_dataset, sampler):
+        with pytest.raises(DatasetError):
+            sampler(small_dataset, 0)
+        with pytest.raises(DatasetError):
+            sampler(small_dataset, small_dataset.num_articles + 1)
+
+    @pytest.mark.parametrize("sampler", SAMPLERS,
+                             ids=[s.__name__ for s in SAMPLERS])
+    def test_full_size_sample(self, small_dataset, sampler):
+        sample = sampler(small_dataset, small_dataset.num_articles,
+                         seed=1)
+        assert sample.num_articles == small_dataset.num_articles
+        assert sample.num_citations == small_dataset.num_citations
+
+
+class TestStructuralDifferences:
+    def test_topology_aware_samplers_keep_more_edges(self, small_dataset):
+        size = 300
+        random_edges = random_article_sample(
+            small_dataset, size, seed=2).num_citations
+        snowball_edges = snowball_sample(
+            small_dataset, size, seed=2).num_citations
+        fire_edges = forest_fire_sample(
+            small_dataset, size, seed=2).num_citations
+        assert snowball_edges > random_edges
+        assert fire_edges > random_edges
+
+    def test_snowball_seeds_respected(self, small_dataset):
+        seed_id = sorted(small_dataset.articles)[10]
+        sample = snowball_sample(small_dataset, 50, seeds=[seed_id],
+                                 seed=0)
+        assert seed_id in sample.articles
+
+    def test_snowball_unknown_seed(self, small_dataset):
+        with pytest.raises(DatasetError):
+            snowball_sample(small_dataset, 50, seeds=[10**9])
+
+    def test_forest_fire_probability_validated(self, small_dataset):
+        with pytest.raises(DatasetError):
+            forest_fire_sample(small_dataset, 50, burn_probability=0.0)
+        with pytest.raises(DatasetError):
+            forest_fire_sample(small_dataset, 50, burn_probability=1.0)
+
+    def test_samples_are_rankable(self, small_dataset):
+        from repro.core.model import ArticleRanker
+
+        sample = forest_fire_sample(small_dataset, 400, seed=3)
+        result = ArticleRanker().rank(sample)
+        assert len(result.scores) == 400

@@ -1,0 +1,121 @@
+"""Block-centric and vertex-centric engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.engine.blocks import BlockEngine, vertex_centric_pagerank
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import hash_partition, range_partition
+from repro.ranking.pagerank import pagerank
+
+
+@pytest.fixture(scope="module")
+def dataset_graph(request):
+    return None
+
+
+class TestBlockEngine:
+    def test_matches_reference_range_partition(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        reference = pagerank(graph, tol=1e-12, max_iter=500)
+        partition = range_partition(graph, 4)
+        result = BlockEngine(graph, partition).run(tol=1e-12)
+        assert result.converged
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_matches_reference_hash_partition(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        reference = pagerank(graph, tol=1e-12, max_iter=500)
+        partition = hash_partition(graph, 4, seed=1)
+        result = BlockEngine(graph, partition).run(tol=1e-12)
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_fewer_supersteps_than_vertex_centric(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        block = BlockEngine(graph, partition).run()
+        vertex = vertex_centric_pagerank(graph, partition)
+        assert block.supersteps < vertex.supersteps
+        assert block.messages < vertex.messages
+
+    def test_message_accounting(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        cut = partition.edge_cut(graph)
+        result = BlockEngine(graph, partition).run()
+        assert result.messages == cut * result.supersteps
+
+    def test_weighted_edges(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        rng = np.random.default_rng(0)
+        weights = rng.random(graph.num_edges) + 0.1
+        reference = pagerank(graph, edge_weights=weights, tol=1e-12,
+                             max_iter=500)
+        partition = range_partition(graph, 3)
+        result = BlockEngine(graph, partition,
+                             edge_weights=weights).run(tol=1e-12)
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_single_block_equals_reference(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 1)
+        result = BlockEngine(graph, partition).run(tol=1e-12)
+        reference = pagerank(graph, tol=1e-12, max_iter=500)
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_custom_block_order(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        engine = BlockEngine(graph, partition)
+        forward = engine.run(block_order=[0, 1, 2, 3])
+        assert forward.converged
+        with pytest.raises(ConfigError):
+            engine.run(block_order=[0, 0, 1, 2])
+
+    def test_partition_coverage_checked(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        other = CSRGraph.from_edges([(0, 1)])
+        partition = range_partition(other, 2)
+        with pytest.raises(ConfigError):
+            BlockEngine(graph, partition)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tol": 0}, {"max_supersteps": 0},
+        {"local_tol": 0}, {"local_max_iter": 0},
+    ])
+    def test_run_validation(self, small_dataset, kwargs):
+        graph = small_dataset.citation_csr()
+        engine = BlockEngine(graph, range_partition(graph, 2))
+        with pytest.raises(ConfigError):
+            engine.run(**kwargs)
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        engine = BlockEngine(graph, range_partition(graph, 2))
+        assert engine.run().converged
+
+
+class TestVertexCentric:
+    def test_matches_reference(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        reference = pagerank(graph, tol=1e-12, max_iter=500)
+        partition = range_partition(graph, 4)
+        result = vertex_centric_pagerank(graph, partition, tol=1e-12,
+                                         max_supersteps=500)
+        assert np.abs(result.scores - reference.scores).sum() < 1e-8
+
+    def test_messages_per_superstep_is_cut(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = hash_partition(graph, 3, seed=0)
+        result = vertex_centric_pagerank(graph, partition)
+        assert result.messages == \
+            partition.edge_cut(graph) * result.supersteps
+
+    def test_validation(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 2)
+        with pytest.raises(ConfigError):
+            vertex_centric_pagerank(graph, partition, damping=1.0)
+        with pytest.raises(ConfigError):
+            vertex_centric_pagerank(graph, partition, tol=0)

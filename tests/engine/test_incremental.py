@@ -1,0 +1,111 @@
+"""Incremental engine tests: affected area and approximation quality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.twpr import time_weighted_pagerank
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.updates import fraction_update, yearly_updates
+
+
+@pytest.fixture(scope="module")
+def split(medium_dataset):
+    return fraction_update(medium_dataset, 0.03)
+
+
+class TestInitialization:
+    def test_initial_scores_exact(self, split):
+        base, _ = split
+        engine = IncrementalEngine(base)
+        graph = base.citation_csr()
+        years = base.article_years(graph)
+        exact = time_weighted_pagerank(graph, years).scores
+        assert np.abs(engine.scores - exact).sum() < 1e-9
+
+    def test_validation(self, split):
+        base, _ = split
+        with pytest.raises(ConfigError):
+            IncrementalEngine(base, damping=1.0)
+        with pytest.raises(ConfigError):
+            IncrementalEngine(base, delta_threshold=0)
+        with pytest.raises(ConfigError):
+            IncrementalEngine(base, tol=0)
+
+
+class TestApply:
+    def test_small_error_vs_exact(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base, delta_threshold=1e-3)
+        report = engine.apply(batch)
+        assert report.converged
+        assert 0 < report.affected.fraction <= 1.0
+        assert engine.error_vs_exact() < 1e-3
+
+    def test_affected_area_contains_new_nodes(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base, delta_threshold=1e-3)
+        report = engine.apply(batch)
+        new_ids = {a.id for a in batch.articles}
+        affected_ids = {int(engine.graph.node_ids[i])
+                        for i in report.affected.nodes}
+        assert new_ids <= affected_ids
+
+    def test_smaller_threshold_grows_area_shrinks_error(self, split):
+        base, batch = split
+        results = {}
+        for threshold in (1e-1, 1e-4):
+            engine = IncrementalEngine(base, delta_threshold=threshold)
+            report = engine.apply(batch)
+            results[threshold] = (report.affected.fraction,
+                                  engine.error_vs_exact())
+        loose_fraction, loose_error = results[1e-1]
+        tight_fraction, tight_error = results[1e-4]
+        assert tight_fraction >= loose_fraction
+        assert tight_error <= loose_error + 1e-12
+
+    def test_scores_stay_distribution(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base)
+        engine.apply(batch)
+        assert engine.scores.sum() == pytest.approx(1.0)
+        assert (engine.scores >= 0).all()
+
+    def test_report_counts(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base)
+        report = engine.apply(batch)
+        assert report.num_nodes == base.num_articles + batch.num_articles
+        assert report.seconds > 0
+        assert report.iterations >= 1
+
+    def test_scores_by_id_covers_all(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base)
+        engine.apply(batch)
+        scores = engine.scores_by_id()
+        assert len(scores) == base.num_articles + batch.num_articles
+
+
+class TestStream:
+    def test_yearly_stream_stays_accurate(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        base, batches = yearly_updates(small_dataset, max_year - 2)
+        engine = IncrementalEngine(base, delta_threshold=1e-4)
+        for batch in batches:
+            report = engine.apply(batch)
+            assert report.converged
+        assert engine.dataset.num_articles == small_dataset.num_articles
+        # Accumulated drift over the stream stays bounded.
+        assert engine.error_vs_exact() < 1e-2
+
+    def test_empty_like_batch_rejected_gracefully(self, small_dataset):
+        # A batch with zero articles is a no-op but must not corrupt state.
+        from repro.engine.updates import UpdateBatch
+        _, max_year = small_dataset.year_range()
+        base, _ = yearly_updates(small_dataset, max_year)
+        engine = IncrementalEngine(base)
+        before = engine.scores.copy()
+        report = engine.apply(UpdateBatch(articles=()))
+        assert report.num_nodes == base.num_articles
+        assert np.abs(engine.scores - before).sum() < 1e-9

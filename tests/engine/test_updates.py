@@ -1,0 +1,121 @@
+"""Update-batch construction tests."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.data.schema import Article
+from repro.engine.updates import (
+    UpdateBatch,
+    apply_update,
+    fraction_update,
+    yearly_updates,
+)
+
+
+class TestApplyUpdate:
+    def test_adds_articles_without_mutating_input(self, tiny_dataset):
+        batch = UpdateBatch(articles=(
+            Article(id=10, title="new", year=2012, references=(0, 4)),))
+        updated = apply_update(tiny_dataset, batch)
+        assert updated.num_articles == 6
+        assert tiny_dataset.num_articles == 5
+        assert updated.articles[10].references == (0, 4)
+
+    def test_duplicate_article_rejected(self, tiny_dataset):
+        batch = UpdateBatch(articles=(
+            Article(id=0, title="dup", year=2012),))
+        with pytest.raises(DatasetError):
+            apply_update(tiny_dataset, batch)
+
+    def test_new_entities_added(self, tiny_dataset):
+        from repro.data.schema import Author, Venue
+        batch = UpdateBatch(
+            articles=(Article(id=10, title="n", year=2012, venue_id=7,
+                              author_ids=(9,)),),
+            venues=(Venue(id=7, name="NewVenue"),),
+            authors=(Author(id=9, name="NewAuthor"),))
+        updated = apply_update(tiny_dataset, batch)
+        assert 7 in updated.venues
+        assert 9 in updated.authors
+        assert updated.validate(strict=True) == []
+
+    def test_existing_entities_tolerated(self, tiny_dataset):
+        from repro.data.schema import Venue
+        batch = UpdateBatch(
+            articles=(Article(id=10, title="n", year=2012, venue_id=0),),
+            venues=(Venue(id=0, name="VLDB"),))
+        updated = apply_update(tiny_dataset, batch)
+        assert updated.num_venues == 2
+
+    def test_batch_counters(self):
+        batch = UpdateBatch(articles=(
+            Article(id=1, title="a", year=2000, references=(5, 6)),
+            Article(id=2, title="b", year=2000, references=(1,))))
+        assert batch.num_articles == 2
+        assert batch.num_citations == 3
+
+
+class TestYearlyUpdates:
+    def test_base_plus_batches_rebuild_dataset(self, small_dataset):
+        min_year, max_year = small_dataset.year_range()
+        from_year = max_year - 4
+        base, batches = yearly_updates(small_dataset, from_year)
+        assert all(a.year < from_year for a in base.articles.values())
+        current = base
+        for batch in batches:
+            current = apply_update(current, batch)
+        assert current.num_articles == small_dataset.num_articles
+        assert current.validate(strict=True) == []
+
+    def test_batches_ascend_by_year(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        _, batches = yearly_updates(small_dataset, max_year - 3)
+        years = [batch.articles[0].year for batch in batches]
+        assert years == sorted(years)
+
+    def test_references_trimmed_to_visible(self, small_dataset):
+        _, max_year = small_dataset.year_range()
+        base, batches = yearly_updates(small_dataset, max_year - 3)
+        visible = set(base.articles)
+        for batch in batches:
+            visible |= {a.id for a in batch.articles}
+            for article in batch.articles:
+                assert set(article.references) <= visible
+
+    def test_from_year_bounds_checked(self, small_dataset):
+        min_year, max_year = small_dataset.year_range()
+        with pytest.raises(DatasetError):
+            yearly_updates(small_dataset, min_year)
+        with pytest.raises(DatasetError):
+            yearly_updates(small_dataset, max_year + 1)
+
+
+class TestFractionUpdate:
+    def test_split_sizes(self, small_dataset):
+        base, batch = fraction_update(small_dataset, 0.1)
+        expected_batch = round(0.1 * small_dataset.num_articles)
+        assert batch.num_articles == expected_batch
+        assert base.num_articles + batch.num_articles == \
+            small_dataset.num_articles
+
+    def test_batch_holds_newest(self, small_dataset):
+        base, batch = fraction_update(small_dataset, 0.05)
+        newest_base = max(a.year for a in base.articles.values())
+        oldest_batch = min(a.year for a in batch.articles)
+        assert oldest_batch >= newest_base
+
+    def test_base_is_consistent(self, small_dataset):
+        base, _ = fraction_update(small_dataset, 0.2)
+        assert base.validate(strict=True) == []
+
+    def test_applying_restores_counts(self, small_dataset):
+        base, batch = fraction_update(small_dataset, 0.1)
+        rebuilt = apply_update(base, batch)
+        assert rebuilt.num_articles == small_dataset.num_articles
+        assert rebuilt.num_citations == small_dataset.num_citations
+
+    def test_fraction_bounds(self, small_dataset):
+        with pytest.raises(DatasetError):
+            fraction_update(small_dataset, 0.0)
+        with pytest.raises(DatasetError):
+            fraction_update(small_dataset, 1.0)

@@ -1,0 +1,166 @@
+"""Metric unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.eval.metrics import (
+    average_precision,
+    kendall_tau,
+    ndcg_at_k,
+    pairwise_accuracy,
+    precision_at_k,
+    rank_disagreement,
+    recall_at_k,
+    spearman_rho,
+    top_k_overlap,
+)
+
+
+class TestPairwiseAccuracy:
+    def test_perfect(self):
+        scores = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert pairwise_accuracy(scores, [(1, 2), (2, 3), (1, 3)]) == 1.0
+
+    def test_inverted(self):
+        scores = {1: 1.0, 2: 2.0}
+        assert pairwise_accuracy(scores, [(1, 2)]) == 0.0
+
+    def test_ties_half_credit(self):
+        scores = {1: 1.0, 2: 1.0}
+        assert pairwise_accuracy(scores, [(1, 2)]) == 0.5
+
+    def test_missing_id_raises(self):
+        with pytest.raises(ConfigError):
+            pairwise_accuracy({1: 1.0}, [(1, 2)])
+
+    def test_empty_pairs_raise(self):
+        with pytest.raises(ConfigError):
+            pairwise_accuracy({1: 1.0}, [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.integers(0, 20),
+                           st.floats(0, 100, allow_nan=False),
+                           min_size=2, max_size=20))
+    def test_bounded(self, scores):
+        ids = sorted(scores)
+        pairs = [(ids[0], ids[1]), (ids[1], ids[0])]
+        value = pairwise_accuracy(scores, pairs)
+        assert 0.0 <= value <= 1.0
+        # Complementary pairs must sum to 1 (ties give 0.5 + 0.5).
+        assert value == pytest.approx(0.5) or value in (0.0, 1.0, 0.5)
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        scores = {1: 4.0, 2: 3.0, 3: 2.0, 4: 1.0}
+        assert precision_at_k(scores, {1, 3}, 2) == 0.5
+        assert precision_at_k(scores, {1, 2}, 2) == 1.0
+
+    def test_recall_at_k(self):
+        scores = {1: 4.0, 2: 3.0, 3: 2.0, 4: 1.0}
+        assert recall_at_k(scores, {1, 4}, 2) == 0.5
+        assert recall_at_k(scores, {1, 4}, 4) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            precision_at_k({1: 1.0}, {1}, 0)
+        with pytest.raises(ConfigError):
+            recall_at_k({1: 1.0}, set(), 1)
+
+    def test_average_precision(self):
+        scores = {1: 4.0, 2: 3.0, 3: 2.0}
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision(scores, {1, 3}) == \
+            pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_average_precision_no_hits(self):
+        assert average_precision({1: 1.0}, {99}) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        relevance = {1: 3.0, 2: 2.0, 3: 1.0}
+        scores = {1: 0.9, 2: 0.5, 3: 0.1}
+        assert ndcg_at_k(scores, relevance, 3) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        relevance = {1: 3.0, 2: 0.0}
+        scores = {1: 0.1, 2: 0.9}
+        assert ndcg_at_k(scores, relevance, 2) < 1.0
+
+    def test_hand_computed(self):
+        relevance = {1: 1.0, 2: 1.0}
+        scores = {1: 0.2, 2: 0.9, 3: 0.5}
+        # Order: 2, 3, 1 -> gains 1, 0, 1 at discounts 1, 1/log2(3), 0.5.
+        dcg = 1.0 + 0.5
+        idcg = 1.0 + 1.0 / np.log2(3)
+        assert ndcg_at_k(scores, relevance, 3) == pytest.approx(dcg / idcg)
+
+    def test_zero_relevance(self):
+        assert ndcg_at_k({1: 1.0}, {}, 5) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            ndcg_at_k({1: 1.0}, {1: 1.0}, 0)
+
+
+class TestCorrelations:
+    def test_spearman_perfect(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_kendall_inverted(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_alignment_checked(self):
+        with pytest.raises(ConfigError):
+            spearman_rho([1, 2], [1, 2, 3])
+        with pytest.raises(ConfigError):
+            kendall_tau([1], [1])
+
+
+class TestRankDisagreement:
+    def test_identical_rankings(self):
+        scores = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert rank_disagreement(scores, dict(scores)) == 0.0
+
+    def test_reversed_rankings(self):
+        first = {1: 3.0, 2: 2.0, 3: 1.0}
+        second = {1: 1.0, 2: 2.0, 3: 3.0}
+        assert rank_disagreement(first, second) == 1.0
+
+    def test_tie_counts_half(self):
+        first = {1: 1.0, 2: 1.0}
+        second = {1: 2.0, 2: 1.0}
+        assert rank_disagreement(first, second) == 0.5
+
+    def test_sampled_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        ids = range(300)
+        first = {i: float(rng.random()) for i in ids}
+        second = {i: float(rng.random()) for i in ids}
+        exact = rank_disagreement(first, second, num_samples=10**9)
+        sampled = rank_disagreement(first, second, num_samples=20_000,
+                                    seed=1)
+        assert abs(exact - sampled) < 0.02
+
+    def test_id_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            rank_disagreement({1: 1.0}, {2: 1.0})
+
+
+class TestTopKOverlap:
+    def test_identical(self):
+        scores = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert top_k_overlap(scores, dict(scores), 2) == 1.0
+
+    def test_disjoint(self):
+        first = {1: 9.0, 2: 8.0, 3: 0.1, 4: 0.2}
+        second = {1: 0.1, 2: 0.2, 3: 9.0, 4: 8.0}
+        assert top_k_overlap(first, second, 2) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            top_k_overlap({1: 1.0}, {1: 1.0}, 0)

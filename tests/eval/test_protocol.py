@@ -1,0 +1,87 @@
+"""Evaluation protocol tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.data.ground_truth import build_ground_truth
+from repro.eval.protocol import evaluate_ranking, young_pairs
+
+
+@pytest.fixture(scope="module")
+def truth(medium_dataset):
+    return build_ground_truth(medium_dataset, num_pairs=400, seed=5)
+
+
+class TestEvaluateRanking:
+    def test_quality_itself_is_perfect(self, medium_dataset, truth):
+        scores = {a.id: a.quality
+                  for a in medium_dataset.articles.values()}
+        report = evaluate_ranking(scores, truth)
+        assert report.pairwise == pytest.approx(1.0)
+        assert report.quality_spearman == pytest.approx(1.0)
+        assert report.ndcg[50] == pytest.approx(1.0)
+
+    def test_inverted_quality_is_terrible(self, medium_dataset, truth):
+        scores = {a.id: -a.quality
+                  for a in medium_dataset.articles.values()}
+        report = evaluate_ranking(scores, truth)
+        assert report.pairwise == pytest.approx(0.0)
+        assert report.quality_spearman == pytest.approx(-1.0)
+
+    def test_constant_scores_are_coin_flips(self, medium_dataset, truth):
+        scores = {a.id: 1.0 for a in medium_dataset.articles.values()}
+        report = evaluate_ranking(scores, truth)
+        assert report.pairwise == pytest.approx(0.5)
+
+    def test_custom_ks(self, medium_dataset, truth):
+        scores = {a.id: a.quality
+                  for a in medium_dataset.articles.values()}
+        report = evaluate_ranking(scores, truth, ndcg_ks=(10, 20),
+                                  recall_ks=(50,))
+        assert set(report.ndcg) == {10, 20}
+        assert set(report.recall) == {50}
+
+    def test_as_row_format(self, medium_dataset, truth):
+        scores = {a.id: a.quality
+                  for a in medium_dataset.articles.values()}
+        row = evaluate_ranking(scores, truth).as_row()
+        assert "pairwise" in row and "spearman" in row
+
+    def test_missing_coverage_rejected(self, truth):
+        with pytest.raises(ConfigError, match="missing from scores"):
+            evaluate_ranking({1: 1.0}, truth)
+
+    def test_empty_scores_rejected(self, truth):
+        with pytest.raises(ConfigError):
+            evaluate_ranking({}, truth)
+
+
+class TestYoungPairs:
+    def test_both_sides_young(self, medium_dataset, truth):
+        pairs = young_pairs(medium_dataset, truth, window=5)
+        _, max_year = medium_dataset.year_range()
+        for a, b in pairs:
+            assert medium_dataset.articles[a].year >= max_year - 5
+            assert medium_dataset.articles[b].year >= max_year - 5
+
+    def test_subset_of_original(self, medium_dataset, truth):
+        pairs = young_pairs(medium_dataset, truth, window=5)
+        assert set(pairs) <= set(truth.pairs)
+
+    def test_impossible_window_raises(self, medium_dataset, truth):
+        from repro.data.ground_truth import GroundTruth
+        impossible = GroundTruth(pairs=truth.pairs[:1], awards=(),
+                                 quality_by_id={})
+        # Pick a pair that is certainly not both-in-final-year.
+        old_pair = min(
+            truth.pairs,
+            key=lambda p: max(medium_dataset.articles[p[0]].year,
+                              medium_dataset.articles[p[1]].year))
+        impossible = GroundTruth(pairs=(old_pair,), awards=(),
+                                 quality_by_id={})
+        with pytest.raises(ConfigError):
+            young_pairs(medium_dataset, impossible, window=0)
+
+    def test_window_validation(self, medium_dataset, truth):
+        with pytest.raises(ConfigError):
+            young_pairs(medium_dataset, truth, window=-1)

@@ -1,0 +1,89 @@
+"""Significance-test tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.significance import (
+    paired_bootstrap_test,
+    permutation_test,
+)
+
+
+@pytest.fixture()
+def clear_cut():
+    """Method A orders 40 pairs perfectly; method B inverts them all."""
+    pairs = [(i, i + 100) for i in range(40)]
+    scores_a = {}
+    scores_b = {}
+    for better, worse in pairs:
+        scores_a[better], scores_a[worse] = 2.0, 1.0
+        scores_b[better], scores_b[worse] = 1.0, 2.0
+    return scores_a, scores_b, pairs
+
+
+class TestBootstrap:
+    def test_clear_advantage_significant(self, clear_cut):
+        scores_a, scores_b, pairs = clear_cut
+        result = paired_bootstrap_test(scores_a, scores_b, pairs,
+                                       iterations=500, seed=1)
+        assert result.advantage == pytest.approx(1.0)
+        assert result.p_value == 0.0
+        assert result.significant
+
+    def test_identical_methods_not_significant(self, clear_cut):
+        scores_a, _, pairs = clear_cut
+        result = paired_bootstrap_test(scores_a, dict(scores_a), pairs,
+                                       iterations=500, seed=1)
+        assert result.advantage == 0.0
+        assert not result.significant
+
+    def test_deterministic(self, clear_cut):
+        scores_a, scores_b, pairs = clear_cut
+        first = paired_bootstrap_test(scores_a, scores_b, pairs,
+                                      iterations=200, seed=9)
+        second = paired_bootstrap_test(scores_a, scores_b, pairs,
+                                       iterations=200, seed=9)
+        assert first == second
+
+    def test_validation(self, clear_cut):
+        scores_a, scores_b, pairs = clear_cut
+        with pytest.raises(ConfigError):
+            paired_bootstrap_test(scores_a, scores_b, pairs,
+                                  iterations=0)
+        with pytest.raises(ConfigError):
+            paired_bootstrap_test(scores_a, scores_b, [])
+        with pytest.raises(ConfigError):
+            paired_bootstrap_test({1: 1.0}, scores_b, pairs)
+
+
+class TestPermutation:
+    def test_clear_advantage_significant(self, clear_cut):
+        scores_a, scores_b, pairs = clear_cut
+        result = permutation_test(scores_a, scores_b, pairs,
+                                  iterations=500, seed=1)
+        assert result.advantage == pytest.approx(1.0)
+        assert result.significant
+
+    def test_symmetric_null_behaves(self, clear_cut):
+        scores_a, _, pairs = clear_cut
+        result = permutation_test(scores_a, dict(scores_a), pairs,
+                                  iterations=500, seed=1)
+        # Observed difference 0: every replicate reaches it.
+        assert result.p_value == 1.0
+
+    def test_agrees_with_bootstrap_on_real_data(self, medium_dataset):
+        from repro.core.model import ArticleRanker
+        from repro.data.ground_truth import build_ground_truth
+        from repro.ranking.citation_count import citation_count
+
+        truth = build_ground_truth(medium_dataset, num_pairs=300, seed=3)
+        graph = medium_dataset.citation_csr()
+        ids = [int(i) for i in graph.node_ids]
+        model = ArticleRanker().rank(medium_dataset).by_id()
+        counts = dict(zip(ids, citation_count(graph)))
+        bootstrap = paired_bootstrap_test(model, counts, truth.pairs,
+                                          iterations=300, seed=5)
+        permutation = permutation_test(model, counts, truth.pairs,
+                                       iterations=300, seed=5)
+        assert bootstrap.advantage == permutation.advantage
+        assert bootstrap.significant == permutation.significant

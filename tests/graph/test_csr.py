@@ -1,0 +1,141 @@
+"""Unit and property tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+
+
+def edges_strategy(max_nodes=12, max_edges=40):
+    node = st.integers(min_value=0, max_value=max_nodes - 1)
+    return st.lists(st.tuples(node, node), min_size=0, max_size=max_edges)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        graph = CSRGraph.from_edges([(10, 20), (10, 30), (20, 30)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert graph.node_ids.tolist() == [10, 20, 30]
+
+    def test_from_edges_explicit_nodes_keeps_isolated(self):
+        graph = CSRGraph.from_edges([(1, 2)], nodes=[1, 2, 3])
+        assert graph.num_nodes == 3
+        assert graph.out_degrees().tolist() == [1, 0, 0]
+
+    def test_from_edges_duplicate_node_list_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(1, 2)], nodes=[1, 2, 2])
+
+    def test_from_edges_unknown_endpoint_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            CSRGraph.from_edges([(1, 9)], nodes=[1, 2])
+
+    def test_from_edges_weights_align(self):
+        graph = CSRGraph.from_edges([(1, 2), (2, 1)], weights=[0.5, 2.0])
+        i = graph.index_of(1)
+        assert graph.neighbor_weights(i).tolist() == [0.5]
+
+    def test_from_edges_weight_length_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([(1, 2)], weights=[1.0, 2.0])
+
+    def test_from_digraph_matches(self, diamond_graph):
+        csr = CSRGraph.from_digraph(diamond_graph)
+        assert csr.num_nodes == diamond_graph.num_nodes
+        assert csr.num_edges == diamond_graph.num_edges
+        idx1 = csr.index_of(1)
+        targets = {int(csr.node_ids[t]) for t in csr.neighbors(idx1)}
+        assert targets == {2, 3}
+
+    def test_invalid_arrays_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0, 1]),
+                     np.array([1.0]), np.array([5]))
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2]), np.array([0]),
+                     np.array([1.0]), np.array([5]))
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+
+class TestQueries:
+    def test_index_of_unknown_raises(self):
+        graph = CSRGraph.from_edges([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            graph.index_of(99)
+
+    def test_neighbors_bounds(self):
+        graph = CSRGraph.from_edges([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbors(5)
+        with pytest.raises(NodeNotFoundError):
+            graph.neighbor_weights(-1)
+
+    def test_degrees(self, diamond_graph):
+        csr = diamond_graph.to_csr()
+        assert csr.out_degrees().sum() == csr.num_edges
+        assert csr.in_degrees().sum() == csr.num_edges
+        assert csr.in_degrees()[csr.index_of(4)] == 2
+
+    def test_out_strengths(self):
+        graph = CSRGraph.from_edges([(1, 2), (1, 3)], weights=[0.5, 1.5])
+        strengths = graph.out_strengths()
+        assert strengths[graph.index_of(1)] == pytest.approx(2.0)
+        assert strengths[graph.index_of(2)] == 0.0
+
+    def test_edge_array_roundtrip(self, diamond_graph):
+        csr = diamond_graph.to_csr()
+        src, dst, weights = csr.edge_array()
+        rebuilt = {(int(csr.node_ids[s]), int(csr.node_ids[d]))
+                   for s, d in zip(src, dst)}
+        original = {(u, v) for u, v, _ in diamond_graph.edges()}
+        assert rebuilt == original
+        assert len(weights) == csr.num_edges
+
+    def test_to_scipy(self, diamond_graph):
+        matrix = diamond_graph.to_csr().to_scipy()
+        assert matrix.shape == (4, 4)
+        assert matrix.nnz == 4
+
+    def test_edges_iterator(self):
+        graph = CSRGraph.from_edges([(1, 2), (2, 3)])
+        triples = list(graph.edges())
+        assert len(triples) == 2
+        assert all(w == 1.0 for _, _, w in triples)
+
+
+class TestReverse:
+    def test_reverse_swaps_edges(self, diamond_graph):
+        csr = diamond_graph.to_csr()
+        rev = csr.reverse()
+        assert rev.num_edges == csr.num_edges
+        assert rev.in_degrees().tolist() == csr.out_degrees().tolist()
+
+    def test_reverse_is_cached_and_involutive(self, diamond_graph):
+        csr = diamond_graph.to_csr()
+        assert csr.reverse().reverse() is csr
+
+    @settings(max_examples=30, deadline=None)
+    @given(edges_strategy())
+    def test_reverse_preserves_edge_multiset(self, edges):
+        graph = CSRGraph.from_edges(edges, nodes=range(12))
+        src, dst, _ = graph.edge_array()
+        rsrc, rdst, _ = graph.reverse().edge_array()
+        forward = sorted(zip(src.tolist(), dst.tolist()))
+        backward = sorted(zip(rdst.tolist(), rsrc.tolist()))
+        assert forward == backward
+
+    @settings(max_examples=30, deadline=None)
+    @given(edges_strategy())
+    def test_degree_sums_match(self, edges):
+        graph = CSRGraph.from_edges(edges, nodes=range(12))
+        assert graph.out_degrees().sum() == len(edges)
+        assert graph.in_degrees().sum() == len(edges)

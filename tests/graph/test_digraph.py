@@ -1,0 +1,153 @@
+"""Unit tests for the mutable DiGraph."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert len(graph) == 0
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node(7)
+        graph.add_node(7)
+        assert graph.num_nodes == 1
+        assert 7 in graph
+
+    def test_add_edge_creates_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_add_edge_overwrites_weight(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, weight=1.0)
+        graph.add_edge(1, 2, weight=5.0)
+        assert graph.num_edges == 1
+        assert graph.edge_weight(1, 2) == 5.0
+
+    def test_add_edge_accumulates(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, weight=1.0)
+        graph.add_edge(1, 2, weight=2.5, accumulate=True)
+        assert graph.edge_weight(1, 2) == 3.5
+        assert graph.num_edges == 1
+
+    def test_negative_weight_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 2, weight=-0.5)
+
+    def test_add_edges_bulk(self):
+        graph = DiGraph()
+        graph.add_edges([(1, 2), (2, 3)])
+        assert graph.num_edges == 2
+        assert graph.edge_weight(1, 2) == 1.0
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph()
+        graph.add_edge(1, 1)
+        assert graph.has_edge(1, 1)
+        assert graph.in_degree(1) == 1
+        assert graph.out_degree(1) == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self, diamond_graph):
+        diamond_graph.remove_edge(1, 2)
+        assert not diamond_graph.has_edge(1, 2)
+        assert diamond_graph.num_edges == 3
+        assert 2 in diamond_graph  # node survives
+
+    def test_remove_missing_edge_raises(self, diamond_graph):
+        with pytest.raises(EdgeNotFoundError):
+            diamond_graph.remove_edge(4, 1)
+
+    def test_remove_node_removes_incident_edges(self, diamond_graph):
+        diamond_graph.remove_node(2)
+        assert 2 not in diamond_graph
+        assert diamond_graph.num_edges == 2
+        assert not diamond_graph.has_edge(1, 2)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DiGraph().remove_node(1)
+
+
+class TestQueries:
+    def test_successors_predecessors(self, diamond_graph):
+        assert sorted(diamond_graph.successors(1)) == [2, 3]
+        assert sorted(diamond_graph.predecessors(4)) == [2, 3]
+        assert list(diamond_graph.successors(4)) == []
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.out_degree(1) == 2
+        assert diamond_graph.in_degree(1) == 0
+        assert diamond_graph.in_degree(4) == 2
+
+    def test_out_weight(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, weight=0.5)
+        graph.add_edge(1, 3, weight=1.5)
+        assert graph.out_weight(1) == 2.0
+
+    def test_unknown_node_raises(self, diamond_graph):
+        for method in (diamond_graph.successors,
+                       diamond_graph.predecessors,
+                       diamond_graph.out_degree, diamond_graph.in_degree,
+                       diamond_graph.out_weight):
+            with pytest.raises(NodeNotFoundError):
+                method(99)
+
+    def test_edge_weight_missing_raises(self, diamond_graph):
+        with pytest.raises(EdgeNotFoundError):
+            diamond_graph.edge_weight(4, 1)
+
+    def test_edges_iteration(self, diamond_graph):
+        edges = {(u, v) for u, v, _ in diamond_graph.edges()}
+        assert edges == {(1, 2), (1, 3), (2, 4), (3, 4)}
+
+
+class TestDerived:
+    def test_copy_is_independent(self, diamond_graph):
+        clone = diamond_graph.copy()
+        clone.add_edge(4, 1)
+        assert not diamond_graph.has_edge(4, 1)
+        assert clone.num_edges == diamond_graph.num_edges + 1
+
+    def test_reverse(self, diamond_graph):
+        reverse = diamond_graph.reverse()
+        assert reverse.has_edge(2, 1)
+        assert reverse.has_edge(4, 3)
+        assert reverse.num_edges == diamond_graph.num_edges
+        assert reverse.num_nodes == diamond_graph.num_nodes
+
+    def test_reverse_preserves_weights(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2, weight=3.5)
+        assert graph.reverse().edge_weight(2, 1) == 3.5
+
+    def test_subgraph(self, diamond_graph):
+        sub = diamond_graph.subgraph([1, 2, 4])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 4)
+        assert not sub.has_edge(1, 3)
+
+    def test_subgraph_unknown_node_raises(self, diamond_graph):
+        with pytest.raises(NodeNotFoundError):
+            diamond_graph.subgraph([1, 99])
+
+    def test_to_csr_counts(self, diamond_graph):
+        csr = diamond_graph.to_csr()
+        assert csr.num_nodes == 4
+        assert csr.num_edges == 4

@@ -1,0 +1,72 @@
+"""K-core decomposition tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.kcore import core_numbers, max_core
+
+
+def simple_edges(pairs):
+    """Dedupe to an undirected simple edge set (no self loops)."""
+    seen = set()
+    result = []
+    for u, v in pairs:
+        if u == v or (u, v) in seen or (v, u) in seen:
+            continue
+        seen.add((u, v))
+        result.append((u, v))
+    return result
+
+
+class TestKnownGraphs:
+    def test_triangle_is_2core(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert core_numbers(graph).tolist() == [2, 2, 2]
+        assert max_core(graph) == 2
+
+    def test_star_is_1core(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert core_numbers(graph).tolist() == [1, 1, 1, 1]
+
+    def test_clique_plus_tail(self):
+        clique = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        graph = CSRGraph.from_edges(clique + [(3, 4)], nodes=range(5))
+        cores = core_numbers(graph)
+        assert cores[:4].tolist() == [3, 3, 3, 3]
+        assert cores[4] == 1
+
+    def test_isolated_nodes(self):
+        graph = CSRGraph.from_edges([], nodes=[0, 1])
+        assert core_numbers(graph).tolist() == [0, 0]
+        assert max_core(graph) == 0
+
+    def test_empty(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        assert len(core_numbers(graph)) == 0
+        assert max_core(graph) == 0
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)),
+                    min_size=0, max_size=50))
+    def test_matches_networkx(self, pairs):
+        edges = simple_edges(pairs)
+        graph = CSRGraph.from_edges(edges, nodes=range(12))
+        ours = core_numbers(graph)
+        oracle = nx.Graph()
+        oracle.add_nodes_from(range(12))
+        oracle.add_edges_from(edges)
+        theirs = nx.core_number(oracle)
+        for node in range(12):
+            assert ours[node] == theirs[node]
+
+    def test_citation_graph(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        cores = core_numbers(graph)
+        assert len(cores) == graph.num_nodes
+        assert cores.max() >= 2  # dense kernels exist in citation nets

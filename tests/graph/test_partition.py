@@ -1,0 +1,117 @@
+"""Partitioner tests: coverage, balance, cut accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import (
+    Partition,
+    bfs_partition,
+    hash_partition,
+    range_partition,
+)
+
+
+@pytest.fixture()
+def chain_graph():
+    return CSRGraph.from_edges([(i, i + 1) for i in range(19)])
+
+
+class TestPartitionContainer:
+    def test_validates_block_ids(self):
+        with pytest.raises(PartitionError):
+            Partition(np.array([0, 3]), num_blocks=2)
+        with pytest.raises(PartitionError):
+            Partition(np.array([-1, 0]), num_blocks=2)
+        with pytest.raises(PartitionError):
+            Partition(np.array([0]), num_blocks=0)
+
+    def test_members_partition_all_nodes(self, chain_graph):
+        part = range_partition(chain_graph, 4)
+        seen = np.concatenate([part.members(b) for b in range(4)])
+        assert sorted(seen.tolist()) == list(range(20))
+
+    def test_members_bad_block(self, chain_graph):
+        part = range_partition(chain_graph, 4)
+        with pytest.raises(PartitionError):
+            part.members(4)
+
+    def test_block_sizes(self, chain_graph):
+        part = range_partition(chain_graph, 4)
+        assert part.block_sizes().sum() == 20
+
+    def test_edge_cut_brute_force(self, chain_graph):
+        part = hash_partition(chain_graph, 3, seed=1)
+        expected = sum(
+            1 for u, v, _ in chain_graph.edges()
+            if part.assignment[u] != part.assignment[v])
+        assert part.edge_cut(chain_graph) == expected
+
+    def test_cut_fraction_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[0, 1])
+        part = range_partition(graph, 2)
+        assert part.cut_fraction(graph) == 0.0
+
+
+class TestRangePartition:
+    def test_contiguous_and_balanced(self, chain_graph):
+        part = range_partition(chain_graph, 4)
+        assert part.block_sizes().tolist() == [5, 5, 5, 5]
+        # contiguity: assignment must be non-decreasing
+        assert (np.diff(part.assignment) >= 0).all()
+
+    def test_chain_cut_is_minimal(self, chain_graph):
+        part = range_partition(chain_graph, 4)
+        assert part.edge_cut(chain_graph) == 3
+
+    def test_invalid_blocks(self, chain_graph):
+        with pytest.raises(PartitionError):
+            range_partition(chain_graph, 0)
+
+
+class TestHashPartition:
+    def test_deterministic_given_seed(self, chain_graph):
+        a = hash_partition(chain_graph, 4, seed=3)
+        b = hash_partition(chain_graph, 4, seed=3)
+        assert (a.assignment == b.assignment).all()
+
+    def test_seed_changes_assignment(self, chain_graph):
+        a = hash_partition(chain_graph, 4, seed=0)
+        b = hash_partition(chain_graph, 4, seed=1)
+        assert (a.assignment != b.assignment).any()
+
+    def test_roughly_balanced(self):
+        graph = CSRGraph.from_edges([], nodes=range(4000))
+        part = hash_partition(graph, 4, seed=0)
+        sizes = part.block_sizes()
+        assert sizes.min() > 700
+        assert sizes.max() < 1300
+
+
+class TestBfsPartition:
+    def test_covers_all_nodes(self, chain_graph):
+        part = bfs_partition(chain_graph, 3, seed=5)
+        assert (part.assignment >= 0).all()
+        assert part.block_sizes().sum() == 20
+
+    def test_locality_beats_hash_on_chain(self, chain_graph):
+        bfs_cut = bfs_partition(chain_graph, 2, seed=0).edge_cut(chain_graph)
+        hash_cut = hash_partition(chain_graph, 2, seed=0).edge_cut(
+            chain_graph)
+        assert bfs_cut <= hash_cut
+
+    def test_handles_disconnected_graph(self):
+        graph = CSRGraph.from_edges([(0, 1), (5, 6)], nodes=range(8))
+        part = bfs_partition(graph, 2, seed=1)
+        assert part.block_sizes().sum() == 8
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        part = bfs_partition(graph, 2)
+        assert part.num_nodes == 0
+
+    def test_deterministic(self, chain_graph):
+        a = bfs_partition(chain_graph, 3, seed=9)
+        b = bfs_partition(chain_graph, 3, seed=9)
+        assert (a.assignment == b.assignment).all()

@@ -1,0 +1,73 @@
+"""Topological sort and DAG utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.toposort import dag_violations, is_dag, topological_sort
+
+
+def dag_edges_strategy(max_nodes=12, max_edges=40):
+    """Random DAG edges: always i < j, so acyclic by construction."""
+    pair = st.tuples(st.integers(0, max_nodes - 1),
+                     st.integers(0, max_nodes - 1)).map(
+        lambda p: (min(p), max(p))).filter(lambda p: p[0] != p[1])
+    return st.lists(pair, min_size=0, max_size=max_edges)
+
+
+class TestTopologicalSort:
+    def test_diamond(self, diamond_graph):
+        graph = diamond_graph.to_csr()
+        order = topological_sort(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for u, v, _ in graph.edges():
+            assert position[u] < position[v]
+
+    def test_cycle_returns_none(self, cyclic_graph):
+        assert topological_sort(cyclic_graph.to_csr()) is None
+
+    def test_deterministic_tie_break(self):
+        graph = CSRGraph.from_edges([], nodes=[0, 1, 2, 3])
+        assert topological_sort(graph) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        assert topological_sort(graph) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(dag_edges_strategy())
+    def test_random_dags_sortable_and_valid(self, edges):
+        graph = CSRGraph.from_edges(edges, nodes=range(12))
+        order = topological_sort(graph)
+        assert order is not None
+        assert sorted(order) == list(range(12))
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in edges:
+            assert position[u] < position[v]
+
+
+class TestIsDag:
+    def test_dag(self, diamond_graph):
+        assert is_dag(diamond_graph.to_csr())
+
+    def test_cyclic(self, cyclic_graph):
+        assert not is_dag(cyclic_graph.to_csr())
+
+    def test_self_loop_is_cyclic(self):
+        graph = CSRGraph.from_edges([(0, 0)])
+        assert not is_dag(graph)
+
+
+class TestDagViolations:
+    def test_counts_forward_in_time_edges(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        years = np.array([2000, 1999, 1998])
+        # 0->1 backward ok, 1->2 backward ok, 2->0 forward (1998 cites 2000)
+        assert dag_violations(graph, years) == 1
+
+    def test_zero_on_proper_citations(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        assert dag_violations(graph, years) == 0

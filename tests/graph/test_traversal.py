@@ -1,0 +1,93 @@
+"""Traversal utility tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import (
+    bfs_distances,
+    citation_depth,
+    reachable_set,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture()
+def chain_with_branch():
+    # 0 -> 1 -> 2 -> 3, plus 1 -> 4; node 5 isolated.
+    return CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (1, 4)],
+                               nodes=range(6))
+
+
+class TestBfsDistances:
+    def test_forward(self, chain_with_branch):
+        distances = bfs_distances(chain_with_branch, [0])
+        assert distances.tolist() == [0, 1, 2, 3, 2, -1]
+
+    def test_reverse(self, chain_with_branch):
+        distances = bfs_distances(chain_with_branch, [3], reverse=True)
+        assert distances.tolist() == [3, 2, 1, 0, -1, -1]
+
+    def test_multi_source(self, chain_with_branch):
+        distances = bfs_distances(chain_with_branch, [0, 4])
+        assert distances[4] == 0
+        assert distances[1] == 1
+
+    def test_unknown_source(self, chain_with_branch):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(chain_with_branch, [99])
+
+    def test_matches_networkx(self, medium_dataset):
+        graph = medium_dataset.citation_csr()
+        source = 42
+        ours = bfs_distances(graph, [source])
+        oracle = nx.DiGraph()
+        oracle.add_nodes_from(range(graph.num_nodes))
+        src, dst, _ = graph.edge_array()
+        oracle.add_edges_from(zip(src.tolist(), dst.tolist()))
+        lengths = nx.single_source_shortest_path_length(oracle, source)
+        for node in range(graph.num_nodes):
+            expected = lengths.get(node, -1)
+            assert ours[node] == expected
+
+
+class TestReachableSet:
+    def test_forward(self, chain_with_branch):
+        assert reachable_set(chain_with_branch, [1]).tolist() == \
+            [1, 2, 3, 4]
+
+    def test_includes_sources(self, chain_with_branch):
+        assert 5 in reachable_set(chain_with_branch, [5]).tolist()
+
+
+class TestComponents:
+    def test_two_components(self, chain_with_branch):
+        components = weakly_connected_components(chain_with_branch)
+        assert [len(c) for c in components] == [5, 1]
+        assert components[0].tolist() == [0, 1, 2, 3, 4]
+        assert components[1].tolist() == [5]
+
+    def test_matches_networkx(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        ours = {frozenset(c.tolist())
+                for c in weakly_connected_components(graph)}
+        oracle = nx.DiGraph()
+        oracle.add_nodes_from(range(graph.num_nodes))
+        src, dst, _ = graph.edge_array()
+        oracle.add_edges_from(zip(src.tolist(), dst.tolist()))
+        theirs = {frozenset(c)
+                  for c in nx.weakly_connected_components(oracle)}
+        assert ours == theirs
+
+
+class TestCitationDepth:
+    def test_chain_depth(self, chain_with_branch):
+        assert citation_depth(chain_with_branch) == 3
+
+    def test_empty(self):
+        assert citation_depth(CSRGraph.from_edges([], nodes=[])) == 0
+
+    def test_isolated_only(self):
+        assert citation_depth(CSRGraph.from_edges([], nodes=[0, 1])) == 0

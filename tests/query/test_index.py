@@ -1,0 +1,117 @@
+"""RankIndex serving-layer tests."""
+
+import pytest
+
+from repro.errors import ConfigError, NodeNotFoundError
+from repro.query import RankIndex
+
+
+@pytest.fixture()
+def index(tiny_dataset):
+    scores = {0: 0.9, 1: 0.7, 2: 0.2, 3: 0.5, 4: 0.4}
+    return RankIndex(tiny_dataset, scores)
+
+
+class TestConstruction:
+    def test_requires_exact_coverage(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            RankIndex(tiny_dataset, {0: 1.0})
+        with pytest.raises(ConfigError):
+            RankIndex(tiny_dataset,
+                      {i: 1.0 for i in range(6)})  # extra id 5
+
+    def test_len(self, index):
+        assert len(index) == 5
+
+
+class TestLookups:
+    def test_rank_of(self, index):
+        assert index.rank_of(0) == 1
+        assert index.rank_of(1) == 2
+        assert index.rank_of(2) == 5
+
+    def test_score_of(self, index):
+        assert index.score_of(3) == 0.5
+
+    def test_percentile(self, index):
+        assert index.percentile(0) == 1.0
+        assert index.percentile(2) == pytest.approx(0.2)
+
+    def test_unknown_article(self, index):
+        with pytest.raises(NodeNotFoundError):
+            index.rank_of(99)
+
+    def test_tie_break_by_id(self, tiny_dataset):
+        index = RankIndex(tiny_dataset, {i: 1.0 for i in range(5)})
+        assert [e.article_id for e in index.top(5)] == [0, 1, 2, 3, 4]
+
+
+class TestTop:
+    def test_global_top(self, index):
+        entries = index.top(3)
+        assert [e.article_id for e in entries] == [0, 1, 3]
+        assert [e.rank for e in entries] == [1, 2, 3]
+        assert entries[0].title == "Foundations"
+
+    def test_venue_filter(self, index):
+        # Venue 1 hosts articles 2 and 4.
+        entries = index.top(10, venue_id=1)
+        assert [e.article_id for e in entries] == [4, 2]
+        assert [e.rank for e in entries] == [1, 2]
+
+    def test_author_filter(self, index):
+        # Author 1 (Bob) wrote articles 1, 2, 4.
+        entries = index.top(10, author_id=1)
+        assert [e.article_id for e in entries] == [1, 4, 2]
+
+    def test_year_filter(self, index):
+        entries = index.top(10, year_range=(2004, 2009))
+        assert [e.article_id for e in entries] == [3, 2]
+
+    def test_combined_filters(self, index):
+        entries = index.top(10, author_id=1, venue_id=1,
+                            year_range=(2000, 2009))
+        assert [e.article_id for e in entries] == [2]
+
+    def test_no_match(self, index):
+        assert index.top(5, venue_id=42) == []
+
+    def test_validation(self, index):
+        with pytest.raises(ConfigError):
+            index.top(0)
+        with pytest.raises(ConfigError):
+            index.top(3, year_range=(2010, 2000))
+
+
+class TestPaging:
+    def test_pages_cover_ranking(self, index):
+        first = index.page(0, 2)
+        second = index.page(2, 2)
+        third = index.page(4, 2)
+        ids = [e.article_id for e in first + second + third]
+        assert ids == [0, 1, 3, 4, 2]
+        assert [e.rank for e in first] == [1, 2]
+        assert [e.rank for e in second] == [3, 4]
+
+    def test_offset_past_end(self, index):
+        assert index.page(10, 5) == []
+
+    def test_validation(self, index):
+        with pytest.raises(ConfigError):
+            index.page(-1, 5)
+        with pytest.raises(ConfigError):
+            index.page(0, 0)
+
+
+class TestWithModel:
+    def test_end_to_end(self, small_dataset):
+        from repro.core.model import ArticleRanker
+
+        result = ArticleRanker().rank(small_dataset)
+        index = RankIndex(small_dataset, result.by_id())
+        top = index.top(10)
+        assert [e.article_id for e in top] == \
+            [article_id for article_id, _ in result.top(10)]
+        _, max_year = small_dataset.year_range()
+        recent = index.top(5, year_range=(max_year - 2, max_year))
+        assert all(max_year - 2 <= e.year <= max_year for e in recent)

@@ -1,0 +1,57 @@
+"""CiteRank tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.citerank import citerank
+from repro.ranking.pagerank import pagerank
+
+
+@pytest.fixture()
+def chain():
+    # 2 cites 1 cites 0; years 2000, 2005, 2010.
+    graph = CSRGraph.from_edges([(1, 0), (2, 1)], nodes=[0, 1, 2])
+    years = np.array([2000, 2005, 2010])
+    return graph, years
+
+
+class TestCiteRank:
+    def test_equals_personalized_pagerank(self, chain):
+        graph, years = chain
+        tau = 3.0
+        ours = citerank(graph, years, 2010, tau=tau, tol=1e-13)
+        jump = np.exp(-(2010 - years) / tau)
+        oracle = pagerank(graph, damping=0.5, jump=jump, tol=1e-13,
+                          max_iter=500)
+        assert np.abs(ours.scores - oracle.scores).sum() < 1e-10
+
+    def test_large_tau_approaches_uniform_jump(self, chain):
+        graph, years = chain
+        ours = citerank(graph, years, 2010, tau=1e9, tol=1e-13)
+        uniform = pagerank(graph, damping=0.5, tol=1e-13, max_iter=500)
+        assert np.abs(ours.scores - uniform.scores).sum() < 1e-6
+
+    def test_small_tau_rewards_recently_discovered(self, chain):
+        graph, years = chain
+        scores = citerank(graph, years, 2010, tau=1.0).scores
+        # The reader starts almost surely at the 2010 paper; the 2005
+        # paper receives its forwarded traffic; 2000 is two hops away.
+        assert scores[2] > scores[0]
+
+    def test_distribution(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        result = citerank(graph, years, int(years.max()))
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_validation(self, chain):
+        graph, years = chain
+        with pytest.raises(ConfigError):
+            citerank(graph, years, 2010, tau=0.0)
+        with pytest.raises(ConfigError):
+            citerank(graph, years[:2], 2010)
+        with pytest.raises(ConfigError):
+            citerank(graph, years, 2005)  # precedes newest article

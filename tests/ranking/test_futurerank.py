@@ -1,0 +1,101 @@
+"""FutureRank tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.futurerank import FutureRankConfig, futurerank
+
+
+@pytest.fixture()
+def small_setup():
+    # 3 papers: 2 cites 0 and 1; authors: paper0&2 share author 0.
+    graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2])
+    years = np.array([2000, 2000, 2008])
+    author_lists = [[0], [1], [0, 1]]
+    return graph, years, author_lists
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": -0.1},
+        {"alpha": 0.6, "beta": 0.3, "gamma": 0.3},
+        {"rho": 0.0},
+        {"tol": 0.0},
+        {"max_iter": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            FutureRankConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = FutureRankConfig()
+        assert config.alpha + config.beta + config.gamma <= 1.0
+
+
+class TestFutureRank:
+    def test_returns_distributions(self, small_setup):
+        graph, years, author_lists = small_setup
+        papers, authors = futurerank(graph, author_lists, 2, years, 2008)
+        assert papers.sum() == pytest.approx(1.0)
+        assert authors.sum() == pytest.approx(1.0)
+        assert (papers >= 0).all() and (authors >= 0).all()
+
+    def test_time_factor_rewards_recent(self, small_setup):
+        graph, years, author_lists = small_setup
+        config = FutureRankConfig(alpha=0.0, beta=0.0, gamma=1.0)
+        papers, _ = futurerank(graph, author_lists, 2, years, 2008,
+                               config=config)
+        assert papers[2] > papers[0]
+
+    def test_citation_part_rewards_cited(self, small_setup):
+        graph, years, author_lists = small_setup
+        config = FutureRankConfig(alpha=0.9, beta=0.0, gamma=0.0)
+        papers, _ = futurerank(graph, author_lists, 2, years, 2008,
+                               config=config)
+        assert papers[0] > papers[2]
+        assert papers[0] == pytest.approx(papers[1])
+
+    def test_author_coupling(self, small_setup):
+        graph, years, author_lists = small_setup
+        # Author-only: good papers lift their authors' other papers.
+        config = FutureRankConfig(alpha=0.0, beta=0.5, gamma=0.0)
+        papers, authors = futurerank(graph, author_lists, 2, years, 2008,
+                                     config=config)
+        assert authors.sum() == pytest.approx(1.0)
+
+    def test_author_index_out_of_range(self, small_setup):
+        graph, years, _ = small_setup
+        with pytest.raises(ConfigError):
+            futurerank(graph, [[0], [5], [0]], 2, years, 2008)
+
+    def test_alignment_validated(self, small_setup):
+        graph, years, author_lists = small_setup
+        with pytest.raises(ConfigError):
+            futurerank(graph, author_lists[:2], 2, years, 2008)
+        with pytest.raises(ConfigError):
+            futurerank(graph, author_lists, 2, years[:2], 2008)
+        with pytest.raises(ConfigError):
+            futurerank(graph, author_lists, 2, years, 2000)
+
+    def test_on_generated_dataset(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        author_index = {a: i
+                        for i, a in enumerate(sorted(small_dataset.authors))}
+        author_lists = [
+            [author_index[a]
+             for a in small_dataset.articles[int(i)].author_ids]
+            for i in graph.node_ids]
+        papers, authors = futurerank(graph, author_lists,
+                                     len(author_index), years,
+                                     int(years.max()))
+        assert papers.sum() == pytest.approx(1.0)
+        assert len(authors) == len(author_index)
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        papers, authors = futurerank(graph, [], 3, np.array([]), 2000)
+        assert len(papers) == 0
+        assert len(authors) == 3

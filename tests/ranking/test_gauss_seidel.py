@@ -1,0 +1,103 @@
+"""Gauss–Seidel PageRank: fixed-point agreement and sweep ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.gauss_seidel import gauss_seidel_pagerank, influence_order
+from repro.ranking.pagerank import pagerank
+
+
+class TestInfluenceOrder:
+    def test_dag_sources_first(self, diamond_graph):
+        graph = diamond_graph.to_csr()
+        order = influence_order(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for u, v, _ in graph.edges():
+            assert position[u] < position[v]
+
+    def test_cyclic_graph_uses_condensation(self, cyclic_graph):
+        graph = cyclic_graph.to_csr()
+        order = influence_order(graph)
+        assert sorted(order.tolist()) == list(range(graph.num_nodes))
+        # Node 5 feeds the cycle, node 4 drains it: 5 first, 4 last.
+        position = {node: i for i, node in enumerate(order)}
+        assert position[graph.index_of(5)] < position[graph.index_of(1)]
+        assert position[graph.index_of(4)] > position[graph.index_of(3)]
+
+
+class TestFixedPoint:
+    def test_matches_power_iteration_dag(self, diamond_graph):
+        graph = diamond_graph.to_csr()
+        power = pagerank(graph, tol=1e-13, max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, tol=1e-13)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-9
+
+    def test_matches_power_iteration_cyclic(self, cyclic_graph):
+        graph = cyclic_graph.to_csr()
+        power = pagerank(graph, tol=1e-13, max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, tol=1e-13)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-9
+
+    def test_matches_on_generated(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        power = pagerank(graph, tol=1e-12, max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, tol=1e-12)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-8
+
+    def test_dag_converges_in_few_sweeps(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        power = pagerank(graph, tol=1e-10, max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, tol=1e-10)
+        assert sweep.iterations < power.iterations / 3
+
+    def test_weighted_edges(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        weights = np.array([3.0, 1.0, 1.0])
+        power = pagerank(graph, edge_weights=weights, tol=1e-13,
+                         max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, edge_weights=weights,
+                                      tol=1e-13)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-9
+
+    def test_personalized(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        jump = np.array([0.6, 0.3, 0.1])
+        power = pagerank(graph, jump=jump, tol=1e-13, max_iter=500)
+        sweep = gauss_seidel_pagerank(graph, jump=jump, tol=1e-13)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                    min_size=1, max_size=25))
+    def test_agreement_on_random_graphs(self, edges):
+        graph = CSRGraph.from_edges(edges, nodes=range(8))
+        power = pagerank(graph, tol=1e-13, max_iter=1000)
+        sweep = gauss_seidel_pagerank(graph, tol=1e-13, max_sweeps=1000)
+        assert np.abs(power.scores - sweep.scores).sum() < 1e-8
+
+
+class TestValidation:
+    def test_custom_order_used(self, diamond_graph):
+        graph = diamond_graph.to_csr()
+        result = gauss_seidel_pagerank(graph, order=[3, 2, 1, 0])
+        assert result.converged
+
+    def test_bad_order_rejected(self, diamond_graph):
+        graph = diamond_graph.to_csr()
+        with pytest.raises(ConfigError):
+            gauss_seidel_pagerank(graph, order=[0, 0, 1, 2])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"damping": 1.0}, {"tol": 0}, {"max_sweeps": 0},
+    ])
+    def test_invalid_parameters(self, kwargs, diamond_graph):
+        with pytest.raises(ConfigError):
+            gauss_seidel_pagerank(diamond_graph.to_csr(), **kwargs)
+
+    def test_empty_graph(self):
+        result = gauss_seidel_pagerank(CSRGraph.from_edges([], nodes=[]))
+        assert result.converged

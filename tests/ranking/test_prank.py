@@ -1,0 +1,95 @@
+"""P-Rank tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.prank import PRankConfig, prank
+
+
+@pytest.fixture()
+def setup():
+    # 2 cites 0 and 1; venues: papers 0,2 in venue 0; paper 1 in venue 1.
+    graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2])
+    author_lists = [[0], [1], [0, 1]]
+    venue_of = np.array([0, 1, 0])
+    return graph, author_lists, venue_of
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": -0.1},
+        {"alpha": 0.5, "beta": 0.3, "gamma": 0.3},
+        {"tol": 0}, {"max_iter": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            PRankConfig(**kwargs)
+
+
+class TestPRank:
+    def test_distributions(self, setup):
+        graph, author_lists, venue_of = setup
+        papers, authors, venues = prank(graph, author_lists, 2,
+                                        venue_of, 2)
+        assert papers.sum() == pytest.approx(1.0)
+        assert authors.sum() == pytest.approx(1.0)
+        assert venues.sum() == pytest.approx(1.0)
+
+    def test_citation_only_matches_intuition(self, setup):
+        graph, author_lists, venue_of = setup
+        config = PRankConfig(alpha=0.85, beta=0.0, gamma=0.0)
+        papers, _, _ = prank(graph, author_lists, 2, venue_of, 2,
+                             config=config)
+        assert papers[0] > papers[2]
+        assert papers[0] == pytest.approx(papers[1])
+
+    def test_venue_channel_equalizes_covenue_papers(self, setup):
+        graph, author_lists, venue_of = setup
+        # Venue-only propagation: papers sharing a venue receive equal
+        # venue contributions, so papers 0 and 2 (both venue 0) tie.
+        config = PRankConfig(alpha=0.0, beta=0.0, gamma=0.9)
+        papers, _, venues = prank(graph, author_lists, 2, venue_of, 2,
+                                  config=config)
+        assert papers[0] == pytest.approx(papers[2])
+        assert venues.sum() == pytest.approx(1.0)
+
+    def test_venueless_papers_allowed(self):
+        graph = CSRGraph.from_edges([(1, 0)], nodes=[0, 1])
+        papers, authors, venues = prank(graph, [[0], [0]], 1,
+                                        np.array([-1, -1]), 1)
+        assert papers.sum() == pytest.approx(1.0)
+
+    def test_alignment_validation(self, setup):
+        graph, author_lists, venue_of = setup
+        with pytest.raises(ConfigError):
+            prank(graph, author_lists[:2], 2, venue_of, 2)
+        with pytest.raises(ConfigError):
+            prank(graph, author_lists, 2, venue_of[:2], 2)
+        with pytest.raises(ConfigError):
+            prank(graph, [[5], [0], [1]], 2, venue_of, 2)
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edges([], nodes=[])
+        papers, authors, venues = prank(graph, [], 2, np.array([]), 3)
+        assert len(papers) == 0
+        assert len(authors) == 2
+        assert len(venues) == 3
+
+    def test_converges_on_generated(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        ids = [int(i) for i in graph.node_ids]
+        author_index = {a: i
+                        for i, a in enumerate(sorted(small_dataset.authors))}
+        venue_index = {v: i
+                       for i, v in enumerate(sorted(small_dataset.venues))}
+        author_lists = [[author_index[a]
+                         for a in small_dataset.articles[i].author_ids]
+                        for i in ids]
+        venue_of = np.array([venue_index[small_dataset.articles[i].venue_id]
+                             for i in ids])
+        papers, _, _ = prank(graph, author_lists, len(author_index),
+                             venue_of, len(venue_index))
+        assert papers.sum() == pytest.approx(1.0)
+        assert (papers > 0).all()

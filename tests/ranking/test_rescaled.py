@@ -1,0 +1,76 @@
+"""Rescaled PageRank tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.ranking.rescaled import rescale_by_age, rescaled_pagerank
+
+
+class TestRescaleByAge:
+    def test_zscore_within_single_window(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        years = np.array([2000, 2001, 2002])
+        rescaled = rescale_by_age(scores, years, window=3)
+        # One window covering everything: plain z-scores.
+        expected = (scores - scores.mean()) / scores.std()
+        assert np.allclose(rescaled, expected)
+
+    def test_removes_age_trend(self):
+        # Strongly age-correlated scores: old articles score high.
+        rng = np.random.default_rng(0)
+        years = np.repeat(np.arange(2000, 2020), 50)
+        trend = (2020.0 - years) * 10.0
+        noise = rng.random(len(years))
+        scores = trend + noise
+        rescaled = rescale_by_age(scores, years, window=50)
+        by_year_means = [rescaled[years == y].mean()
+                         for y in range(2000, 2020)]
+        # After rescaling no year dominates.
+        assert max(by_year_means) - min(by_year_means) < 1.0
+
+    def test_constant_window_gives_zero(self):
+        rescaled = rescale_by_age(np.array([5.0, 5.0, 5.0]),
+                                  np.array([2000, 2000, 2000]), window=3)
+        assert rescaled.tolist() == [0.0, 0.0, 0.0]
+
+    def test_window_clipped_at_bounds(self):
+        scores = np.arange(10, dtype=float)
+        years = np.arange(10)
+        rescaled = rescale_by_age(scores, years, window=4)
+        assert len(rescaled) == 10
+        assert np.all(np.isfinite(rescaled))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rescale_by_age(np.array([1.0]), np.array([1, 2]))
+        with pytest.raises(ConfigError):
+            rescale_by_age(np.array([1.0, 2.0]), np.array([1, 2]),
+                           window=1)
+
+    def test_empty(self):
+        assert len(rescale_by_age(np.array([]), np.array([]),
+                                  window=5)) == 0
+
+
+class TestRescaledPagerank:
+    def test_young_articles_can_win(self, small_dataset):
+        from repro.ranking.pagerank import pagerank
+
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        plain = pagerank(graph).scores
+        rescaled = rescaled_pagerank(graph, years, window=200)
+
+        _, max_year = small_dataset.year_range()
+        young = years >= max_year - 3
+        # Mean global rank of young articles must improve after rescaling.
+        plain_rank = np.argsort(np.argsort(-plain))
+        rescaled_rank = np.argsort(np.argsort(-rescaled))
+        assert rescaled_rank[young].mean() < plain_rank[young].mean()
+
+    def test_alignment_checked(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        with pytest.raises(ConfigError):
+            rescaled_pagerank(graph, np.array([2000]))

@@ -1,0 +1,119 @@
+"""SQLite store tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.store import DatasetStore
+
+
+@pytest.fixture()
+def store():
+    with DatasetStore(":memory:") as s:
+        yield s
+
+
+class TestDatasets:
+    def test_roundtrip(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        loaded = store.load_dataset("tiny")
+        assert loaded.articles == tiny_dataset.articles
+        assert loaded.venues == tiny_dataset.venues
+        assert loaded.authors == tiny_dataset.authors
+
+    def test_list_and_has(self, store, tiny_dataset):
+        assert store.list_datasets() == []
+        store.save_dataset(tiny_dataset)
+        assert store.list_datasets() == ["tiny"]
+        assert store.has_dataset("tiny")
+        assert not store.has_dataset("other")
+
+    def test_duplicate_save_rejected(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        with pytest.raises(StorageError, match="already stored"):
+            store.save_dataset(tiny_dataset)
+
+    def test_overwrite(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        store.save_dataset(tiny_dataset, overwrite=True)
+        assert store.list_datasets() == ["tiny"]
+
+    def test_delete(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        store.delete_dataset("tiny")
+        assert store.list_datasets() == []
+        with pytest.raises(StorageError):
+            store.delete_dataset("tiny")
+
+    def test_load_missing(self, store):
+        with pytest.raises(StorageError, match="no stored dataset"):
+            store.load_dataset("ghost")
+
+    def test_generated_roundtrip(self, store, small_dataset):
+        store.save_dataset(small_dataset)
+        loaded = store.load_dataset(small_dataset.name)
+        assert loaded.num_articles == small_dataset.num_articles
+        assert loaded.num_citations == small_dataset.num_citations
+        sample = sorted(small_dataset.articles)[123]
+        assert loaded.articles[sample] == small_dataset.articles[sample]
+
+    def test_file_persistence(self, tiny_dataset, tmp_path):
+        path = tmp_path / "store.db"
+        with DatasetStore(path) as first:
+            first.save_dataset(tiny_dataset)
+        with DatasetStore(path) as second:
+            assert second.list_datasets() == ["tiny"]
+            assert second.load_dataset("tiny").num_articles == 5
+
+
+class TestRankings:
+    def test_roundtrip(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        scores = {0: 0.5, 1: 0.3, 2: 0.2}
+        store.save_ranking("tiny", "pr", scores)
+        assert store.load_ranking("tiny", "pr") == scores
+        assert store.list_rankings("tiny") == ["pr"]
+
+    def test_requires_dataset(self, store):
+        with pytest.raises(StorageError):
+            store.save_ranking("ghost", "pr", {1: 1.0})
+
+    def test_duplicate_method_rejected(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        store.save_ranking("tiny", "pr", {0: 1.0})
+        with pytest.raises(StorageError, match="already stored"):
+            store.save_ranking("tiny", "pr", {0: 2.0})
+        store.save_ranking("tiny", "pr", {0: 2.0}, overwrite=True)
+        assert store.load_ranking("tiny", "pr") == {0: 2.0}
+
+    def test_top_articles(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        store.save_ranking("tiny", "pr", {0: 0.1, 1: 0.9, 2: 0.5})
+        assert store.top_articles("tiny", "pr", limit=2) == \
+            [(1, 0.9), (2, 0.5)]
+
+    def test_load_missing_ranking(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        with pytest.raises(StorageError, match="no ranking"):
+            store.load_ranking("tiny", "pr")
+
+
+class TestAnalytics:
+    def test_citation_counts(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        counts = dict(store.citation_counts("tiny"))
+        assert counts == {0: 2, 1: 2, 2: 1}
+
+    def test_citation_counts_limit(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        assert len(store.citation_counts("tiny", limit=1)) == 1
+
+    def test_articles_per_year(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        per_year = store.articles_per_year("tiny")
+        assert per_year == {2000: 1, 2003: 1, 2005: 1, 2008: 1, 2010: 1}
+
+    def test_analytics_require_dataset(self, store):
+        with pytest.raises(StorageError):
+            store.citation_counts("ghost")
+        with pytest.raises(StorageError):
+            store.articles_per_year("ghost")

@@ -1,0 +1,38 @@
+"""Every benchmark module must import cleanly (catches bit-rot early).
+
+The benchmark suite runs separately (`pytest benchmarks/
+--benchmark-only`); this smoke test keeps it from silently breaking when
+library APIs move — an import failure here fails the *unit* suite.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = sorted(
+    (Path(__file__).resolve().parent.parent / "benchmarks").glob(
+        "bench_*.py"))
+
+
+@pytest.mark.parametrize("path", BENCHMARKS,
+                         ids=[p.stem for p in BENCHMARKS])
+def test_benchmark_module_imports(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # Each benchmark must define at least one pytest-discoverable test.
+    assert any(name.startswith("test_") for name in dir(module))
+
+
+def test_all_experiments_have_benchmarks():
+    """DESIGN.md's experiment index and the benchmark files must agree."""
+    design = (Path(__file__).resolve().parent.parent
+              / "DESIGN.md").read_text(encoding="utf-8")
+    stems = {p.stem for p in BENCHMARKS}
+    for experiment in range(1, 13):
+        matching = [stem for stem in stems
+                    if stem.startswith(f"bench_e{experiment}_")]
+        assert matching, f"no benchmark file for experiment E{experiment}"
+        assert matching[0] in design, \
+            f"{matching[0]} not referenced in DESIGN.md"

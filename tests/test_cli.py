@@ -1,0 +1,84 @@
+"""CLI end-to-end tests (drive main() in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_dataset_jsonl
+
+
+@pytest.fixture()
+def dataset_path(tmp_path):
+    path = tmp_path / "ds.jsonl"
+    code = main(["generate", str(path), "--articles", "500",
+                 "--venues", "8", "--authors", "100", "--seed", "3"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset_path):
+        dataset = load_dataset_jsonl(dataset_path)
+        assert dataset.num_articles == 500
+        assert dataset.num_venues == 8
+
+    def test_reports_what_it_wrote(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        assert main(["generate", str(path), "--articles", "100",
+                     "--venues", "5", "--authors", "30"]) == 0
+        assert "wrote 100 articles" in capsys.readouterr().out
+
+
+class TestRank:
+    def test_prints_top(self, dataset_path, capsys):
+        assert main(["rank", str(dataset_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines()
+                 if line and not line.startswith("#")]
+        assert len(lines) == 3
+
+    def test_custom_weights(self, dataset_path, capsys):
+        assert main(["rank", str(dataset_path), "--top", "2",
+                     "--weights", "1,0,0"]) == 0
+
+    def test_bad_weights_error(self, dataset_path, capsys):
+        assert main(["rank", str(dataset_path),
+                     "--weights", "oops"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_prints_stats(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "|V|: 500" in out
+        assert "venues: 8" in out
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, dataset_path, capsys):
+        assert main(["evaluate", str(dataset_path),
+                     "--pairs", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "pairwise:" in out
+        assert "spearman:" in out
+
+
+class TestStore:
+    def test_store_and_list(self, dataset_path, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        assert main(["store", str(db), str(dataset_path)]) == 0
+        assert main(["store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic-3" in out
+
+    def test_duplicate_store_fails_without_overwrite(self, dataset_path,
+                                                     tmp_path, capsys):
+        db = tmp_path / "s.db"
+        assert main(["store", str(db), str(dataset_path)]) == 0
+        assert main(["store", str(db), str(dataset_path)]) == 1
+        assert main(["store", str(db), str(dataset_path),
+                     "--overwrite"]) == 0
+
+    def test_empty_store_listing(self, tmp_path, capsys):
+        assert main(["store", str(tmp_path / "empty.db")]) == 0
+        assert "empty" in capsys.readouterr().out
