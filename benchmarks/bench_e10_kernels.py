@@ -9,11 +9,8 @@ having *any* decay — supporting the paper's design without overclaiming
 the specific functional form.
 """
 
-import pytest
-
 from repro.bench.tables import render_rows
 from repro.bench.workloads import aminer_small
-from repro.core.model import ArticleRanker, RankerConfig
 from repro.core.time_weight import (
     exponential_decay,
     linear_decay,

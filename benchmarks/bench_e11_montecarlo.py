@@ -14,7 +14,6 @@ full-precision scores, sampling is only competitive for rough top-k.
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import render_series
 from repro.bench.workloads import sized_citation_graph

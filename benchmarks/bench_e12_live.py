@@ -16,7 +16,6 @@ experiment shows where it lands in a full pipeline.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.bench.tables import render_series

@@ -7,7 +7,6 @@ signal hurts most (venue prestige carries strong quality information);
 single-signal variants trail the full ensemble.
 """
 
-import pytest
 
 from repro.bench.tables import render_rows
 from repro.bench.workloads import aminer_small

@@ -8,7 +8,6 @@ gracefully away from the defaults, and extreme settings (decay 0 =
 static PageRank; theta extremes) are visibly worse than the middle.
 """
 
-import pytest
 
 from repro.bench.tables import render_series
 from repro.bench.workloads import aminer_small

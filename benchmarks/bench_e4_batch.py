@@ -14,8 +14,8 @@ matters when every round is a distributed superstep (see E5). We report
 both columns honestly.
 """
 
-import pytest
 
+from repro.bench.runner import PerfArtifact
 from repro.bench.tables import render_series
 from repro.bench.workloads import sized_citation_graph
 from repro.engine.batch import compare_solvers
@@ -26,6 +26,21 @@ SIZES = [5_000, 10_000, 20_000, 40_000, 80_000]
 def test_e4_solver_scaling(benchmark, run_once):
     comparisons = run_once(benchmark, lambda: [
         compare_solvers(*sized_citation_graph(size)) for size in SIZES])
+
+    artifact = PerfArtifact("E4")
+    for comparison in comparisons:
+        artifact.record(
+            "solver_scaling",
+            num_nodes=comparison.num_nodes,
+            num_edges=comparison.num_edges,
+            naive_iterations=comparison.naive.iterations,
+            optimized_sweeps=comparison.optimized.iterations,
+            naive_seconds=comparison.naive_seconds,
+            optimized_seconds=comparison.optimized_seconds,
+            iteration_speedup=comparison.iteration_speedup,
+            time_speedup=comparison.time_speedup,
+            agreement_l1=comparison.agreement_l1)
+    print(f"\nwrote {artifact.save()}")
 
     print("\n" + render_series(
         "E4 TWPR batch solvers vs graph size "

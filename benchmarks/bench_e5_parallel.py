@@ -11,8 +11,8 @@ dominates at this (laptop) scale.
 import os
 import time
 
-import pytest
 
+from repro.bench.runner import PerfArtifact
 from repro.bench.tables import render_rows, render_series
 from repro.bench.workloads import sized_citation_graph
 from repro.engine.blocks import BlockEngine, vertex_centric_pagerank
@@ -68,19 +68,24 @@ def test_e5_worker_scaling(benchmark, run_once):
     partition = range_partition(graph, 8)
 
     def run_all():
+        from repro.obs import SolverTelemetry
+
         timings = []
         supersteps = []
+        shipped = []
         for workers in WORKER_COUNTS:
             engine = ParallelBlockEngine(graph, partition,
                                          num_workers=workers)
+            telemetry = SolverTelemetry("parallel")
             start = time.perf_counter()
-            result = engine.run()
+            result = engine.run(telemetry=telemetry)
             timings.append(time.perf_counter() - start)
             supersteps.append(result.supersteps)
+            shipped.append(telemetry.bytes_shipped)
             assert result.converged
-        return timings, supersteps
+        return timings, supersteps, shipped
 
-    timings, supersteps = run_once(benchmark, run_all)
+    timings, supersteps, shipped = run_once(benchmark, run_all)
     print("\n" + render_series(
         f"E5b wall-clock vs workers ({SCALE} articles, range(8), "
         f"{os.cpu_count()} cores)",
@@ -88,8 +93,18 @@ def test_e5_worker_scaling(benchmark, run_once):
         {
             "seconds": [f"{t:.2f}" for t in timings],
             "supersteps": supersteps,
+            "shipped MB": [f"{b / 1e6:.1f}" for b in shipped],
             "speedup": [f"{timings[0] / t:.2f}x" for t in timings],
         }))
+
+    artifact = PerfArtifact("E5")
+    for workers, seconds, steps, bytes_shipped in zip(
+            WORKER_COUNTS, timings, supersteps, shipped):
+        artifact.record("worker_scaling", num_workers=workers,
+                        seconds=seconds, supersteps=steps,
+                        bytes_shipped=bytes_shipped,
+                        speedup=timings[0] / seconds)
+    print(f"wrote {artifact.save()}")
     # Supersteps may grow mildly with workers (weaker cross-worker
     # coupling) but must stay far below the vertex-centric count.
     assert max(supersteps) < 15

@@ -15,7 +15,6 @@ import numpy as np
 import pytest
 
 from repro.bench.tables import render_series
-from repro.bench.workloads import sized_citation_graph
 from repro.core.twpr import time_weighted_pagerank
 from repro.data.generator import GeneratorConfig, generate_dataset
 from repro.engine.incremental import IncrementalEngine

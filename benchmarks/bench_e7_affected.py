@@ -8,7 +8,6 @@ at modest error. This is the knob that makes incremental ranking
 tunable.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.tables import render_series

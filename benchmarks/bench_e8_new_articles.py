@@ -12,7 +12,6 @@ need years of citations) degrades far less than PageRank and raw counts,
 whose young-slice accuracy collapses toward coin-flipping.
 """
 
-import pytest
 
 from repro.bench.tables import render_rows
 from repro.bench.workloads import aminer_small, compute_baseline_scores

@@ -7,7 +7,6 @@ algorithms exploit: power-law in-degree, (near-)acyclicity, strictly
 backward-in-time citations, entity counts at realistic ratios.
 """
 
-import pytest
 
 from repro.bench.tables import render_rows
 from repro.bench.workloads import aminer_small, mag_small

@@ -1,7 +1,7 @@
 """Shared benchmark harness: workloads, table rendering, run recording."""
 
 from repro.bench.tables import render_series, render_table
-from repro.bench.runner import ExperimentLog
+from repro.bench.runner import ExperimentLog, PerfArtifact
 from repro.bench.workloads import (
     aminer_small,
     compute_baseline_scores,
@@ -11,6 +11,7 @@ from repro.bench.workloads import (
 
 __all__ = [
     "ExperimentLog",
+    "PerfArtifact",
     "aminer_small",
     "compute_baseline_scores",
     "mag_small",

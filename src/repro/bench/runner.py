@@ -3,6 +3,13 @@
 Benchmarks print their tables to stdout *and* append them to an
 :class:`ExperimentLog`, so a single run can be archived next to
 EXPERIMENTS.md (``bench_output.txt`` is the canonical artifact).
+
+:class:`PerfArtifact` is the machine-readable sibling: every
+``bench_e*`` script can record its measured numbers (one labelled
+record per table row) and save them as a ``BENCH_<NAME>.json`` file —
+the perf trajectory the repo tracks across commits. Artifacts embed
+host/python/time provenance via :mod:`repro.obs.report` so two runs
+can be compared honestly.
 """
 
 from __future__ import annotations
@@ -10,7 +17,9 @@ from __future__ import annotations
 import datetime
 import platform
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
+
+from repro.obs.report import RunReport
 
 PathLike = Union[str, Path]
 
@@ -44,3 +53,45 @@ class ExperimentLog:
         target = Path(path) if path is not None else Path(f"{self.name}.log")
         target.write_text(self.render() + "\n", encoding="utf-8")
         return target
+
+
+class PerfArtifact:
+    """Machine-readable perf numbers of one benchmark run.
+
+    Usage in a ``bench_e*`` script::
+
+        artifact = PerfArtifact("E4")
+        for size, comparison in zip(SIZES, comparisons):
+            artifact.record("solver_scaling", num_nodes=size,
+                            naive_seconds=..., optimized_seconds=...)
+        artifact.save()          # -> BENCH_E4.json
+
+    Records are flat dicts (numbers/strings only) grouped under a
+    label, so downstream tooling can diff one metric across commits
+    without parsing rendered tables.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: List[Dict[str, object]] = []
+
+    def record(self, label: str, **metrics) -> Dict[str, object]:
+        """Append one labelled measurement record."""
+        entry: Dict[str, object] = {"label": label}
+        entry.update(metrics)
+        self.records.append(entry)
+        return entry
+
+    def filename(self) -> str:
+        return f"BENCH_{self.name.upper()}.json"
+
+    def to_report(self) -> RunReport:
+        """The artifact as a provenance-stamped :class:`RunReport`."""
+        report = RunReport(self.name)
+        report.record_metric("records", list(self.records))
+        return report
+
+    def save(self, directory: Optional[PathLike] = None) -> Path:
+        """Write ``BENCH_<NAME>.json`` (default: current directory)."""
+        base = Path(directory) if directory is not None else Path(".")
+        return self.to_report().save(base / self.filename())

@@ -11,6 +11,8 @@ Commands:
     evaluate  — rank a *synthetic* dataset and score it against its
                 planted ground truth.
     store     — persist a dataset into a SQLite store / list stored ones.
+    profile   — rank a dataset with solver telemetry on and print the
+                stage/iteration breakdown (optionally save JSON).
 """
 
 from __future__ import annotations
@@ -190,6 +192,48 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, SolverTelemetry, StageTimings
+
+    dataset = _load_any(args.dataset)
+    ranker = _ranker_from_args(args).with_config(solver=args.method)
+    telemetry = SolverTelemetry()
+    result = ranker.rank(dataset, telemetry=telemetry)
+
+    timings = StageTimings()
+    for stage, seconds in result.diagnostics.get("timings", {}).items():
+        timings.add(stage, seconds)
+    method = result.diagnostics.get("twpr_method", args.method)
+    print(f"# profile: {dataset.name} ({dataset.num_articles} articles, "
+          f"{dataset.num_citations} citations), solver={method}")
+    print(timings.render("stage breakdown"))
+
+    iterations = telemetry.iterations
+    converged = result.diagnostics.get("twpr_converged")
+    print(f"\ntwpr: {iterations} iteration(s), converged={converged}")
+    residuals = telemetry.residuals
+    if residuals:
+        shown = residuals if len(residuals) <= 8 \
+            else residuals[:4] + residuals[-3:]
+        trajectory = "  ".join(f"{r:.3e}" for r in shown)
+        if len(residuals) > 8:
+            trajectory = trajectory.replace(
+                f"{residuals[3]:.3e}  ", f"{residuals[3]:.3e}  ...  ", 1)
+        print(f"residual trajectory: {trajectory}")
+    for counter, value in sorted(telemetry.counters.items()):
+        print(f"{counter}: {value:g}")
+
+    if args.json:
+        report = RunReport(f"profile-{dataset.name}", timings=timings,
+                           telemetry=telemetry)
+        report.record_metric("num_articles", dataset.num_articles)
+        report.record_metric("num_citations", dataset.num_citations)
+        report.record_metric("solver", method)
+        report.record_metric("twpr_iterations", iterations)
+        print(f"wrote {report.save(args.json)}")
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     with DatasetStore(args.db) as store:
         if args.dataset is None:
@@ -276,6 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     _add_ranker_arguments(evaluate)
     evaluate.set_defaults(handler=_command_evaluate)
+
+    profile = commands.add_parser(
+        "profile", help="rank with telemetry on; print the stage and "
+                        "iteration breakdown")
+    profile.add_argument("dataset")
+    profile.add_argument("--method", default="auto",
+                         choices=["auto", "power", "gauss_seidel",
+                                  "levels"],
+                         help="TWPR solver to profile")
+    profile.add_argument("--json", type=str, default=None,
+                         help="also save the report as JSON to this path")
+    _add_ranker_arguments(profile)
+    profile.set_defaults(handler=_command_profile)
 
     store = commands.add_parser(
         "store", help="persist datasets in a SQLite store")

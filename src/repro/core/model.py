@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.core.time_weight import exponential_decay
 from repro.core.twpr import time_weighted_pagerank
 from repro.core.venue_graph import build_venue_graph, venue_popularity
 from repro.ranking.pagerank import pagerank
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -133,12 +136,16 @@ class ArticleRanker:
         """A new ranker with ``overrides`` applied to the config."""
         return ArticleRanker(replace(self.config, **overrides))
 
-    def rank(self, dataset: ScholarlyDataset) -> RankingResult:
+    def rank(self, dataset: ScholarlyDataset,
+             telemetry: Optional["SolverTelemetry"] = None
+             ) -> RankingResult:
         """Run the full pipeline on ``dataset``.
 
         Per-stage wall-clock timings land in
         ``result.diagnostics["timings"]`` (seconds), keyed by stage name —
-        the batch-efficiency experiments read them.
+        the batch-efficiency experiments read them. ``telemetry``
+        (optional) is handed to the TWPR solve and records its residual
+        trajectory; scores are identical with it on or off.
         """
         if dataset.num_articles == 0:
             raise DatasetError("cannot rank an empty dataset")
@@ -163,7 +170,8 @@ class ArticleRanker:
         prestige_kernel = exponential_decay(config.prestige_decay)
         twpr = time_weighted_pagerank(
             graph, years, decay=prestige_kernel, damping=config.damping,
-            tol=config.tol, max_iter=config.max_iter, method=config.solver)
+            tol=config.tol, max_iter=config.max_iter, method=config.solver,
+            telemetry=telemetry)
         timings["article_prestige"] = clock() - stage_start
         diagnostics["twpr_iterations"] = twpr.iterations
         diagnostics["twpr_method"] = twpr.method

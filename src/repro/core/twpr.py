@@ -24,7 +24,7 @@ Three solvers share one fixed point:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -34,7 +34,10 @@ from repro.graph.csr import CSRGraph
 from repro.graph.scc import condensation
 from repro.core.time_weight import TimeDecay, exponential_decay
 from repro.ranking.gauss_seidel import gauss_seidel_pagerank
-from repro.ranking.pagerank import pagerank, validate_jump
+from repro.ranking.pagerank import pagerank, validate_initial, validate_jump
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -169,17 +172,28 @@ def _level_operators(graph: CSRGraph, weights: np.ndarray
 
 def _levels_solve(graph: CSRGraph, weights: np.ndarray, damping: float,
                   tol: float, max_sweeps: int, jump: np.ndarray,
-                  initial: Optional[np.ndarray]) -> TWPRResult:
-    """Vectorized level-sweep Gauss–Seidel (the batch optimization)."""
+                  initial: Optional[np.ndarray],
+                  telemetry: Optional["SolverTelemetry"] = None
+                  ) -> TWPRResult:
+    """Vectorized level-sweep Gauss–Seidel (the batch optimization).
+
+    ``initial``, when given, must already be validated/normalized (the
+    public entry point :func:`time_weighted_pagerank` runs
+    :func:`repro.ranking.pagerank.validate_initial` once for all three
+    solvers).
+    """
     n = graph.num_nodes
     src_idx = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
     strengths = np.bincount(src_idx, weights=weights, minlength=n)
     dangling = strengths == 0.0
     operators = _level_operators(graph, weights)
+    if telemetry is not None:
+        telemetry.set_counter("levels", len(operators))
+        telemetry.set_counter("dangling_nodes",
+                              int(np.count_nonzero(dangling)))
 
     scores = jump.copy() if initial is None \
-        else np.asarray(initial, dtype=np.float64) \
-        / float(np.sum(initial))
+        else np.asarray(initial, dtype=np.float64).copy()
     residual = float("inf")
     sweeps = 0
     for sweeps in range(1, max_sweeps + 1):
@@ -192,6 +206,8 @@ def _levels_solve(graph: CSRGraph, weights: np.ndarray, damping: float,
                 + (1.0 - damping) * jump[nodes]
         scores /= scores.sum()
         residual = float(np.abs(scores - previous).sum())
+        if telemetry is not None:
+            telemetry.record_iteration(residual, dangling_mass)
         if residual <= tol:
             return TWPRResult(scores, sweeps, residual, True, "levels")
     return TWPRResult(scores, sweeps, residual, False, "levels")
@@ -204,7 +220,9 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
                            jump: Optional[np.ndarray] = None,
                            method: str = "auto",
                            initial: Optional[np.ndarray] = None,
-                           raise_on_divergence: bool = False) -> TWPRResult:
+                           raise_on_divergence: bool = False,
+                           telemetry: Optional["SolverTelemetry"] = None
+                           ) -> TWPRResult:
     """Compute TWPR prestige scores.
 
     Args:
@@ -213,7 +231,16 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
         decay: time-decay kernel (default ``exponential_decay(0.1)``).
         method: ``"power"``, ``"gauss_seidel"``, ``"levels"`` or
             ``"auto"`` (levels — the optimized batch solver).
+        telemetry: optional :class:`repro.obs.SolverTelemetry` recording
+            the residual trajectory (all three solvers), dangling-mass
+            trajectory and level count. Observational only — scores are
+            bit-identical with telemetry on or off.
         Other args as in :func:`repro.ranking.pagerank.pagerank`.
+
+    ``initial`` is validated once here for all three solvers (shape,
+    finiteness, non-negativity, positive mass — mirroring
+    :func:`repro.ranking.pagerank.validate_jump`), so a zero-sum or
+    wrong-shaped warm start fails loudly instead of yielding NaNs.
     """
     if method not in ("auto", "power", "gauss_seidel", "levels"):
         raise ConfigError(f"unknown method {method!r}")
@@ -229,20 +256,26 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
     if n == 0:
         return TWPRResult(np.zeros(0), 0, 0.0, True, method)
     jump_vector = validate_jump(jump, n)
+    initial_vector = validate_initial(initial, n)
+    if telemetry is not None:
+        telemetry.solver = "levels" if method == "auto" else method
 
     if method in ("auto", "levels"):
         result = _levels_solve(graph, weights, damping, tol, max_iter,
-                               jump_vector, initial)
+                               jump_vector, initial_vector,
+                               telemetry=telemetry)
     elif method == "power":
         base = pagerank(graph, damping=damping, tol=tol, max_iter=max_iter,
                         jump=jump_vector, edge_weights=weights,
-                        initial=initial)
+                        initial=initial_vector, telemetry=telemetry)
         result = TWPRResult(base.scores, base.iterations, base.residual,
                             base.converged, "power")
     else:
         base = gauss_seidel_pagerank(graph, damping=damping, tol=tol,
                                      max_sweeps=max_iter, jump=jump_vector,
-                                     edge_weights=weights, initial=initial)
+                                     edge_weights=weights,
+                                     initial=initial_vector,
+                                     telemetry=telemetry)
         result = TWPRResult(base.scores, base.iterations, base.residual,
                             base.converged, "gauss_seidel")
     if raise_on_divergence and not result.converged:

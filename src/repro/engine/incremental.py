@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 from scipy.sparse import csr_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 from repro.errors import ConfigError
 from repro.data.schema import ScholarlyDataset
@@ -65,7 +68,8 @@ class IncrementalEngine:
     def __init__(self, dataset: ScholarlyDataset, damping: float = 0.85,
                  decay: Optional[TimeDecay] = None,
                  delta_threshold: float = 1e-3, tol: float = 1e-10,
-                 max_iter: int = 200) -> None:
+                 max_iter: int = 200,
+                 telemetry: Optional["SolverTelemetry"] = None) -> None:
         """Solve the initial snapshot exactly and remember its state.
 
         Args:
@@ -77,6 +81,10 @@ class IncrementalEngine:
                 area while its estimated perturbation exceeds
                 ``delta_threshold / n``).
             tol / max_iter: convergence control of the re-solves.
+            telemetry: optional :class:`repro.obs.SolverTelemetry`; every
+                :meth:`apply` appends one batch record (affected-area
+                size/fraction, seeds, iterations, residual, seconds).
+                Maintained scores are unchanged with it on or off.
         """
         if not 0.0 <= damping < 1.0:
             raise ConfigError(f"damping must be in [0, 1), got {damping}")
@@ -89,6 +97,7 @@ class IncrementalEngine:
         self.delta_threshold = delta_threshold
         self.tol = tol
         self.max_iter = max_iter
+        self.telemetry = telemetry
 
         self.dataset = dataset
         self.graph = dataset.citation_csr()
@@ -156,9 +165,17 @@ class IncrementalEngine:
         self.years = years
         self._edge_weights = weights
         self.scores = scores
+        seconds = time.perf_counter() - start
+        if self.telemetry is not None:
+            self.telemetry.record_batch(
+                affected_nodes=len(affected.nodes),
+                affected_fraction=affected.fraction,
+                seeds=len(affected.seeds), iterations=iterations,
+                residual=residual, seconds=seconds,
+                num_nodes=graph.num_nodes, num_edges=graph.num_edges)
         return IncrementalReport(
             affected=affected, iterations=iterations, residual=residual,
-            converged=converged, seconds=time.perf_counter() - start,
+            converged=converged, seconds=seconds,
             num_nodes=graph.num_nodes, num_edges=graph.num_edges)
 
     def _append_graph(self, batch: UpdateBatch):

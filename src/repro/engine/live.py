@@ -13,9 +13,12 @@ the two together into the interface a live scholarly index would run:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 from repro.core.model import ArticleRanker, RankerConfig, RankingResult
 from repro.core.time_weight import exponential_decay
 from repro.data.schema import ScholarlyDataset
@@ -28,12 +31,16 @@ class LiveRanker:
 
     def __init__(self, dataset: ScholarlyDataset,
                  config: Optional[RankerConfig] = None,
-                 delta_threshold: float = 1e-3) -> None:
+                 delta_threshold: float = 1e-3,
+                 telemetry: Optional["SolverTelemetry"] = None) -> None:
         """Bootstrap on ``dataset`` (one exact solve), then stay live.
 
         ``config.solver`` is ignored (prestige is maintained by the
         incremental engine); ``config.observation_year`` must be unset —
         the observation horizon tracks the newest article automatically.
+        ``telemetry`` is handed to the incremental engine, so every
+        applied batch appends one affected-area record; the rankings are
+        unchanged with it on or off.
         """
         self.config = config or RankerConfig()
         if self.config.observation_year is not None:
@@ -47,7 +54,8 @@ class LiveRanker:
             decay=exponential_decay(self.config.prestige_decay),
             delta_threshold=delta_threshold,
             tol=self.config.tol,
-            max_iter=self.config.max_iter)
+            max_iter=self.config.max_iter,
+            telemetry=telemetry)
         self._result = self._ranker.rank_with_prestige(
             dataset, self._engine.scores, graph=self._engine.graph)
 

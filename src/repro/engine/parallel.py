@@ -6,14 +6,23 @@ an initializer), and every superstep ships only the previous global score
 vector to workers and block scores back — the in-process analogue of a
 graph-centric distributed runtime.
 
+Payload discipline: every worker receives **only its own blocks**. Each
+worker is backed by its own single-process pool so its initializer can be
+handed exactly its chunk — a shared pool would force one initargs tuple
+(the whole graph) onto every worker, pickling O(num_workers × |E|) bytes
+for data each worker never reads. The telemetry layer records the bytes
+actually shipped so regressions here are measurable.
+
 The fixed point is identical to :class:`repro.engine.blocks.BlockEngine`;
 only wall-clock changes with ``num_workers`` (E5's speedup curve).
 """
 
 from __future__ import annotations
 
+import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +35,9 @@ from repro.engine.blocks import (
     solve_block,
 )
 from repro.ranking.pagerank import validate_jump
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 # Worker-process state, installed by _init_worker.
 _WORKER_BLOCKS: Dict[int, tuple] = {}
@@ -65,9 +77,9 @@ def _solve_blocks_task(args: Tuple[List[int], np.ndarray, float, int]
 class ParallelBlockEngine:
     """Graph-centric PageRank across ``num_workers`` processes.
 
-    Blocks are dealt to workers round-robin; each superstep dispatches one
-    task per worker (its whole block set), so scheduling overhead stays
-    constant as block count grows.
+    Blocks are dealt to workers in contiguous chunks; each superstep
+    dispatches one task per worker (its whole block set), so scheduling
+    overhead stays constant as block count grows.
     """
 
     def __init__(self, graph: CSRGraph, partition: Partition,
@@ -91,11 +103,6 @@ class ParallelBlockEngine:
         self._members = members
         self._dangling = dangling
         self._cut_edges = cut_edges
-        self._payload = {
-            block: (internal_ops[block], boundary_ops[block],
-                    self.jump[members[block]], members[block])
-            for block in range(partition.num_blocks)
-        }
         # Contiguous chunks of blocks per worker (for a time-ordered range
         # partition, each worker owns one contiguous time span), processed
         # newest-first within the worker.
@@ -106,11 +113,27 @@ class ParallelBlockEngine:
                    reverse=True)
             for worker in range(num_workers)
         ]
+        # Per-worker payloads: each worker's initializer receives only
+        # the blocks it owns, never the whole graph.
+        self._worker_payloads: List[Dict[int, tuple]] = [
+            {block: (internal_ops[block], boundary_ops[block],
+                     self.jump[members[block]], members[block])
+             for block in block_ids}
+            for block_ids in self._assignment_to_worker
+        ]
 
     def run(self, tol: float = 1e-10, max_supersteps: int = 100,
-            local_tol: float = 1e-12, local_max_iter: int = 50
+            local_tol: float = 1e-12, local_max_iter: int = 50,
+            telemetry: Optional["SolverTelemetry"] = None
             ) -> BlockRankResult:
-        """Run supersteps across the worker pool until convergence."""
+        """Run supersteps across the worker pool until convergence.
+
+        ``telemetry`` (optional) records per-superstep wall-clock,
+        boundary messages, residual and per-block inner iterations, plus
+        worker→block attribution and the bytes pickled toward workers
+        (block payloads at startup, score vectors per superstep). The
+        fixed point is unchanged with telemetry on or off.
+        """
         if tol <= 0 or local_tol <= 0:
             raise ConfigError("tolerances must be positive")
         if max_supersteps <= 0 or local_max_iter <= 0:
@@ -119,32 +142,63 @@ class ParallelBlockEngine:
         if n == 0:
             return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
 
+        active = [(worker, block_ids, self._worker_payloads[worker])
+                  for worker, block_ids
+                  in enumerate(self._assignment_to_worker) if block_ids]
+        if telemetry is not None:
+            for worker, block_ids, payload in active:
+                telemetry.record_worker(worker, block_ids)
+                telemetry.record_bytes(
+                    len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)))
+
         scores = self.jump.copy()
         messages = 0
         local_iterations = 0
         residual = float("inf")
         supersteps = 0
-        with ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                initializer=_init_worker,
-                initargs=(self._payload, self.damping)) as pool:
+        # One single-process pool per worker, so each initializer ships
+        # exactly that worker's payload.
+        pools = [ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker,
+            initargs=(payload, self.damping))
+            for _, _, payload in active]
+        try:
             for supersteps in range(1, max_supersteps + 1):
+                superstep_start = time.perf_counter()
                 previous = scores.copy()
-                tasks = [
-                    (block_ids, previous, local_tol, local_max_iter)
-                    for block_ids in self._assignment_to_worker
-                    if block_ids
+                futures = [
+                    pool.submit(_solve_blocks_task,
+                                (block_ids, previous, local_tol,
+                                 local_max_iter))
+                    for pool, (_, block_ids, _) in zip(pools, active)
                 ]
                 new_scores = scores.copy()
-                for worker_result in pool.map(_solve_blocks_task, tasks):
-                    for block_id, block_scores, inner in worker_result:
+                step_local = 0
+                block_iterations: Optional[dict] = \
+                    {} if telemetry is not None else None
+                for future in futures:
+                    for block_id, block_scores, inner in future.result():
                         new_scores[self._members[block_id]] = block_scores
-                        local_iterations += inner
+                        step_local += inner
+                        if block_iterations is not None:
+                            block_iterations[block_id] = inner
+                local_iterations += step_local
                 messages += self._cut_edges
                 residual = float(np.abs(new_scores - previous).sum())
                 scores = new_scores
+                if telemetry is not None:
+                    # Every worker received the previous score vector.
+                    telemetry.record_bytes(previous.nbytes * len(active))
+                    telemetry.record_superstep(
+                        time.perf_counter() - superstep_start,
+                        self._cut_edges, residual,
+                        local_iterations=step_local,
+                        block_iterations=block_iterations)
                 if residual <= tol:
                     break
+        finally:
+            for pool in pools:
+                pool.shutdown()
         converged = residual <= tol
         scores = scores / scores.sum()
         return BlockRankResult(scores, supersteps, messages,

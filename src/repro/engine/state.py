@@ -88,6 +88,10 @@ def load_engine(directory: PathLike) -> IncrementalEngine:
     engine.delta_threshold = float(config["delta_threshold"])
     engine.tol = float(config["tol"])
     engine.max_iter = int(config["max_iter"])
+    # Telemetry recorders are in-memory observers, never checkpointed;
+    # a restored engine starts unobserved (assign engine.telemetry to
+    # re-attach one).
+    engine.telemetry = None
     engine.dataset = dataset
 
     from repro.graph.csr import CSRGraph

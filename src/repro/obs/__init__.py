@@ -1,0 +1,29 @@
+"""Observability: timers, solver telemetry, machine-readable reports.
+
+Everything here is passive and opt-in — solvers and engines accept a
+``telemetry=`` keyword (default ``None``) and record into it without
+ever changing the math, so fixed points are identical with telemetry
+on or off.
+
+* :mod:`repro.obs.timers` — :class:`Timer` / :class:`StageTimings`,
+  nestable ``perf_counter`` stopwatches.
+* :mod:`repro.obs.telemetry` — :class:`SolverTelemetry`: residual
+  trajectories, superstep/message accounting, bytes shipped,
+  affected-area batches, worker/block attribution.
+* :mod:`repro.obs.report` — :class:`RunReport`: one run serialized to
+  JSON with host/python/time provenance.
+"""
+
+from repro.obs.report import RunReport, run_metadata
+from repro.obs.telemetry import BatchRecord, SolverTelemetry, SuperstepRecord
+from repro.obs.timers import StageTimings, Timer
+
+__all__ = [
+    "BatchRecord",
+    "RunReport",
+    "SolverTelemetry",
+    "StageTimings",
+    "SuperstepRecord",
+    "Timer",
+    "run_metadata",
+]

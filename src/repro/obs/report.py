@@ -1,0 +1,83 @@
+"""Machine-readable run reports (the JSON artifact of one measured run).
+
+:class:`RunReport` bundles what a benchmark or profiled run produced —
+stage timings, solver telemetry, free-form metrics — together with
+enough provenance (host, python, timestamp) that two artifacts can be
+compared honestly. ``save()`` writes canonical JSON; ``load()`` reads
+it back, so perf trajectories (``BENCH_*.json``) can be diffed across
+commits.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.telemetry import SolverTelemetry
+from repro.obs.timers import StageTimings
+
+PathLike = Union[str, Path]
+
+REPORT_FORMAT_VERSION = 1
+
+
+def run_metadata() -> Dict[str, str]:
+    """Provenance stamped into every report."""
+    return {
+        "host": platform.platform(),
+        "python": platform.python_version(),
+        "time": datetime.datetime.now().isoformat(timespec="seconds"),
+    }
+
+
+class RunReport:
+    """One run's measurements, serializable to JSON."""
+
+    def __init__(self, name: str,
+                 timings: Optional[StageTimings] = None,
+                 telemetry: Optional[SolverTelemetry] = None) -> None:
+        self.name = name
+        self.timings = timings if timings is not None else StageTimings()
+        self.telemetry = telemetry
+        self.metrics: Dict[str, object] = {}
+        self.meta = run_metadata()
+
+    def record_metric(self, name: str, value) -> None:
+        """Attach one named scalar/structure to the report."""
+        self.metrics[name] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "format_version": REPORT_FORMAT_VERSION,
+            "name": self.name,
+            "meta": dict(self.meta),
+        }
+        if len(self.timings):
+            payload["timings"] = self.timings.as_dict()
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.as_dict()
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: PathLike) -> Path:
+        """Write the report as JSON and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @staticmethod
+    def load(path: PathLike) -> Dict[str, object]:
+        """Read a saved report back as a plain dict."""
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunReport(name={self.name!r}, "
+                f"stages={len(self.timings)}, "
+                f"metrics={sorted(self.metrics)})")

@@ -1,0 +1,150 @@
+"""Nestable wall-clock timers (``time.perf_counter``-based, zero deps).
+
+Two layers:
+
+* :class:`Timer` — a single context-managed stopwatch.
+* :class:`StageTimings` — a named collection of stages; stages opened
+  inside an open stage get a ``outer/inner`` compound key, so one object
+  can hold an entire run's breakdown without the call sites knowing
+  about each other.
+
+Both are cheap enough to leave in hot paths behind an
+``if telemetry is not None`` guard; neither allocates per iteration.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Timer:
+    """A context-managed stopwatch.
+
+    Usage::
+
+        with Timer("solve") as t:
+            ...
+        print(t.seconds)
+
+    ``seconds`` is the final duration after exit; :attr:`elapsed` also
+    works while the timer is still running.
+    """
+
+    def __init__(self, name: str = "timer") -> None:
+        self.name = name
+        self.seconds: float = 0.0
+        self._start: Optional[float] = None
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the duration (idempotent after the first call)."""
+        if self._start is not None:
+            self.seconds = time.perf_counter() - self._start
+            self._start = None
+        return self.seconds
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Duration so far (running) or final duration (stopped)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self.seconds
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else f"{self.seconds:.6f}s"
+        return f"Timer({self.name!r}, {state})"
+
+
+class StageTimings:
+    """Accumulates named stage durations, with nesting.
+
+    ``stage()`` is a re-entrant context manager: opening a stage while
+    another is open records the inner one under ``"outer/inner"``.
+    Repeated stages accumulate (their durations add up) and their
+    invocation count is tracked.
+
+    >>> timings = StageTimings()
+    >>> with timings.stage("solve"):
+    ...     with timings.stage("sweep"):
+    ...         pass
+    >>> sorted(timings.as_dict())
+    ['solve', 'solve/sweep']
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[Timer]:
+        """Time one (possibly nested) stage."""
+        if "/" in name:
+            raise ValueError("stage names must not contain '/' "
+                             "(reserved for nesting)")
+        key = "/".join(self._stack + [name])
+        self._stack.append(name)
+        timer = Timer(key).start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+            self._stack.pop()
+            self.add(key, timer.seconds)
+
+    def add(self, key: str, seconds: float) -> None:
+        """Record ``seconds`` against ``key`` directly (no context)."""
+        self._seconds[key] = self._seconds.get(key, 0.0) + float(seconds)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{stage_key: accumulated_seconds}`` in first-seen order."""
+        return dict(self._seconds)
+
+    def counts(self) -> Dict[str, int]:
+        """``{stage_key: times_entered}``."""
+        return dict(self._counts)
+
+    def total(self) -> float:
+        """Sum of *top-level* stages (nested time is already inside)."""
+        return sum(seconds for key, seconds in self._seconds.items()
+                   if "/" not in key)
+
+    def merge(self, other: "StageTimings", prefix: str = "") -> None:
+        """Fold another collection in (optionally under ``prefix/``)."""
+        for key, seconds in other._seconds.items():
+            merged = f"{prefix}/{key}" if prefix else key
+            self._seconds[merged] = self._seconds.get(merged, 0.0) + seconds
+            self._counts[merged] = (self._counts.get(merged, 0)
+                                    + other._counts[key])
+
+    def render(self, title: str = "stage timings") -> str:
+        """A fixed-width breakdown table (for CLI / log output)."""
+        lines = [f"# {title}"]
+        total = self.total()
+        for key, seconds in self._seconds.items():
+            depth = key.count("/")
+            label = "  " * depth + key.rsplit("/", 1)[-1]
+            share = f"{100.0 * seconds / total:5.1f}%" if total > 0 \
+                and "/" not in key else "      "
+            lines.append(f"{label:<28} {seconds * 1e3:10.2f} ms  {share}")
+        lines.append(f"{'total':<28} {total * 1e3:10.2f} ms")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._seconds)

@@ -15,7 +15,7 @@ identical because at convergence the scores stop changing.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +23,14 @@ from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.graph.scc import condensation
 from repro.graph.toposort import topological_sort
-from repro.ranking.pagerank import PageRankResult, validate_jump
+from repro.ranking.pagerank import (
+    PageRankResult,
+    validate_initial,
+    validate_jump,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 
 def influence_order(graph: CSRGraph) -> np.ndarray:
@@ -54,13 +61,16 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
                           edge_weights: Optional[np.ndarray] = None,
                           order: Optional[Sequence[int]] = None,
                           initial: Optional[np.ndarray] = None,
-                          raise_on_divergence: bool = False
+                          raise_on_divergence: bool = False,
+                          telemetry: Optional["SolverTelemetry"] = None
                           ) -> PageRankResult:
     """PageRank via Gauss–Seidel sweeps.
 
     Args mirror :func:`repro.ranking.pagerank.pagerank`; additionally
     ``order`` fixes the sweep order (default: :func:`influence_order`).
     Convergence is measured as the L1 change of one full sweep.
+    ``telemetry`` (optional) records the per-sweep residual and
+    dangling-mass trajectory without affecting the result.
     """
     if not 0.0 <= damping < 1.0:
         raise ConfigError(f"damping must be in [0, 1), got {damping}")
@@ -103,13 +113,9 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
     if sorted(sweep_order.tolist()) != list(range(n)):
         raise ConfigError("order must be a permutation of all node indices")
 
-    if initial is not None:
-        scores = np.asarray(initial, dtype=np.float64).copy()
-        if scores.shape != (n,):
-            raise ConfigError(f"initial must have shape ({n},)")
-        scores /= scores.sum()
-    else:
-        scores = jump_vector.copy()
+    validated = validate_initial(initial, n)
+    scores = validated.copy() if validated is not None \
+        else jump_vector.copy()
 
     residual = float("inf")
     sweeps = 0
@@ -125,6 +131,8 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
                 + (1.0 - damping) * jump_vector[node]
         scores /= scores.sum()
         residual = float(np.abs(scores - previous).sum())
+        if telemetry is not None:
+            telemetry.record_iteration(residual, dangling_mass)
         if residual <= tol:
             return PageRankResult(scores, sweeps, residual, True)
     if raise_on_divergence:

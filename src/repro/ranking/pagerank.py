@@ -17,13 +17,16 @@ stochastic completion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.telemetry import SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,31 @@ def validate_jump(jump: Optional[np.ndarray], n: int) -> np.ndarray:
     total = vector.sum()
     if total <= 0:
         raise ConfigError("jump vector must have positive mass")
+    return vector / total
+
+
+def validate_initial(initial: Optional[np.ndarray],
+                     n: int) -> Optional[np.ndarray]:
+    """Normalize/validate a warm-start distribution of length ``n``.
+
+    Mirrors :func:`validate_jump`: the vector must have shape ``(n,)``,
+    be finite and non-negative, and carry positive total mass — a
+    zero-sum or NaN-bearing warm start would otherwise seed every solver
+    with silent NaNs. ``None`` passes through (solvers then start from
+    the jump vector).
+    """
+    if initial is None:
+        return None
+    vector = np.asarray(initial, dtype=np.float64)
+    if vector.shape != (n,):
+        raise ConfigError(f"initial distribution must have shape ({n},), "
+                          f"got {vector.shape}")
+    if np.any(vector < 0) or not np.all(np.isfinite(vector)):
+        raise ConfigError(
+            "initial distribution must be finite and non-negative")
+    total = vector.sum()
+    if total <= 0:
+        raise ConfigError("initial distribution must have positive mass")
     return vector / total
 
 
@@ -97,7 +125,9 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
              jump: Optional[np.ndarray] = None,
              edge_weights: Optional[np.ndarray] = None,
              initial: Optional[np.ndarray] = None,
-             raise_on_divergence: bool = False) -> PageRankResult:
+             raise_on_divergence: bool = False,
+             telemetry: Optional["SolverTelemetry"] = None
+             ) -> PageRankResult:
     """Compute (weighted, personalized) PageRank of ``graph``.
 
     Args:
@@ -113,6 +143,10 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
             warm starts are what make incremental re-solves cheap.
         raise_on_divergence: raise :class:`ConvergenceError` instead of
             returning a non-converged result.
+        telemetry: optional :class:`repro.obs.SolverTelemetry` recording
+            the per-iteration residual and dangling-mass trajectory.
+            Purely observational — scores are identical with it on or
+            off.
 
     Returns:
         :class:`PageRankResult` with the stationary distribution.
@@ -131,16 +165,9 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
     jump_vector = validate_jump(jump, n)
     transition_t, dangling = build_transition(graph, edge_weights)
 
-    if initial is not None:
-        scores = np.asarray(initial, dtype=np.float64).copy()
-        if scores.shape != (n,):
-            raise ConfigError(f"initial must have shape ({n},)")
-        total = scores.sum()
-        if total <= 0 or not np.all(np.isfinite(scores)):
-            raise ConfigError("initial distribution must be positive")
-        scores /= total
-    else:
-        scores = jump_vector.copy()
+    validated = validate_initial(initial, n)
+    scores = validated.copy() if validated is not None \
+        else jump_vector.copy()
 
     residual = float("inf")
     iterations = 0
@@ -153,6 +180,8 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
         new_scores /= new_scores.sum()
         residual = float(np.abs(new_scores - scores).sum())
         scores = new_scores
+        if telemetry is not None:
+            telemetry.record_iteration(residual, dangling_mass)
         if residual <= tol:
             return PageRankResult(scores, iterations, residual, True)
     if raise_on_divergence:

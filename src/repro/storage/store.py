@@ -21,7 +21,11 @@ from repro.data.schema import Article, Author, ScholarlyDataset, Venue
 
 PathLike = Union[str, Path]
 
-_SCHEMA_VERSION = 1
+# v2: citations carry a ``position`` column (the index of the reference
+# inside the article's reference tuple) so repeated citations round-trip
+# with their multiplicity and order — v1's (citing, cited) primary key
+# silently collapsed duplicates. v1 files are migrated in place on open.
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -44,8 +48,9 @@ CREATE TABLE IF NOT EXISTS articles (
 CREATE TABLE IF NOT EXISTS citations (
     dataset TEXT NOT NULL,
     citing INTEGER NOT NULL,
+    position INTEGER NOT NULL,
     cited INTEGER NOT NULL,
-    PRIMARY KEY (dataset, citing, cited)
+    PRIMARY KEY (dataset, citing, position)
 );
 CREATE TABLE IF NOT EXISTS authorship (
     dataset TEXT NOT NULL,
@@ -91,10 +96,52 @@ class DatasetStore:
         self._conn = sqlite3.connect(self._path)
         self._conn.execute("PRAGMA foreign_keys = ON")
         with self._conn:
+            stored = self._stored_schema_version()
             self._conn.executescript(_SCHEMA)
+            if stored is not None and stored < _SCHEMA_VERSION:
+                self._migrate(stored)
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
                 ("schema_version", str(_SCHEMA_VERSION)))
+
+    def _stored_schema_version(self) -> Optional[int]:
+        """Schema version already in the file (None for a fresh store)."""
+        has_meta = self._conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+            "AND name = 'meta'").fetchone()
+        if not has_meta:
+            return None
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0]) if row else None
+
+    def _migrate(self, stored: int) -> None:
+        """Upgrade an existing file's tables to the current schema."""
+        if stored < 2:
+            # v1 citations had PRIMARY KEY (dataset, citing, cited) and
+            # no position column; rebuild with synthesized positions
+            # (duplicates were already lost at v1 save time).
+            self._conn.executescript("""
+                ALTER TABLE citations RENAME TO citations_v1;
+                CREATE TABLE citations (
+                    dataset TEXT NOT NULL,
+                    citing INTEGER NOT NULL,
+                    position INTEGER NOT NULL,
+                    cited INTEGER NOT NULL,
+                    PRIMARY KEY (dataset, citing, position)
+                );
+                INSERT INTO citations(dataset, citing, position, cited)
+                    SELECT dataset, citing,
+                           ROW_NUMBER() OVER (
+                               PARTITION BY dataset, citing
+                               ORDER BY cited) - 1,
+                           cited
+                    FROM citations_v1;
+                DROP TABLE citations_v1;
+                CREATE INDEX IF NOT EXISTS idx_citations_cited
+                    ON citations(dataset, cited);
+            """)
 
     def close(self) -> None:
         self._conn.close()
@@ -144,10 +191,14 @@ class DatasetStore:
                 "INSERT INTO articles VALUES(?, ?, ?, ?, ?, ?)",
                 ((name, a.id, a.title, a.year, a.venue_id, a.quality)
                  for a in dataset.articles.values()))
+            # Positions preserve reference order *and* multiplicity, so
+            # repeated citations survive the round-trip (duplicates are
+            # legal in the schema and carry weight in the CSR graph).
             self._conn.executemany(
-                "INSERT INTO citations VALUES(?, ?, ?)",
-                ((name, a.id, ref) for a in dataset.articles.values()
-                 for ref in dict.fromkeys(a.references)))
+                "INSERT INTO citations VALUES(?, ?, ?, ?)",
+                ((name, a.id, position, ref)
+                 for a in dataset.articles.values()
+                 for position, ref in enumerate(a.references)))
             self._conn.executemany(
                 "INSERT INTO authorship VALUES(?, ?, ?, ?)",
                 ((name, a.id, author_id, position)
@@ -171,7 +222,7 @@ class DatasetStore:
         references: Dict[int, List[int]] = {}
         for citing, cited in self._conn.execute(
                 "SELECT citing, cited FROM citations WHERE dataset = ?"
-                " ORDER BY citing, cited", (name,)):
+                " ORDER BY citing, position", (name,)):
             references.setdefault(citing, []).append(cited)
         teams: Dict[int, List[int]] = {}
         for article_id, author_id in self._conn.execute(
@@ -206,9 +257,23 @@ class DatasetStore:
     def save_ranking(self, dataset: str, method: str,
                      scores: Dict[int, float],
                      overwrite: bool = False) -> None:
-        """Persist per-article ``scores`` of one ranking ``method``."""
+        """Persist per-article ``scores`` of one ranking ``method``.
+
+        Every scored id must exist in the stored dataset — a ranking of
+        articles the store does not know would poison
+        :meth:`top_articles` and downstream index construction.
+        """
         if not self.has_dataset(dataset):
             raise StorageError(f"no stored dataset named {dataset!r}")
+        known = {row[0] for row in self._conn.execute(
+            "SELECT id FROM articles WHERE dataset = ?", (dataset,))}
+        unknown = sorted(set(scores) - known)
+        if unknown:
+            preview = ", ".join(str(i) for i in unknown[:5])
+            raise StorageError(
+                f"ranking {method!r} scores {len(unknown)} article id(s) "
+                f"not in dataset {dataset!r}: {preview}"
+                + ("..." if len(unknown) > 5 else ""))
         existing = self._conn.execute(
             "SELECT 1 FROM rankings WHERE dataset = ? AND method = ? "
             "LIMIT 1", (dataset, method)).fetchone()

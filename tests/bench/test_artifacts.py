@@ -1,0 +1,31 @@
+"""PerfArtifact tests: the machine-readable BENCH_*.json artifact."""
+
+import json
+
+from repro.bench.runner import PerfArtifact
+from repro.obs.report import RunReport
+
+
+class TestPerfArtifact:
+    def test_filename(self):
+        assert PerfArtifact("e4").filename() == "BENCH_E4.json"
+
+    def test_records_keep_label_and_metrics(self):
+        artifact = PerfArtifact("E9")
+        entry = artifact.record("scaling", num_nodes=10, seconds=0.5)
+        assert entry == {"label": "scaling", "num_nodes": 10,
+                         "seconds": 0.5}
+        assert artifact.records == [entry]
+
+    def test_save_writes_valid_report(self, tmp_path):
+        artifact = PerfArtifact("E9")
+        artifact.record("scaling", num_nodes=10, seconds=0.5)
+        artifact.record("scaling", num_nodes=20, seconds=1.25)
+        path = artifact.save(tmp_path)
+        assert path.name == "BENCH_E9.json"
+        report = json.loads(path.read_text())
+        assert report["name"] == "E9"
+        assert {"host", "python", "time"} <= set(report["meta"])
+        records = report["metrics"]["records"]
+        assert [r["num_nodes"] for r in records] == [10, 20]
+        assert RunReport.load(path) == report

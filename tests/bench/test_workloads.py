@@ -1,6 +1,5 @@
 """Benchmark workload builder tests (small scales to stay fast)."""
 
-import pytest
 
 from repro.bench.runner import ExperimentLog
 from repro.bench.workloads import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, DatasetError
-from repro.core.entity_rank import EntityRanker, EntityRanking
+from repro.core.entity_rank import EntityRanker
 from repro.core.model import ArticleRanker, RankerConfig
 from repro.data.schema import Article, ScholarlyDataset
 

@@ -163,3 +163,65 @@ class TestInterface:
                                       tol=1e-12, max_iter=500,
                                       initial=cold.scores)
         assert warm.iterations < cold.iterations
+
+
+class TestInitialValidation:
+    """Regression: a bad `initial` used to flow straight into the solver
+    (power normalized silently, gauss_seidel/levels used it raw)."""
+
+    @pytest.mark.parametrize("method", ["power", "gauss_seidel", "levels"])
+    @pytest.mark.parametrize("bad", [
+        np.ones(3),                      # wrong shape
+        np.array([1.0, np.nan, 1.0, 1.0]),
+        np.array([1.0, np.inf, 1.0, 1.0]),
+        np.array([1.0, -1.0, 1.0, 1.0]),  # negative mass
+        np.zeros(4),                      # zero total mass
+    ])
+    def test_bad_initial_rejected(self, dated_graph, method, bad):
+        graph, years = dated_graph
+        with pytest.raises(ConfigError):
+            time_weighted_pagerank(graph, years, method=method, initial=bad)
+
+    @pytest.mark.parametrize("method", ["power", "gauss_seidel", "levels"])
+    def test_unnormalized_initial_is_normalized(self, dated_graph, method):
+        graph, years = dated_graph
+        base = time_weighted_pagerank(graph, years, method=method,
+                                      tol=1e-12, max_iter=500)
+        scaled = time_weighted_pagerank(graph, years, method=method,
+                                        tol=1e-12, max_iter=500,
+                                        initial=np.full(4, 7.0))
+        assert np.abs(base.scores - scaled.scores).sum() < 1e-10
+
+
+class TestTelemetry:
+    """Telemetry is a passive observer: identical fixed points on/off."""
+
+    @pytest.mark.parametrize("method", ["power", "gauss_seidel", "levels"])
+    def test_scores_bit_identical_with_telemetry(self, small_dataset,
+                                                 method):
+        from repro.obs import SolverTelemetry
+
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        plain = time_weighted_pagerank(graph, years, method=method)
+        telemetry = SolverTelemetry()
+        observed = time_weighted_pagerank(graph, years, method=method,
+                                          telemetry=telemetry)
+        assert np.array_equal(plain.scores, observed.scores)
+        assert observed.iterations == plain.iterations
+        assert telemetry.iterations == observed.iterations
+        assert telemetry.solver == method
+        assert telemetry.residuals[-1] <= 1e-10
+        assert len(telemetry.dangling_mass) == telemetry.iterations
+
+    def test_auto_reports_levels(self, small_dataset):
+        from repro.obs import SolverTelemetry
+
+        graph = small_dataset.citation_csr()
+        years = small_dataset.article_years(graph)
+        telemetry = SolverTelemetry()
+        time_weighted_pagerank(graph, years, method="auto",
+                               telemetry=telemetry)
+        assert telemetry.solver == "levels"
+        assert telemetry.counters["levels"] >= 1
+        assert "dangling_nodes" in telemetry.counters

@@ -1,6 +1,5 @@
 """Synthetic-generator tests: determinism, structure, config validation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

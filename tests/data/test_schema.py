@@ -1,6 +1,5 @@
 """Schema and dataset-container tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DatasetError

@@ -1,7 +1,5 @@
 """Batch ranker and solver-comparison tests."""
 
-import numpy as np
-import pytest
 
 from repro.core.model import RankerConfig
 from repro.engine.batch import BatchRanker, compare_solvers

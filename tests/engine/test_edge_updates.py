@@ -1,6 +1,5 @@
 """Citation-insertion (edge) update tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DatasetError

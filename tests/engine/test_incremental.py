@@ -109,3 +109,37 @@ class TestStream:
         report = engine.apply(UpdateBatch(articles=()))
         assert report.num_nodes == base.num_articles
         assert np.abs(engine.scores - before).sum() < 1e-9
+
+
+class TestTelemetry:
+    def test_batch_records_and_identical_scores(self, split):
+        from repro.obs import SolverTelemetry
+
+        base, batch = split
+        plain = IncrementalEngine(base)
+        plain_report = plain.apply(batch)
+
+        telemetry = SolverTelemetry("incremental")
+        observed = IncrementalEngine(base, telemetry=telemetry)
+        report = observed.apply(batch)
+
+        assert np.array_equal(plain.scores, observed.scores)
+        assert len(telemetry.batches) == 1
+        record = telemetry.batches[0]
+        assert record.index == 0
+        assert record.affected_nodes == len(report.affected.nodes)
+        assert record.affected_nodes == len(plain_report.affected.nodes)
+        assert 0 < record.affected_fraction <= 1
+        assert record.seconds >= 0
+        assert record.num_nodes == observed.graph.num_nodes
+
+    def test_batches_accumulate_across_applies(self, small_dataset):
+        from repro.obs import SolverTelemetry
+
+        telemetry = SolverTelemetry()
+        base, batches = yearly_updates(small_dataset, from_year=2010)
+        engine = IncrementalEngine(base, telemetry=telemetry)
+        for batch in batches:
+            engine.apply(batch)
+        assert [r.index for r in telemetry.batches] == \
+            list(range(len(batches)))

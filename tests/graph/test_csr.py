@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.errors import GraphError, NodeNotFoundError
 from repro.graph.csr import CSRGraph
-from repro.graph.digraph import DiGraph
 
 
 def edges_strategy(max_nodes=12, max_edges=40):

@@ -1,8 +1,6 @@
 """K-core decomposition tests."""
 
 import networkx as nx
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

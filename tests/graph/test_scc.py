@@ -1,7 +1,6 @@
 """SCC and condensation tests, with networkx as the oracle."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Topological sort and DAG utilities."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Traversal utility tests."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import NodeNotFoundError

@@ -1,0 +1,41 @@
+"""RunReport serialization tests."""
+
+import json
+
+from repro.obs import RunReport, SolverTelemetry, StageTimings, run_metadata
+from repro.obs.report import REPORT_FORMAT_VERSION
+
+
+class TestRunReport:
+    def test_metadata_keys(self):
+        meta = run_metadata()
+        assert set(meta) == {"host", "python", "time"}
+        assert all(isinstance(v, str) for v in meta.values())
+
+    def test_to_dict_minimal(self):
+        payload = RunReport("empty").to_dict()
+        assert payload["format_version"] == REPORT_FORMAT_VERSION
+        assert payload["name"] == "empty"
+        assert "timings" not in payload
+        assert "telemetry" not in payload
+        assert "metrics" not in payload
+
+    def test_save_load_roundtrip(self, tmp_path):
+        timings = StageTimings()
+        timings.add("solve", 0.5)
+        telemetry = SolverTelemetry("power")
+        telemetry.record_iteration(0.25)
+        report = RunReport("run", timings=timings, telemetry=telemetry)
+        report.record_metric("num_articles", 1200)
+
+        path = report.save(tmp_path / "report.json")
+        loaded = RunReport.load(path)
+        assert loaded == report.to_dict()
+        assert loaded["metrics"]["num_articles"] == 1200
+        assert loaded["telemetry"]["residuals"] == [0.25]
+        assert loaded["timings"]["solve"] == 0.5
+
+    def test_json_is_valid(self):
+        report = RunReport("run")
+        report.record_metric("ok", True)
+        assert json.loads(report.to_json())["metrics"]["ok"] is True

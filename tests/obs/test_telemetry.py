@@ -1,0 +1,83 @@
+"""SolverTelemetry unit tests."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import SolverTelemetry
+
+
+class TestRecording:
+    def test_iterations(self):
+        telemetry = SolverTelemetry("power")
+        telemetry.record_iteration(0.5, dangling_mass=0.1)
+        telemetry.record_iteration(0.05, dangling_mass=0.09)
+        assert telemetry.iterations == 2
+        assert telemetry.residuals == [0.5, 0.05]
+        assert telemetry.dangling_mass == pytest.approx([0.1, 0.09])
+
+    def test_supersteps_indexed_and_summed(self):
+        telemetry = SolverTelemetry()
+        telemetry.record_superstep(0.01, messages=12, residual=0.3,
+                                   local_iterations=5,
+                                   block_iterations={0: 3, 1: 2})
+        telemetry.record_superstep(0.02, messages=8, residual=0.01)
+        assert telemetry.num_supersteps == 2
+        assert [r.index for r in telemetry.supersteps] == [0, 1]
+        assert telemetry.total_messages == 20
+        assert telemetry.supersteps[0].block_iterations == {0: 3, 1: 2}
+
+    def test_batches_indexed(self):
+        telemetry = SolverTelemetry()
+        telemetry.record_batch(affected_nodes=10, affected_fraction=0.1,
+                               seeds=3, iterations=7, residual=1e-9,
+                               seconds=0.02, num_nodes=100, num_edges=400)
+        record = telemetry.batches[0]
+        assert record.index == 0
+        assert record.affected_nodes == 10
+        assert record.num_edges == 400
+
+    def test_workers_and_bytes(self):
+        telemetry = SolverTelemetry()
+        telemetry.record_worker(0, [0, 2])
+        telemetry.record_worker(1, [1, 3])
+        telemetry.record_bytes(1000)
+        telemetry.record_bytes(24)
+        assert telemetry.worker_blocks == {0: [0, 2], 1: [1, 3]}
+        assert telemetry.bytes_shipped == 1024
+
+    def test_counters(self):
+        telemetry = SolverTelemetry()
+        telemetry.incr("sweeps")
+        telemetry.incr("sweeps", 2)
+        telemetry.set_counter("levels", 13)
+        assert telemetry.counters == {"sweeps": 3.0, "levels": 13.0}
+
+
+class TestAsDict:
+    def test_empty_sections_omitted(self):
+        payload = SolverTelemetry("levels").as_dict()
+        assert payload == {"solver": "levels", "iterations": 0,
+                           "residuals": []}
+
+    def test_full_payload_is_json_serializable(self):
+        telemetry = SolverTelemetry("parallel")
+        telemetry.record_iteration(0.1, dangling_mass=0.02)
+        telemetry.record_superstep(0.01, messages=5, residual=0.1,
+                                   block_iterations={7: 4})
+        telemetry.record_batch(affected_nodes=1, affected_fraction=0.01,
+                               seeds=1, iterations=2, residual=1e-10,
+                               seconds=0.001, num_nodes=10, num_edges=20)
+        telemetry.record_worker(0, [7])
+        telemetry.record_bytes(512)
+        telemetry.incr("restarts")
+        with telemetry.timings.stage("solve"):
+            pass
+        payload = telemetry.as_dict()
+        text = json.dumps(payload)  # must not raise
+        parsed = json.loads(text)
+        assert parsed["total_messages"] == 5
+        assert parsed["supersteps"][0]["block_iterations"] == {"7": 4}
+        assert parsed["worker_blocks"] == {"0": [7]}
+        assert parsed["bytes_shipped"] == 512
+        assert "solve" in parsed["timings"]

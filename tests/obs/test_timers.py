@@ -1,0 +1,95 @@
+"""Timer / StageTimings unit tests."""
+
+import time
+
+import pytest
+
+from repro.obs.timers import StageTimings, Timer
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer("t") as timer:
+            assert timer.running
+            time.sleep(0.01)
+        assert not timer.running
+        assert timer.seconds >= 0.01
+
+    def test_stop_is_idempotent(self):
+        timer = Timer().start()
+        first = timer.stop()
+        time.sleep(0.005)
+        assert timer.stop() == first
+
+    def test_elapsed_while_running(self):
+        timer = Timer().start()
+        time.sleep(0.005)
+        assert timer.elapsed > 0
+        timer.stop()
+        assert timer.elapsed == timer.seconds
+
+
+class TestStageTimings:
+    def test_nested_stages_get_compound_keys(self):
+        timings = StageTimings()
+        with timings.stage("solve"):
+            with timings.stage("sweep"):
+                pass
+            with timings.stage("sweep"):
+                pass
+        assert sorted(timings.as_dict()) == ["solve", "solve/sweep"]
+        assert timings.counts() == {"solve": 1, "solve/sweep": 2}
+
+    def test_repeated_stages_accumulate(self):
+        timings = StageTimings()
+        timings.add("io", 1.0)
+        timings.add("io", 2.5)
+        assert timings.as_dict()["io"] == pytest.approx(3.5)
+        assert timings.counts()["io"] == 2
+
+    def test_total_counts_only_top_level(self):
+        timings = StageTimings()
+        timings.add("outer", 2.0)
+        timings.add("outer/inner", 1.5)
+        assert timings.total() == pytest.approx(2.0)
+
+    def test_slash_in_name_rejected(self):
+        timings = StageTimings()
+        with pytest.raises(ValueError, match="reserved"):
+            with timings.stage("a/b"):
+                pass
+
+    def test_stack_unwinds_on_exception(self):
+        timings = StageTimings()
+        with pytest.raises(RuntimeError):
+            with timings.stage("outer"):
+                raise RuntimeError("boom")
+        # A later stage must be top-level again, not "outer/later".
+        with timings.stage("later"):
+            pass
+        assert "later" in timings.as_dict()
+
+    def test_merge_with_prefix(self):
+        inner = StageTimings()
+        inner.add("solve", 1.0)
+        outer = StageTimings()
+        outer.add("load", 0.5)
+        outer.merge(inner, prefix="worker0")
+        assert outer.as_dict() == pytest.approx(
+            {"load": 0.5, "worker0/solve": 1.0})
+        assert outer.counts()["worker0/solve"] == 1
+
+    def test_render_lists_every_stage(self):
+        timings = StageTimings()
+        timings.add("solve", 0.25)
+        timings.add("solve/sweep", 0.2)
+        table = timings.render("breakdown")
+        assert "# breakdown" in table
+        assert "solve" in table and "sweep" in table
+        assert "total" in table
+
+    def test_len(self):
+        timings = StageTimings()
+        assert len(timings) == 0
+        timings.add("a", 1.0)
+        assert len(timings) == 1

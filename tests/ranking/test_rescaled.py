@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.graph.csr import CSRGraph
 from repro.ranking.rescaled import rescale_by_age, rescaled_pagerank
 
 

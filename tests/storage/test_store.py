@@ -1,6 +1,8 @@
 """SQLite store tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import StorageError
 from repro.storage.store import DatasetStore
@@ -117,3 +119,134 @@ class TestAnalytics:
             store.citation_counts("ghost")
         with pytest.raises(StorageError):
             store.articles_per_year("ghost")
+
+
+def _dataset_with_references(reference_lists):
+    """Articles 0..n-1 (ascending years); article i cites per the list."""
+    from repro.data.schema import Article, ScholarlyDataset
+
+    dataset = ScholarlyDataset(name="refs")
+    for i, references in enumerate(reference_lists):
+        dataset.add_article(Article(id=i, title=f"a{i}", year=2000 + i,
+                                    venue_id=None, author_ids=(),
+                                    references=tuple(references)))
+    return dataset
+
+
+class TestDuplicateReferences:
+    """Regression: save_dataset used to collapse repeated citations
+    (dict.fromkeys), so multi-edges lost their weight after a round-trip."""
+
+    def test_duplicates_survive_roundtrip(self, store):
+        dataset = _dataset_with_references([(), (0,), (0, 0, 1, 0)])
+        store.save_dataset(dataset)
+        loaded = store.load_dataset("refs")
+        assert loaded.articles[2].references == (0, 0, 1, 0)
+        assert loaded.articles == dataset.articles
+
+    def test_multi_edge_weight_preserved_in_csr(self, store):
+        dataset = _dataset_with_references([(), (0, 0, 0)])
+        store.save_dataset(dataset)
+        graph = store.load_dataset("refs").citation_csr()
+        assert graph.num_edges == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=0, max_size=8))
+    def test_any_reference_multiset_roundtrips(self, refs):
+        dataset = _dataset_with_references([(), (), (), (), (), refs])
+        with DatasetStore(":memory:") as isolated:
+            isolated.save_dataset(dataset)
+            loaded = isolated.load_dataset("refs")
+        assert loaded.articles[5].references == tuple(refs)
+
+
+class TestSchemaMigration:
+    def _write_v1_store(self, path, rows):
+        """Hand-build a v1 database file (no position column)."""
+        import sqlite3
+
+        conn = sqlite3.connect(str(path))
+        with conn:
+            conn.executescript("""
+                CREATE TABLE meta (key TEXT PRIMARY KEY,
+                                   value TEXT NOT NULL);
+                CREATE TABLE datasets (name TEXT PRIMARY KEY,
+                                       num_articles INTEGER NOT NULL);
+                CREATE TABLE articles (
+                    dataset TEXT NOT NULL, id INTEGER NOT NULL,
+                    title TEXT NOT NULL, year INTEGER NOT NULL,
+                    venue_id INTEGER, quality REAL,
+                    PRIMARY KEY (dataset, id));
+                CREATE TABLE citations (
+                    dataset TEXT NOT NULL, citing INTEGER NOT NULL,
+                    cited INTEGER NOT NULL,
+                    PRIMARY KEY (dataset, citing, cited));
+                CREATE TABLE authorship (
+                    dataset TEXT NOT NULL, article_id INTEGER NOT NULL,
+                    author_id INTEGER NOT NULL, position INTEGER NOT NULL,
+                    PRIMARY KEY (dataset, article_id, position));
+                CREATE TABLE venues (
+                    dataset TEXT NOT NULL, id INTEGER NOT NULL,
+                    name TEXT NOT NULL, prestige REAL,
+                    PRIMARY KEY (dataset, id));
+                CREATE TABLE authors (
+                    dataset TEXT NOT NULL, id INTEGER NOT NULL,
+                    name TEXT NOT NULL, PRIMARY KEY (dataset, id));
+                CREATE TABLE rankings (
+                    dataset TEXT NOT NULL, method TEXT NOT NULL,
+                    article_id INTEGER NOT NULL, score REAL NOT NULL,
+                    PRIMARY KEY (dataset, method, article_id));
+                INSERT INTO meta VALUES ('schema_version', '1');
+                INSERT INTO datasets VALUES ('old', 3);
+                INSERT INTO articles VALUES ('old', 0, 'a0', 2000,
+                                             NULL, NULL);
+                INSERT INTO articles VALUES ('old', 1, 'a1', 2001,
+                                             NULL, NULL);
+                INSERT INTO articles VALUES ('old', 2, 'a2', 2002,
+                                             NULL, NULL);
+            """)
+            conn.executemany("INSERT INTO citations VALUES (?, ?, ?)",
+                             rows)
+        conn.close()
+
+    def test_v1_file_migrates_in_place(self, tmp_path):
+        path = tmp_path / "v1.db"
+        self._write_v1_store(path, [("old", 2, 0), ("old", 2, 1),
+                                    ("old", 1, 0)])
+        with DatasetStore(path) as store:
+            loaded = store.load_dataset("old")
+            assert loaded.articles[2].references == (0, 1)
+            assert loaded.articles[1].references == (0,)
+            # Version stamp advanced so the migration never re-runs.
+            assert store._stored_schema_version() == 2
+        # Re-opening the migrated file is a no-op.
+        with DatasetStore(path) as store:
+            assert store.load_dataset("old").articles[2].references == (0, 1)
+
+    def test_fresh_store_is_current_version(self, store):
+        from repro.storage.store import _SCHEMA_VERSION
+
+        assert store._stored_schema_version() == _SCHEMA_VERSION
+
+
+class TestRankingValidation:
+    """Regression: save_ranking accepted article ids absent from the
+    dataset, poisoning top_articles and downstream indexes."""
+
+    def test_unknown_ids_rejected(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        with pytest.raises(StorageError, match="not in dataset"):
+            store.save_ranking("tiny", "pr", {0: 0.5, 99: 0.5})
+        # Nothing was written.
+        assert store.list_rankings("tiny") == []
+
+    def test_error_lists_offenders_with_preview(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        bad = {i: 0.1 for i in range(100, 110)}
+        with pytest.raises(StorageError, match=r"10 article id\(s\)"):
+            store.save_ranking("tiny", "pr", bad)
+
+    def test_known_ids_still_accepted(self, store, tiny_dataset):
+        store.save_dataset(tiny_dataset)
+        store.save_ranking("tiny", "pr", {0: 0.6, 4: 0.4})
+        assert store.load_ranking("tiny", "pr") == {0: 0.6, 4: 0.4}

@@ -82,3 +82,32 @@ class TestStore:
     def test_empty_store_listing(self, tmp_path, capsys):
         assert main(["store", str(tmp_path / "empty.db")]) == 0
         assert "empty" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_prints_breakdown(self, dataset_path, capsys):
+        assert main(["profile", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# profile:" in out
+        assert "stage breakdown" in out
+        assert "iteration(s)" in out
+        assert "residual trajectory:" in out
+
+    @pytest.mark.parametrize("method", ["power", "gauss_seidel", "levels"])
+    def test_solver_choice(self, dataset_path, method, capsys):
+        assert main(["profile", str(dataset_path),
+                     "--method", method]) == 0
+        assert f"solver={method}" in capsys.readouterr().out
+
+    def test_json_report(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        assert main(["profile", str(dataset_path), "--method", "levels",
+                     "--json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["format_version"] == 1
+        assert report["telemetry"]["solver"] == "levels"
+        assert report["telemetry"]["iterations"] >= 1
+        assert report["metrics"]["num_articles"] == 500
+        assert "timings" in report

@@ -6,10 +6,8 @@ from scipy.stats import spearmanr
 
 from repro import (
     ArticleRanker,
-    GeneratorConfig,
     IncrementalEngine,
     RankerConfig,
-    generate_dataset,
 )
 from repro.data.aminer import parse_aminer, write_aminer
 from repro.data.ground_truth import build_ground_truth
