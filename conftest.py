@@ -1,0 +1,55 @@
+"""Repo-root pytest config: fallback for the global test-hang cap.
+
+pyproject.toml sets ``timeout = 120`` for pytest-timeout, but this repo
+must also work in offline environments where that plugin is absent.
+When it is, the hooks below register the ini key (so pytest does not
+warn about it) and enforce the cap with SIGALRM — POSIX main-thread
+only, which is exactly where the fault-injection tests that could hang
+run. Lives at the root (not ``tests/``) so benchmark runs are covered
+too.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+import threading
+
+import pytest
+
+_HAVE_PYTEST_TIMEOUT = \
+    importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini("timeout", "per-test hang cap in seconds "
+                                 "(fallback for pytest-timeout)",
+                      default="0")
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        try:
+            seconds = int(float(item.config.getini("timeout") or 0))
+        except (TypeError, ValueError):
+            seconds = 0
+        on_main = threading.current_thread() is threading.main_thread()
+        if seconds <= 0 or not on_main:
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds}s global timeout "
+                f"(conftest SIGALRM fallback)")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(seconds)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)

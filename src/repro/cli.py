@@ -13,6 +13,9 @@ Commands:
     store     — persist a dataset into a SQLite store / list stored ones.
     profile   — rank a dataset with solver telemetry on and print the
                 stage/iteration breakdown (optionally save JSON).
+    resume    — inspect a live-ranker checkpoint directory (rotation
+                health, manifest) and continue the session from the
+                newest intact rotation.
 """
 
 from __future__ import annotations
@@ -234,6 +237,76 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthetic_batch(dataset: ScholarlyDataset, size: int,
+                     rng) -> "UpdateBatch":
+    """A plausible arrival batch: fresh ids citing existing articles."""
+    from repro.data.schema import Article
+    from repro.engine.updates import UpdateBatch
+
+    existing = sorted(dataset.articles)
+    next_id = existing[-1] + 1
+    _, max_year = dataset.year_range()
+    articles = tuple(
+        Article(id=next_id + offset,
+                title=f"synthetic-arrival-{next_id + offset}",
+                year=max_year, venue_id=None, author_ids=(),
+                references=tuple(rng.sample(existing,
+                                            min(3, len(existing)))))
+        for offset in range(size))
+    return UpdateBatch(articles=articles)
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    import json as json_module
+    import random
+
+    from repro.engine.live import LiveRanker, checkpoint_rotations
+    from repro.engine.state import verify_checkpoint
+
+    root = Path(args.checkpoint)
+    rotations = checkpoint_rotations(root)
+    if not rotations:
+        raise ReproError(f"no checkpoint rotations under {root}")
+    print(f"# checkpoint health: {root}")
+    for rotation in rotations:
+        problems = verify_checkpoint(rotation)
+        print(f"{rotation.name}: "
+              + ("ok" if not problems else f"CORRUPT — {problems[0]}"))
+
+    live = LiveRanker.resume(root)
+    used = root / f"ckpt-{live.batches_applied:08d}"
+    manifest_path = used / "MANIFEST.json"
+    if manifest_path.exists():
+        manifest = json_module.loads(
+            manifest_path.read_text(encoding="utf-8"))
+        for name, entry in sorted(manifest.get("files", {}).items()):
+            print(f"  {used.name}/{name}: {entry['bytes']} bytes, "
+                  f"sha256 {entry['sha256'][:12]}…")
+    dataset = live.dataset
+    print(f"resumed from {used.name}: {dataset.num_articles} articles, "
+          f"{dataset.num_citations} citations, "
+          f"batch count {live.batches_applied}")
+
+    if args.batches:
+        rng = random.Random(args.seed)
+        for _ in range(args.batches):
+            _, report = live.apply(
+                _synthetic_batch(live.dataset, args.batch_size, rng))
+            print(f"applied batch {live.batches_applied}: affected "
+                  f"{report.affected.fraction:.1%} of "
+                  f"{report.num_nodes} nodes in "
+                  f"{report.iterations} iteration(s)")
+
+    dataset = live.dataset
+    print(f"# top {args.top} of {dataset.num_articles} articles")
+    for rank, (article_id, score) in enumerate(live.result.top(args.top),
+                                               start=1):
+        article = dataset.articles[article_id]
+        print(f"{rank:4d}  {score:.6f}  [{article.year}] "
+              f"{article.title[:60]}")
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     with DatasetStore(args.db) as store:
         if args.dataset is None:
@@ -340,6 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("dataset", nargs="?")
     store.add_argument("--overwrite", action="store_true")
     store.set_defaults(handler=_command_store)
+
+    resume = commands.add_parser(
+        "resume", help="report a live checkpoint's health and continue "
+                       "ranking from its newest intact rotation")
+    resume.add_argument("checkpoint",
+                        help="LiveRanker checkpoint rotation directory")
+    resume.add_argument("--top", type=int, default=10)
+    resume.add_argument("--batches", type=int, default=0,
+                        help="apply N synthetic arrival batches after "
+                             "resuming (continues auto-checkpointing)")
+    resume.add_argument("--batch-size", type=int, default=20)
+    resume.add_argument("--seed", type=int, default=0)
+    resume.set_defaults(handler=_command_resume)
     return parser
 
 

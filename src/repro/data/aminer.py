@@ -21,7 +21,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.errors import ParseError
+from repro.errors import DatasetError, ParseError
+from repro.data.quarantine import ParseReport, validate_on_error
 from repro.data.schema import Article, Author, ScholarlyDataset, Venue
 
 PathLike = Union[str, Path]
@@ -37,6 +38,9 @@ class _RecordBuilder:
         self.venue: Optional[str] = None
         self.index: Optional[int] = None
         self.references: List[int] = []
+        #: set when a line of this record failed to parse under
+        #: quarantine — the whole record is then dropped, once.
+        self.bad = False
 
     @property
     def started(self) -> bool:
@@ -44,45 +48,105 @@ class _RecordBuilder:
                     self.year is not None, self.authors, self.references))
 
 
-def parse_aminer(path: PathLike) -> ScholarlyDataset:
+def _parse_line(builder: _RecordBuilder, line: str, path: Path,
+                line_number: int) -> None:
+    """Fold one tagged line into ``builder`` (raises ParseError)."""
+    if line.startswith("#*"):
+        builder.title = line[2:].strip()
+    elif line.startswith("#@"):
+        names = [n.strip() for n in line[2:].split(";")]
+        builder.authors = [n for n in names if n]
+    elif line.startswith("#t"):
+        text = line[2:].strip()
+        try:
+            builder.year = int(text) if text else 0
+        except ValueError:
+            raise ParseError(f"bad year {text!r}", str(path),
+                             line_number) from None
+    elif line.startswith("#c"):
+        builder.venue = line[2:].strip() or None
+    elif line.startswith("#index"):
+        text = line[6:].strip()
+        try:
+            builder.index = int(text)
+        except ValueError:
+            raise ParseError(f"bad index {text!r}", str(path),
+                             line_number) from None
+    elif line.startswith("#%"):
+        text = line[2:].strip()
+        if text:
+            try:
+                builder.references.append(int(text))
+            except ValueError:
+                raise ParseError(f"bad reference {text!r}",
+                                 str(path), line_number) from None
+    elif line.startswith("#!") or line.startswith("#"):
+        pass  # abstract or unknown tag: ignored
+    else:
+        raise ParseError(f"unrecognized line {line[:40]!r}",
+                         str(path), line_number)
+
+
+def parse_aminer(path: PathLike, on_error: str = "strict",
+                 report: Optional[ParseReport] = None) -> ScholarlyDataset:
     """Parse an AMiner citation-network text file into a dataset.
 
     Articles missing an ``#index`` raise; articles missing a year get year
     0 (AMiner uses 0 for unknown). Dangling references are preserved (the
     schema tolerates them; graph builders drop them).
+
+    ``on_error="quarantine"`` skips malformed records instead of
+    aborting the whole parse and accounts for them in ``report`` (pass a
+    :class:`repro.data.quarantine.ParseReport` to inspect counts and the
+    first offending lines); the default ``"strict"`` raises on the first
+    bad record, as a reproducible experiment pipeline should.
     """
+    validate_on_error(on_error)
+    quarantine = on_error == "quarantine"
+    if report is None:
+        report = ParseReport()
     path = Path(path)
     dataset = ScholarlyDataset(name=path.stem)
     venue_ids: Dict[str, int] = {}
     author_ids: Dict[str, int] = {}
 
     def finish(builder: _RecordBuilder, line_number: int) -> None:
-        if not builder.started:
+        if not builder.started or builder.bad:
+            return  # bad records were accounted at the offending line
+        try:
+            if builder.index is None:
+                raise ParseError("record has no #index line", str(path),
+                                 line_number)
+            venue_id = None
+            if builder.venue:
+                if builder.venue not in venue_ids:
+                    venue_ids[builder.venue] = len(venue_ids)
+                    dataset.add_venue(Venue(id=venue_ids[builder.venue],
+                                            name=builder.venue))
+                venue_id = venue_ids[builder.venue]
+            team: List[int] = []
+            for name in builder.authors:
+                if name not in author_ids:
+                    author_ids[name] = len(author_ids)
+                    dataset.add_author(Author(id=author_ids[name],
+                                              name=name))
+                team.append(author_ids[name])
+            dataset.add_article(Article(
+                id=builder.index,
+                title=builder.title or "",
+                year=builder.year if builder.year is not None else 0,
+                venue_id=venue_id,
+                author_ids=tuple(team),
+                references=tuple(builder.references),
+            ))
+        except (ParseError, DatasetError) as exc:
+            if not quarantine:
+                raise
+            report.record_error(exc if isinstance(exc, ParseError)
+                                else ParseError(str(exc), str(path),
+                                                line_number))
             return
-        if builder.index is None:
-            raise ParseError("record has no #index line", str(path),
-                             line_number)
-        venue_id = None
-        if builder.venue:
-            if builder.venue not in venue_ids:
-                venue_ids[builder.venue] = len(venue_ids)
-                dataset.add_venue(Venue(id=venue_ids[builder.venue],
-                                        name=builder.venue))
-            venue_id = venue_ids[builder.venue]
-        team: List[int] = []
-        for name in builder.authors:
-            if name not in author_ids:
-                author_ids[name] = len(author_ids)
-                dataset.add_author(Author(id=author_ids[name], name=name))
-            team.append(author_ids[name])
-        dataset.add_article(Article(
-            id=builder.index,
-            title=builder.title or "",
-            year=builder.year if builder.year is not None else 0,
-            venue_id=venue_id,
-            author_ids=tuple(team),
-            references=tuple(builder.references),
-        ))
+        report.record_ok()
 
     builder = _RecordBuilder()
     last_line = 0
@@ -94,44 +158,18 @@ def parse_aminer(path: PathLike) -> ScholarlyDataset:
                 finish(builder, line_number)
                 builder = _RecordBuilder()
                 continue
-            if line.startswith("#*"):
-                if builder.title is not None:
-                    # New record without separating blank line.
-                    finish(builder, line_number)
-                    builder = _RecordBuilder()
-                builder.title = line[2:].strip()
-            elif line.startswith("#@"):
-                names = [n.strip() for n in line[2:].split(";")]
-                builder.authors = [n for n in names if n]
-            elif line.startswith("#t"):
-                text = line[2:].strip()
-                try:
-                    builder.year = int(text) if text else 0
-                except ValueError:
-                    raise ParseError(f"bad year {text!r}", str(path),
-                                     line_number) from None
-            elif line.startswith("#c"):
-                builder.venue = line[2:].strip() or None
-            elif line.startswith("#index"):
-                text = line[6:].strip()
-                try:
-                    builder.index = int(text)
-                except ValueError:
-                    raise ParseError(f"bad index {text!r}", str(path),
-                                     line_number) from None
-            elif line.startswith("#%"):
-                text = line[2:].strip()
-                if text:
-                    try:
-                        builder.references.append(int(text))
-                    except ValueError:
-                        raise ParseError(f"bad reference {text!r}",
-                                         str(path), line_number) from None
-            elif line.startswith("#!") or line.startswith("#"):
-                continue  # abstract or unknown tag: ignored
-            else:
-                raise ParseError(f"unrecognized line {line[:40]!r}",
-                                 str(path), line_number)
+            if line.startswith("#*") and builder.title is not None:
+                # New record without separating blank line.
+                finish(builder, line_number)
+                builder = _RecordBuilder()
+            try:
+                _parse_line(builder, line, path, line_number)
+            except ParseError as exc:
+                if not quarantine:
+                    raise
+                if not builder.bad:
+                    builder.bad = True
+                    report.record_error(exc)
     finish(builder, last_line + 1)
     return dataset
 

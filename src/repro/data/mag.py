@@ -18,9 +18,10 @@ Missing optional files yield auto-named venues/authors.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import ParseError
+from repro.errors import DatasetError, ParseError
+from repro.data.quarantine import ParseReport, validate_on_error
 from repro.data.schema import Article, Author, ScholarlyDataset, Venue
 
 PathLike = Union[str, Path]
@@ -39,8 +40,42 @@ def _int_field(text: str, what: str, path: Path, line: int) -> int:
         raise ParseError(f"bad {what} {text!r}", str(path), line) from None
 
 
-def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
-    """Parse a MAG-style directory into a :class:`ScholarlyDataset`."""
+def _pair_rows(path: Path, what_a: str, what_b: str, quarantine: bool,
+               report: ParseReport):
+    """Yield ``(id, id)`` pairs from a two-column TSV, quarantining bad
+    rows when asked."""
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            if not raw.strip():
+                continue
+            try:
+                parts = raw.rstrip("\n").split("\t")
+                if len(parts) < 2:
+                    raise ParseError("expected 2 columns", str(path),
+                                     line_number)
+                yield (_int_field(parts[0], what_a, path, line_number),
+                       _int_field(parts[1], what_b, path, line_number))
+            except ParseError as exc:
+                if not quarantine:
+                    raise
+                report.record_error(exc)
+
+
+def parse_mag_directory(directory: PathLike, on_error: str = "strict",
+                        report: Optional[ParseReport] = None
+                        ) -> ScholarlyDataset:
+    """Parse a MAG-style directory into a :class:`ScholarlyDataset`.
+
+    ``on_error="quarantine"`` skips malformed rows (short rows, non-int
+    ids/years, duplicate paper ids) instead of aborting the multi-file
+    parse, accounting for them in ``report``; a missing ``Papers.txt``
+    stays fatal in both modes — that is a broken layout, not a broken
+    record. The default ``"strict"`` raises on the first bad row.
+    """
+    validate_on_error(on_error)
+    quarantine = on_error == "quarantine"
+    if report is None:
+        report = ParseReport()
     directory = Path(directory)
     papers_path = directory / PAPERS_FILE
     if not papers_path.exists():
@@ -51,36 +86,16 @@ def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
     references: Dict[int, List[int]] = {}
     refs_path = directory / REFERENCES_FILE
     if refs_path.exists():
-        with open(refs_path, encoding="utf-8") as handle:
-            for line_number, raw in enumerate(handle, start=1):
-                if not raw.strip():
-                    continue
-                parts = raw.rstrip("\n").split("\t")
-                if len(parts) < 2:
-                    raise ParseError("expected 2 columns", str(refs_path),
-                                     line_number)
-                src = _int_field(parts[0], "paper id", refs_path,
-                                 line_number)
-                dst = _int_field(parts[1], "reference id", refs_path,
-                                 line_number)
-                references.setdefault(src, []).append(dst)
+        for src, dst in _pair_rows(refs_path, "paper id", "reference id",
+                                   quarantine, report):
+            references.setdefault(src, []).append(dst)
 
     authorship: Dict[int, List[int]] = {}
     auth_path = directory / AUTHORSHIP_FILE
     if auth_path.exists():
-        with open(auth_path, encoding="utf-8") as handle:
-            for line_number, raw in enumerate(handle, start=1):
-                if not raw.strip():
-                    continue
-                parts = raw.rstrip("\n").split("\t")
-                if len(parts) < 2:
-                    raise ParseError("expected 2 columns", str(auth_path),
-                                     line_number)
-                paper = _int_field(parts[0], "paper id", auth_path,
-                                   line_number)
-                author = _int_field(parts[1], "author id", auth_path,
-                                    line_number)
-                authorship.setdefault(paper, []).append(author)
+        for paper, author in _pair_rows(auth_path, "paper id",
+                                        "author id", quarantine, report):
+            authorship.setdefault(paper, []).append(author)
 
     venue_names: Dict[int, str] = {}
     venues_path = directory / VENUES_FILE
@@ -90,8 +105,14 @@ def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
                 if not raw.strip():
                     continue
                 parts = raw.rstrip("\n").split("\t")
-                venue_id = _int_field(parts[0], "venue id", venues_path,
-                                      line_number)
+                try:
+                    venue_id = _int_field(parts[0], "venue id",
+                                          venues_path, line_number)
+                except ParseError as exc:
+                    if not quarantine:
+                        raise
+                    report.record_error(exc)
+                    continue
                 venue_names[venue_id] = parts[1] if len(parts) > 1 else ""
 
     author_names: Dict[int, str] = {}
@@ -102,9 +123,30 @@ def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
                 if not raw.strip():
                     continue
                 parts = raw.rstrip("\n").split("\t")
-                author_id = _int_field(parts[0], "author id", authors_path,
-                                       line_number)
-                author_names[author_id] = parts[1] if len(parts) > 1 else ""
+                try:
+                    author_id = _int_field(parts[0], "author id",
+                                           authors_path, line_number)
+                except ParseError as exc:
+                    if not quarantine:
+                        raise
+                    report.record_error(exc)
+                    continue
+                author_names[author_id] = parts[1] if len(parts) > 1 \
+                    else ""
+
+    def parse_paper_row(parts: List[str], line_number: int
+                        ) -> Tuple[int, str, int, Optional[int]]:
+        if len(parts) < 3:
+            raise ParseError("expected >= 3 columns", str(papers_path),
+                             line_number)
+        paper_id = _int_field(parts[0], "paper id", papers_path,
+                              line_number)
+        year = _int_field(parts[2], "year", papers_path, line_number)
+        venue_id = None
+        if len(parts) > 3 and parts[3].strip():
+            venue_id = _int_field(parts[3], "venue id", papers_path,
+                                  line_number)
+        return paper_id, parts[1], year, venue_id
 
     seen_venues: Dict[int, None] = {}
     seen_authors: Dict[int, None] = {}
@@ -113,26 +155,28 @@ def parse_mag_directory(directory: PathLike) -> ScholarlyDataset:
             if not raw.strip():
                 continue
             parts = raw.rstrip("\n").split("\t")
-            if len(parts) < 3:
-                raise ParseError("expected >= 3 columns", str(papers_path),
-                                 line_number)
-            paper_id = _int_field(parts[0], "paper id", papers_path,
-                                  line_number)
-            title = parts[1]
-            year = _int_field(parts[2], "year", papers_path, line_number)
-            venue_id = None
-            if len(parts) > 3 and parts[3].strip():
-                venue_id = _int_field(parts[3], "venue id", papers_path,
-                                      line_number)
+            try:
+                paper_id, title, year, venue_id = parse_paper_row(
+                    parts, line_number)
+                team = tuple(authorship.get(paper_id, ()))
+                dataset.add_article(Article(
+                    id=paper_id, title=title, year=year,
+                    venue_id=venue_id, author_ids=team,
+                    references=tuple(references.get(paper_id, ())),
+                ))
+            except (ParseError, DatasetError) as exc:
+                if not quarantine:
+                    raise
+                report.record_error(
+                    exc if isinstance(exc, ParseError)
+                    else ParseError(str(exc), str(papers_path),
+                                    line_number))
+                continue
+            if venue_id is not None:
                 seen_venues[venue_id] = None
-            team = tuple(authorship.get(paper_id, ()))
             for author_id in team:
                 seen_authors[author_id] = None
-            dataset.add_article(Article(
-                id=paper_id, title=title, year=year, venue_id=venue_id,
-                author_ids=team,
-                references=tuple(references.get(paper_id, ())),
-            ))
+            report.record_ok()
 
     for venue_id in seen_venues:
         dataset.add_venue(Venue(

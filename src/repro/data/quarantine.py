@@ -1,0 +1,69 @@
+"""Quarantine accounting for tolerant dataset parsing.
+
+A multi-gigabyte AMiner/MAG dump almost always contains a handful of
+mangled records — a bad year, a missing ``#index``, a short TSV row.
+Aborting a multi-hour ingest on record three million is the wrong
+default for a production pipeline, so the parsers accept
+``on_error="quarantine"``: malformed records are skipped and accounted
+for in a :class:`ParseReport` (counts plus the first few offending
+locations), while ``on_error="strict"`` — the default — keeps today's
+fail-fast behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+
+#: How many offending records a report keeps verbatim; beyond this only
+#: the count grows (a corrupt dump must not balloon memory).
+MAX_SAMPLES = 5
+
+_MODES = ("strict", "quarantine")
+
+
+def validate_on_error(on_error: str) -> str:
+    """Check an ``on_error`` parser argument; returns it unchanged."""
+    if on_error not in _MODES:
+        raise ConfigError(
+            f"on_error must be one of {_MODES}, got {on_error!r}")
+    return on_error
+
+
+@dataclass
+class ParseReport:
+    """What a tolerant parse kept and what it quarantined."""
+
+    records_ok: int = 0
+    quarantined: int = 0
+    samples: List[str] = field(default_factory=list)
+
+    def record_ok(self) -> None:
+        self.records_ok += 1
+
+    def record_error(self, error: Exception) -> None:
+        """Account one malformed record (first few kept verbatim)."""
+        self.quarantined += 1
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append(str(error))
+
+    @property
+    def total(self) -> int:
+        return self.records_ok + self.quarantined
+
+    @property
+    def clean(self) -> bool:
+        return self.quarantined == 0
+
+    def summary(self) -> str:
+        """One human line, plus one line per kept sample."""
+        head = (f"parsed {self.records_ok} record(s), "
+                f"quarantined {self.quarantined}")
+        if not self.samples:
+            return head
+        shown = "\n".join(f"  - {sample}" for sample in self.samples)
+        suffix = "" if self.quarantined <= len(self.samples) \
+            else f"\n  ... and {self.quarantined - len(self.samples)} more"
+        return f"{head}\n{shown}{suffix}"

@@ -9,13 +9,25 @@ the two together into the interface a live scholarly index would run:
     live = LiveRanker(bootstrap_dataset)
     for batch in arrivals:
         result, report = live.apply(batch)   # full RankingResult
+
+A live service also has to survive its host: with ``checkpoint_dir``
+set, the ranker writes a crash-safe checkpoint rotation every
+``checkpoint_every`` batches (keeping the newest ``checkpoint_keep``),
+and :meth:`LiveRanker.resume` restarts mid-stream from the newest
+*intact* rotation — corrupt or torn rotations are skipped, not fatal.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+import json
+import os
+import re
+import shutil
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.telemetry import SolverTelemetry
@@ -23,7 +35,23 @@ from repro.core.model import ArticleRanker, RankerConfig, RankingResult
 from repro.core.time_weight import exponential_decay
 from repro.data.schema import ScholarlyDataset
 from repro.engine.incremental import IncrementalEngine, IncrementalReport
+from repro.engine.state import load_engine, save_engine
 from repro.engine.updates import UpdateBatch
+
+PathLike = Union[str, Path]
+
+_LIVE_FILE = "live.json"
+_ROTATION_PATTERN = re.compile(r"^ckpt-(\d{8})$")
+
+
+def checkpoint_rotations(directory: PathLike) -> List[Path]:
+    """Rotation directories under a live checkpoint root, newest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    rotations = [path for path in directory.iterdir()
+                 if path.is_dir() and _ROTATION_PATTERN.match(path.name)]
+    return sorted(rotations, key=lambda p: p.name, reverse=True)
 
 
 class LiveRanker:
@@ -32,7 +60,10 @@ class LiveRanker:
     def __init__(self, dataset: ScholarlyDataset,
                  config: Optional[RankerConfig] = None,
                  delta_threshold: float = 1e-3,
-                 telemetry: Optional["SolverTelemetry"] = None) -> None:
+                 telemetry: Optional["SolverTelemetry"] = None,
+                 checkpoint_dir: Optional[PathLike] = None,
+                 checkpoint_every: int = 0,
+                 checkpoint_keep: int = 3) -> None:
         """Bootstrap on ``dataset`` (one exact solve), then stay live.
 
         ``config.solver`` is ignored (prestige is maintained by the
@@ -41,12 +72,25 @@ class LiveRanker:
         ``telemetry`` is handed to the incremental engine, so every
         applied batch appends one affected-area record; the rankings are
         unchanged with it on or off.
+
+        ``checkpoint_dir`` opts into crash safety: every
+        ``checkpoint_every`` batches (0 = only on explicit
+        :meth:`checkpoint` calls) the engine state is saved atomically
+        under ``checkpoint_dir/ckpt-<batches>``, keeping the newest
+        ``checkpoint_keep`` rotations.
         """
         self.config = config or RankerConfig()
         if self.config.observation_year is not None:
             raise ConfigError(
                 "LiveRanker manages the observation horizon itself; "
                 "leave observation_year unset")
+        if checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if checkpoint_keep < 1:
+            raise ConfigError("checkpoint_keep must be >= 1")
+        if checkpoint_every > 0 and checkpoint_dir is None:
+            raise ConfigError(
+                "checkpoint_every needs a checkpoint_dir to write to")
         self._ranker = ArticleRanker(self.config)
         self._engine = IncrementalEngine(
             dataset,
@@ -58,6 +102,11 @@ class LiveRanker:
             telemetry=telemetry)
         self._result = self._ranker.rank_with_prestige(
             dataset, self._engine.scores, graph=self._engine.graph)
+        self._batches_applied = 0
+        self._checkpoint_dir = None if checkpoint_dir is None \
+            else Path(checkpoint_dir)
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_keep = checkpoint_keep
 
     # ------------------------------------------------------------------
 
@@ -70,6 +119,12 @@ class LiveRanker:
         """The current full-model ranking."""
         return self._result
 
+    @property
+    def batches_applied(self) -> int:
+        """Update batches ingested since bootstrap (or since the batch
+        count of the rotation this session resumed from)."""
+        return self._batches_applied
+
     def apply(self, batch: UpdateBatch
               ) -> Tuple[RankingResult, IncrementalReport]:
         """Ingest one batch; return the refreshed ranking and a report."""
@@ -77,8 +132,100 @@ class LiveRanker:
         self._result = self._ranker.rank_with_prestige(
             self._engine.dataset, self._engine.scores,
             graph=self._engine.graph)
+        self._batches_applied += 1
+        if (self._checkpoint_every
+                and self._batches_applied % self._checkpoint_every == 0):
+            self.checkpoint()
         return self._result, report
 
     def prestige_error_vs_exact(self) -> float:
         """Drift of maintained prestige vs a cold solve (L1)."""
         return self._engine.error_vs_exact()
+
+    # ------------------------------------------------------------------
+    # crash safety
+
+    def checkpoint(self) -> Path:
+        """Write one rotation now and prune old ones; returns its path."""
+        if self._checkpoint_dir is None:
+            raise ConfigError(
+                "no checkpoint_dir configured on this LiveRanker")
+        root = self._checkpoint_dir
+        root.mkdir(parents=True, exist_ok=True)
+        self._write_live_metadata(root)
+        rotation = root / f"ckpt-{self._batches_applied:08d}"
+        save_engine(self._engine, rotation)
+        for stale in checkpoint_rotations(root)[self._checkpoint_keep:]:
+            shutil.rmtree(stale)
+        return rotation
+
+    def _write_live_metadata(self, root: Path) -> None:
+        """Session metadata resume() needs beyond the engine state."""
+        payload = {
+            "format_version": 1,
+            "config": asdict(self.config),
+            "checkpoint_every": self._checkpoint_every,
+            "checkpoint_keep": self._checkpoint_keep,
+        }
+        staging = root / f".{_LIVE_FILE}.tmp"
+        staging.write_text(json.dumps(payload, indent=2),
+                           encoding="utf-8")
+        os.replace(staging, root / _LIVE_FILE)
+
+    @classmethod
+    def resume(cls, directory: PathLike,
+               telemetry: Optional["SolverTelemetry"] = None
+               ) -> "LiveRanker":
+        """Recover a live session from its checkpoint rotation root.
+
+        Rotations are tried newest-first; a rotation that fails
+        integrity verification (truncated file, checksum mismatch, torn
+        write) is skipped in favour of the next older one, so a crash
+        mid-save costs at most ``checkpoint_every`` batches of progress.
+        Raises :class:`StorageError` when no intact rotation remains.
+        """
+        directory = Path(directory)
+        live_path = directory / _LIVE_FILE
+        if not live_path.exists():
+            raise StorageError(
+                f"no live checkpoint in {directory} (missing "
+                f"{_LIVE_FILE})")
+        try:
+            meta = json.loads(live_path.read_text(encoding="utf-8"))
+            config = RankerConfig(**meta["config"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise StorageError(
+                f"live checkpoint metadata {live_path} is unreadable "
+                f"({exc})") from exc
+        rotations = checkpoint_rotations(directory)
+        if not rotations:
+            raise StorageError(
+                f"live checkpoint {directory} has no rotations")
+        failures: List[str] = []
+        engine = None
+        recovered = None
+        for rotation in rotations:
+            try:
+                engine = load_engine(rotation)
+                recovered = rotation
+                break
+            except StorageError as exc:
+                failures.append(f"{rotation.name}: {exc}")
+        if engine is None or recovered is None:
+            raise StorageError(
+                f"no intact checkpoint rotation in {directory}: "
+                + " | ".join(failures))
+
+        live = cls.__new__(cls)
+        live.config = config
+        live._ranker = ArticleRanker(config)
+        engine.telemetry = telemetry
+        live._engine = engine
+        live._result = live._ranker.rank_with_prestige(
+            engine.dataset, engine.scores, graph=engine.graph)
+        live._batches_applied = int(
+            _ROTATION_PATTERN.match(recovered.name).group(1))
+        live._checkpoint_dir = directory
+        live._checkpoint_every = int(meta.get("checkpoint_every", 0))
+        live._checkpoint_keep = int(meta.get("checkpoint_keep", 3))
+        return live

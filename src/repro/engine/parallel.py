@@ -13,6 +13,18 @@ handed exactly its chunk — a shared pool would force one initargs tuple
 for data each worker never reads. The telemetry layer records the bytes
 actually shipped so regressions here are measurable.
 
+Failure handling: a superstep's inputs are immutable (the previous global
+score vector), so any failed dispatch can be replayed without touching
+history. When a worker process dies (``BrokenProcessPool``) or blows its
+:class:`repro.resilience.Deadline`, the coordinator respawns that
+worker's single-process pool and re-dispatches the same blocks under a
+:class:`repro.resilience.RetryPolicy`; once retries are exhausted the
+worker is *degraded* — its blocks are solved inline in the coordinator
+through the very same code path — for the rest of the run. Recovery
+never changes the math: the fixed point stays **bit-identical** to the
+fault-free run, which the fault-injection suite asserts with
+``np.array_equal``.
+
 The fixed point is identical to :class:`repro.engine.blocks.BlockEngine`;
 only wall-clock changes with ``num_workers`` (E5's speedup curve).
 """
@@ -21,7 +33,9 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -35,6 +49,7 @@ from repro.engine.blocks import (
     solve_block,
 )
 from repro.ranking.pagerank import validate_jump
+from repro.resilience import Deadline, FaultPlan, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.telemetry import SolverTelemetry
@@ -42,36 +57,58 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 # Worker-process state, installed by _init_worker.
 _WORKER_BLOCKS: Dict[int, tuple] = {}
 _WORKER_DAMPING: float = 0.85
+_WORKER_ID: int = -1
+_WORKER_PLAN: Optional[FaultPlan] = None
 
 
-def _init_worker(block_payload: Dict[int, tuple], damping: float) -> None:
+def _init_worker(block_payload: Dict[int, tuple], damping: float,
+                 worker_id: int = -1,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
     """Install this worker's blocks (runs once per worker process)."""
-    global _WORKER_BLOCKS, _WORKER_DAMPING
+    global _WORKER_BLOCKS, _WORKER_DAMPING, _WORKER_ID, _WORKER_PLAN
     _WORKER_BLOCKS = block_payload
     _WORKER_DAMPING = damping
+    _WORKER_ID = worker_id
+    _WORKER_PLAN = fault_plan
 
 
-def _solve_blocks_task(args: Tuple[List[int], np.ndarray, float, int]
-                       ) -> List[Tuple[int, np.ndarray, int]]:
-    """Solve this worker's blocks sequentially with fresh local values.
+def _solve_block_set(blocks: Dict[int, tuple], block_ids: List[int],
+                     previous: np.ndarray, damping: float,
+                     local_tol: float, local_max_iter: int
+                     ) -> List[Tuple[int, np.ndarray, int]]:
+    """Solve a set of blocks sequentially with fresh local values.
 
     Cross-worker coupling sees the previous superstep; blocks owned by
     the same worker see each other's freshly computed scores (the
     asynchronous-within-partition trait of graph-centric runtimes).
+
+    This is the *single* solve path: worker processes and the
+    coordinator's degraded-worker fallback both call it, which is what
+    makes recovery bit-identical to normal execution.
     """
-    block_ids, previous, local_tol, local_max_iter = args
     working = previous.copy()
     results = []
     for block_id in block_ids:
-        internal_op, boundary_op, jump_block, members = \
-            _WORKER_BLOCKS[block_id]
+        internal_op, boundary_op, jump_block, members = blocks[block_id]
         external = boundary_op @ working
         scores, inner = solve_block(
             internal_op, external, jump_block, working[members],
-            _WORKER_DAMPING, local_tol, local_max_iter)
+            damping, local_tol, local_max_iter)
         working[members] = scores
         results.append((block_id, scores, inner))
     return results
+
+
+def _solve_blocks_task(args: Tuple[List[int], np.ndarray, float, int,
+                                   int, int]
+                       ) -> List[Tuple[int, np.ndarray, int]]:
+    """One worker task: fire any scripted fault, then solve the blocks."""
+    block_ids, previous, local_tol, local_max_iter, superstep, attempt = \
+        args
+    if _WORKER_PLAN is not None:
+        _WORKER_PLAN.fire_worker_fault(_WORKER_ID, superstep, attempt)
+    return _solve_block_set(_WORKER_BLOCKS, block_ids, previous,
+                            _WORKER_DAMPING, local_tol, local_max_iter)
 
 
 class ParallelBlockEngine:
@@ -80,12 +117,22 @@ class ParallelBlockEngine:
     Blocks are dealt to workers in contiguous chunks; each superstep
     dispatches one task per worker (its whole block set), so scheduling
     overhead stays constant as block count grows.
+
+    ``retry_policy`` (default :class:`repro.resilience.RetryPolicy`)
+    bounds how often a crashed or hung worker is respawned before its
+    blocks degrade to inline coordinator execution; ``deadline``
+    (default none: wait forever) turns a hung worker into a retriable
+    failure; ``fault_plan`` injects deterministic failures for the
+    resilience test suite and must stay ``None`` in production runs.
     """
 
     def __init__(self, graph: CSRGraph, partition: Partition,
                  damping: float = 0.85, num_workers: int = 2,
                  jump: Optional[np.ndarray] = None,
-                 edge_weights: Optional[np.ndarray] = None) -> None:
+                 edge_weights: Optional[np.ndarray] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 deadline: Optional[Deadline] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if num_workers <= 0:
             raise ConfigError("num_workers must be positive")
         if partition.num_nodes != graph.num_nodes:
@@ -97,6 +144,10 @@ class ParallelBlockEngine:
         self.damping = damping
         self.num_workers = num_workers
         self.jump = validate_jump(jump, graph.num_nodes)
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self.deadline = deadline
+        self.fault_plan = fault_plan
 
         members, internal_ops, boundary_ops, dangling, _, cut_edges = \
             _block_operators(graph, partition, edge_weights)
@@ -122,6 +173,24 @@ class ParallelBlockEngine:
             for block_ids in self._assignment_to_worker
         ]
 
+    # ------------------------------------------------------------------
+
+    def _spawn_pool(self, worker: int,
+                    payload: Dict[int, tuple]) -> ProcessPoolExecutor:
+        """One single-process pool whose initializer ships exactly this
+        worker's payload."""
+        return ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker,
+            initargs=(payload, self.damping, worker, self.fault_plan))
+
+    def _solve_inline(self, block_ids: List[int],
+                      payload: Dict[int, tuple], previous: np.ndarray,
+                      local_tol: float, local_max_iter: int
+                      ) -> List[Tuple[int, np.ndarray, int]]:
+        """Degraded path: the coordinator stands in for a dead worker."""
+        return _solve_block_set(payload, block_ids, previous,
+                                self.damping, local_tol, local_max_iter)
+
     def run(self, tol: float = 1e-10, max_supersteps: int = 100,
             local_tol: float = 1e-12, local_max_iter: int = 50,
             telemetry: Optional["SolverTelemetry"] = None
@@ -130,9 +199,11 @@ class ParallelBlockEngine:
 
         ``telemetry`` (optional) records per-superstep wall-clock,
         boundary messages, residual and per-block inner iterations, plus
-        worker→block attribution and the bytes pickled toward workers
-        (block payloads at startup, score vectors per superstep). The
-        fixed point is unchanged with telemetry on or off.
+        worker→block attribution, the bytes pickled toward workers
+        (block payloads at startup, score vectors per superstep), and
+        every recovery event (crash / timeout / respawn / degrade). The
+        fixed point is unchanged with telemetry on or off — and with
+        faults on or off.
         """
         if tol <= 0 or local_tol <= 0:
             raise ConfigError("tolerances must be positive")
@@ -156,28 +227,45 @@ class ParallelBlockEngine:
         local_iterations = 0
         residual = float("inf")
         supersteps = 0
-        # One single-process pool per worker, so each initializer ships
-        # exactly that worker's payload.
-        pools = [ProcessPoolExecutor(
-            max_workers=1, initializer=_init_worker,
-            initargs=(payload, self.damping))
-            for _, _, payload in active]
+        deadline_seconds = None if self.deadline is None \
+            else self.deadline.seconds
+        retries = self.retry_policy.delays()
+        # One single-process pool per worker; a ``None`` slot marks a
+        # worker degraded to inline coordinator execution.
+        pools: List[Optional[ProcessPoolExecutor]] = [
+            self._spawn_pool(worker, payload)
+            for worker, _, payload in active]
         try:
             for supersteps in range(1, max_supersteps + 1):
                 superstep_start = time.perf_counter()
                 previous = scores.copy()
-                futures = [
-                    pool.submit(_solve_blocks_task,
-                                (block_ids, previous, local_tol,
-                                 local_max_iter))
-                    for pool, (_, block_ids, _) in zip(pools, active)
-                ]
+                futures: List[Optional[object]] = []
+                for slot, (worker, block_ids, payload) in enumerate(active):
+                    if pools[slot] is None:
+                        futures.append(None)
+                        continue
+                    futures.append(pools[slot].submit(
+                        _solve_blocks_task,
+                        (block_ids, previous, local_tol, local_max_iter,
+                         supersteps, 0)))
                 new_scores = scores.copy()
                 step_local = 0
                 block_iterations: Optional[dict] = \
                     {} if telemetry is not None else None
-                for future in futures:
-                    for block_id, block_scores, inner in future.result():
+                shipped_to = 0
+                for slot, (worker, block_ids, payload) in enumerate(active):
+                    if futures[slot] is None:
+                        results = self._solve_inline(
+                            block_ids, payload, previous, local_tol,
+                            local_max_iter)
+                    else:
+                        shipped_to += 1
+                        results = self._collect_with_recovery(
+                            slot, futures[slot], active, pools,
+                            previous, local_tol, local_max_iter,
+                            supersteps, deadline_seconds, retries,
+                            telemetry)
+                    for block_id, block_scores, inner in results:
                         new_scores[self._members[block_id]] = block_scores
                         step_local += inner
                         if block_iterations is not None:
@@ -187,8 +275,8 @@ class ParallelBlockEngine:
                 residual = float(np.abs(new_scores - previous).sum())
                 scores = new_scores
                 if telemetry is not None:
-                    # Every worker received the previous score vector.
-                    telemetry.record_bytes(previous.nbytes * len(active))
+                    # Every live worker received the previous vector.
+                    telemetry.record_bytes(previous.nbytes * shipped_to)
                     telemetry.record_superstep(
                         time.perf_counter() - superstep_start,
                         self._cut_edges, residual,
@@ -198,8 +286,71 @@ class ParallelBlockEngine:
                     break
         finally:
             for pool in pools:
-                pool.shutdown()
+                if pool is not None:
+                    pool.shutdown()
         converged = residual <= tol
         scores = scores / scores.sum()
         return BlockRankResult(scores, supersteps, messages,
                                local_iterations, residual, converged)
+
+    # ------------------------------------------------------------------
+    # failure handling
+
+    def _collect_with_recovery(self, slot, future, active, pools,
+                               previous, local_tol, local_max_iter,
+                               superstep, deadline_seconds, retries,
+                               telemetry):
+        """Await one worker's results, retrying through crashes/hangs.
+
+        On failure the worker's pool is torn down and respawned, and the
+        identical task re-dispatched (inputs are immutable, so a replay
+        is safe). After ``retry_policy.max_retries`` replacements the
+        worker is degraded: its pool slot becomes ``None`` and the
+        coordinator solves its blocks inline — this superstep and every
+        later one.
+        """
+        worker, block_ids, payload = active[slot]
+        attempt = 0
+        while True:
+            try:
+                return future.result(timeout=deadline_seconds)
+            except (BrokenProcessPool, FuturesTimeout) as exc:
+                kind = "timeout" if isinstance(exc, FuturesTimeout) \
+                    else "crash"
+                if telemetry is not None:
+                    telemetry.record_recovery(superstep, worker, kind,
+                                              attempt, block_ids)
+                # A hung worker may still be executing: abandon its pool
+                # without waiting (the process exits once it finishes).
+                pools[slot].shutdown(wait=False, cancel_futures=True)
+                pools[slot] = None
+                attempt += 1
+                if attempt > self.retry_policy.max_retries:
+                    if telemetry is not None:
+                        telemetry.record_recovery(superstep, worker,
+                                                  "degrade", attempt,
+                                                  block_ids)
+                    return self._solve_inline(block_ids, payload,
+                                              previous, local_tol,
+                                              local_max_iter)
+                delay = retries.next_delay()
+                if delay > 0:
+                    time.sleep(delay)
+                pools[slot] = self._spawn_pool(worker, payload)
+                if telemetry is not None:
+                    telemetry.record_recovery(superstep, worker,
+                                              "respawn", attempt,
+                                              block_ids)
+                    telemetry.record_bytes(len(pickle.dumps(
+                        payload, pickle.HIGHEST_PROTOCOL)))
+                try:
+                    future = pools[slot].submit(
+                        _solve_blocks_task,
+                        (block_ids, previous, local_tol, local_max_iter,
+                         superstep, attempt))
+                except BrokenProcessPool:  # pragma: no cover - defensive
+                    # The replacement died before accepting work; loop
+                    # around as if the dispatch itself had crashed.
+                    future = Future()
+                    future.set_exception(
+                        BrokenProcessPool("respawned pool broken"))

@@ -15,11 +15,17 @@ on or off.
 """
 
 from repro.obs.report import RunReport, run_metadata
-from repro.obs.telemetry import BatchRecord, SolverTelemetry, SuperstepRecord
+from repro.obs.telemetry import (
+    BatchRecord,
+    RecoveryRecord,
+    SolverTelemetry,
+    SuperstepRecord,
+)
 from repro.obs.timers import StageTimings, Timer
 
 __all__ = [
     "BatchRecord",
+    "RecoveryRecord",
     "RunReport",
     "SolverTelemetry",
     "StageTimings",

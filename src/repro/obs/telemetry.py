@@ -17,6 +17,8 @@ it):
 * bytes shipped to worker processes (payloads and per-superstep score
   exchanges);
 * per-batch affected-area records for the incremental engine;
+* recovery events (worker crashes/timeouts, respawns, degradations)
+  from the resilient parallel engine;
 * free-form named counters and nested stage timings.
 """
 
@@ -81,6 +83,35 @@ class BatchRecord:
         }
 
 
+@dataclass
+class RecoveryRecord:
+    """One fault-handling event in a resilient engine.
+
+    ``kind`` is one of ``"crash"`` (a worker process died),
+    ``"timeout"`` (a task blew its :class:`repro.resilience.Deadline`),
+    ``"respawn"`` (a replacement worker pool was started and the blocks
+    re-dispatched) or ``"degrade"`` (retries exhausted; the coordinator
+    took the worker's blocks inline for the rest of the run).
+    """
+
+    index: int
+    superstep: int
+    worker: int
+    kind: str
+    attempt: int = 0
+    blocks: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "superstep": self.superstep,
+            "worker": self.worker,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "blocks": list(self.blocks),
+        }
+
+
 class SolverTelemetry:
     """Recorder for one solver/engine run (or one live session)."""
 
@@ -90,6 +121,7 @@ class SolverTelemetry:
         self.dangling_mass: List[float] = []
         self.supersteps: List[SuperstepRecord] = []
         self.batches: List[BatchRecord] = []
+        self.recoveries: List[RecoveryRecord] = []
         self.worker_blocks: Dict[int, List[int]] = {}
         self.bytes_shipped: int = 0
         self.counters: Dict[str, float] = {}
@@ -130,6 +162,25 @@ class SolverTelemetry:
             seconds=float(seconds), num_nodes=int(num_nodes),
             num_edges=int(num_edges))
         self.batches.append(record)
+        return record
+
+    def record_recovery(self, superstep: int, worker: int, kind: str,
+                        attempt: int = 0,
+                        blocks: Optional[List[int]] = None
+                        ) -> RecoveryRecord:
+        """One fault-handling event (crash/timeout/respawn/degrade).
+
+        Also bumps the matching ``resilience.<kind>s`` counter so cheap
+        aggregate checks don't need to walk the event list.
+        """
+        record = RecoveryRecord(
+            index=len(self.recoveries), superstep=int(superstep),
+            worker=int(worker), kind=str(kind), attempt=int(attempt),
+            blocks=[int(b) for b in (blocks or [])])
+        self.recoveries.append(record)
+        counter = "resilience.crashes" if kind == "crash" \
+            else f"resilience.{kind}s"
+        self.incr(counter)
         return record
 
     def record_worker(self, worker: int, blocks: List[int]) -> None:
@@ -177,6 +228,8 @@ class SolverTelemetry:
             payload["total_messages"] = self.total_messages
         if self.batches:
             payload["batches"] = [r.as_dict() for r in self.batches]
+        if self.recoveries:
+            payload["recoveries"] = [r.as_dict() for r in self.recoveries]
         if self.worker_blocks:
             payload["worker_blocks"] = {str(w): blocks for w, blocks
                                         in self.worker_blocks.items()}

@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the resilience test harness.
+
+A :class:`FaultPlan` is a picklable script of failures: crash worker 1
+on superstep 2, stall worker 0 past its deadline on superstep 3,
+truncate ``state.npz`` after a checkpoint is written, crash the saver
+between two of its file writes. Engines and the checkpoint writer accept
+a plan as an optional keyword (default ``None``: zero overhead, no
+behaviour change) and consult it at the exact points where real
+hardware and processes fail.
+
+Determinism is the whole point: a seeded plan injects the *same*
+failures on every run, so the fault-injection suite can assert strong
+properties — above all that a faulted parallel run converges to scores
+**bit-identical** to the fault-free run — instead of merely "it did not
+crash".
+
+Worker-side faults are stateless queries keyed by ``(worker, superstep,
+attempt)``: a fault with ``times=t`` fires on attempts ``0..t-1`` and
+lets attempt ``t`` through. The coordinator passes the attempt number
+with each (re-)dispatch, so a respawned worker process — which holds a
+fresh copy of the plan — still knows the failure already happened.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by fault hooks that simulate a hard process death.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: production
+    code must never catch it as part of normal error handling, exactly
+    as it cannot catch a real ``SIGKILL``.
+    """
+
+
+#: Exit code used when a worker process is crashed by a plan; chosen to
+#: be recognizable in CI logs.
+WORKER_CRASH_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted worker failure."""
+
+    kind: str  # "crash" | "delay"
+    worker: int
+    superstep: int
+    times: int = 1
+    seconds: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, picklable script of injected failures."""
+
+    seed: int = 0
+    worker_faults: List[WorkerFault] = field(default_factory=list)
+    file_truncations: Dict[str, int] = field(default_factory=dict)
+    crash_after: Optional[int] = None
+    _files_written: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    # scripting
+
+    def crash_worker(self, worker: int, superstep: int,
+                     times: int = 1) -> "FaultPlan":
+        """Kill ``worker``'s process on ``superstep`` (first ``times``
+        attempts)."""
+        self.worker_faults.append(WorkerFault(
+            "crash", int(worker), int(superstep), int(times)))
+        return self
+
+    def delay_task(self, worker: int, superstep: int, seconds: float,
+                   times: int = 1) -> "FaultPlan":
+        """Stall ``worker``'s task on ``superstep`` for ``seconds``."""
+        self.worker_faults.append(WorkerFault(
+            "delay", int(worker), int(superstep), int(times),
+            float(seconds)))
+        return self
+
+    def crash_random_worker(self, num_workers: int, max_superstep: int,
+                            times: int = 1) -> Tuple[int, int]:
+        """Script one seeded-random crash; returns its (worker, step)."""
+        rng = random.Random(self.seed)
+        worker = rng.randrange(num_workers)
+        superstep = rng.randrange(1, max_superstep + 1)
+        self.crash_worker(worker, superstep, times)
+        return worker, superstep
+
+    def truncate_file(self, name: str, keep_bytes: int = 64) -> "FaultPlan":
+        """Tear the named checkpoint file down to ``keep_bytes`` after
+        the save finishes its manifest (simulates post-write corruption
+        or a torn page)."""
+        self.file_truncations[name] = int(keep_bytes)
+        return self
+
+    def crash_after_files(self, count: int) -> "FaultPlan":
+        """Crash the checkpoint writer after ``count`` files are
+        written (simulates a process dying mid-save)."""
+        self.crash_after = int(count)
+        return self
+
+    # ------------------------------------------------------------------
+    # query / fire side (called from engines and the checkpoint writer)
+
+    def worker_fault(self, worker: int, superstep: int,
+                     attempt: int = 0) -> Optional[WorkerFault]:
+        """The scripted fault for this dispatch, if it should still fire."""
+        for fault in self.worker_faults:
+            if (fault.worker == worker and fault.superstep == superstep
+                    and attempt < fault.times):
+                return fault
+        return None
+
+    def fire_worker_fault(self, worker: int, superstep: int,
+                          attempt: int = 0) -> None:
+        """Execute the scripted fault inside a worker process."""
+        fault = self.worker_fault(worker, superstep, attempt)
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            time.sleep(fault.seconds)
+        elif fault.kind == "crash":
+            # A hard exit, not an exception: the pool must observe a
+            # dead process, exactly like an OOM kill or segfault.
+            os._exit(WORKER_CRASH_EXIT_CODE)
+
+    def on_file_written(self, name: str) -> None:
+        """Checkpoint-writer hook, called after each file write."""
+        self._files_written += 1
+        if self.crash_after is not None \
+                and self._files_written >= self.crash_after:
+            raise InjectedCrash(
+                f"injected crash after writing {self._files_written} "
+                f"checkpoint file(s) (last: {name})")
+
+    def truncation_for(self, name: str) -> Optional[int]:
+        """Bytes to keep of ``name`` post-save, or None."""
+        return self.file_truncations.get(name)

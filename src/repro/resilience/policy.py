@@ -1,0 +1,99 @@
+"""Execution policies: bounded retries with backoff, and task deadlines.
+
+A long-running engine should never let one transient failure erase hours
+of converged work, and it should never wait forever on a worker that
+will not answer. These two policies encode the standard answers:
+
+* :class:`RetryPolicy` — how many times to re-dispatch a failed unit of
+  work, and how long to wait between attempts (exponential backoff with
+  deterministic, seeded jitter so runs stay reproducible).
+* :class:`Deadline` — how long a single dispatched task may take before
+  the coordinator declares the worker hung and moves on.
+
+Both are plain picklable values; engines take them as optional keywords
+and never mutate them, so one policy object can drive a whole fleet.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """Per-task wall-clock budget, in seconds.
+
+    A coordinator waiting on a worker task treats exceeding the deadline
+    exactly like a worker crash: the worker is presumed hung (deadlock,
+    livelock, swap death) and its work is re-dispatched elsewhere.
+    """
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ConfigError(
+                f"deadline must be positive, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Attempt ``k`` (1-based) sleeps ``min(max_delay, base_delay *
+    2**(k-1))`` scaled by a jitter factor drawn uniformly from
+    ``[1, 1 + jitter)``. The jitter stream is seeded, so a retried run
+    replays the same sleep schedule — determinism is part of the
+    resilience contract (bit-identical fixed points, reproducible
+    telemetry).
+
+    ``max_retries=0`` disables retries (first failure degrades
+    immediately); the engine still never crashes the whole run.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("delays must be non-negative")
+        if self.max_delay < self.base_delay:
+            raise ConfigError("max_delay must be >= base_delay")
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delays(self) -> "RetryDelays":
+        """A fresh, deterministic sequence of backoff sleeps."""
+        return RetryDelays(self)
+
+
+@dataclass
+class RetryDelays:
+    """Stateful view of one retry sequence (one failing task)."""
+
+    policy: RetryPolicy
+    attempt: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.policy.seed)
+
+    def next_delay(self) -> float:
+        """Backoff before the next attempt (call once per retry)."""
+        self.attempt += 1
+        backoff = min(self.policy.max_delay,
+                      self.policy.base_delay * 2 ** (self.attempt - 1))
+        return backoff * (1.0 + self.policy.jitter * self._rng.random())
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempt >= self.policy.max_retries

@@ -7,11 +7,16 @@ sweeps can cache and compare methods.
 
 The store keeps everything in a single database file; ``:memory:`` works
 for tests. Connections are used as context managers so every write is
-transactional.
+transactional. File-backed stores run in WAL journal mode with a busy
+timeout, so a reader and a writer (a ranking sweep next to an ingest)
+can share the file without "database is locked" crashes; and every raw
+``sqlite3`` exception is re-raised as :class:`StorageError`, so callers
+deal with exactly one error taxonomy.
 """
 
 from __future__ import annotations
 
+import functools
 import sqlite3
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -20,6 +25,18 @@ from repro.errors import StorageError
 from repro.data.schema import Article, Author, ScholarlyDataset, Venue
 
 PathLike = Union[str, Path]
+
+
+def _guarded(method):
+    """Re-raise raw sqlite3 errors as :class:`StorageError`."""
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return method(self, *args, **kwargs)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"sqlite failure in {method.__name__}: {exc}") from exc
+    return wrapper
 
 # v2: citations carry a ``position`` column (the index of the reference
 # inside the article's reference tuple) so repeated citations round-trip
@@ -91,18 +108,33 @@ CREATE INDEX IF NOT EXISTS idx_rankings_score
 class DatasetStore:
     """A SQLite store for datasets and per-method ranking scores."""
 
-    def __init__(self, path: PathLike = ":memory:") -> None:
+    def __init__(self, path: PathLike = ":memory:",
+                 busy_timeout_ms: int = 5000) -> None:
         self._path = str(path)
-        self._conn = sqlite3.connect(self._path)
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        with self._conn:
-            stored = self._stored_schema_version()
-            self._conn.executescript(_SCHEMA)
-            if stored is not None and stored < _SCHEMA_VERSION:
-                self._migrate(stored)
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
-                ("schema_version", str(_SCHEMA_VERSION)))
+        try:
+            self._conn = sqlite3.connect(self._path)
+            self._conn.execute("PRAGMA foreign_keys = ON")
+            if self._path != ":memory:":
+                # WAL lets one writer proceed under concurrent readers
+                # (an ingest next to a ranking sweep) and survives
+                # crashes without half-applied transactions; the busy
+                # timeout turns brief lock contention into a short wait
+                # instead of an immediate "database is locked" error.
+                self._conn.execute("PRAGMA journal_mode = WAL")
+                self._conn.execute(
+                    f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+            with self._conn:
+                stored = self._stored_schema_version()
+                self._conn.executescript(_SCHEMA)
+                if stored is not None and stored < _SCHEMA_VERSION:
+                    self._migrate(stored)
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta(key, value) VALUES(?, ?)",
+                    ("schema_version", str(_SCHEMA_VERSION)))
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot open dataset store at {self._path!r}: {exc}"
+            ) from exc
 
     def _stored_schema_version(self) -> Optional[int]:
         """Schema version already in the file (None for a fresh store)."""
@@ -155,17 +187,20 @@ class DatasetStore:
     # ------------------------------------------------------------------
     # datasets
 
+    @_guarded
     def list_datasets(self) -> List[str]:
         """Names of stored datasets, sorted."""
         rows = self._conn.execute(
             "SELECT name FROM datasets ORDER BY name").fetchall()
         return [row[0] for row in rows]
 
+    @_guarded
     def has_dataset(self, name: str) -> bool:
         row = self._conn.execute(
             "SELECT 1 FROM datasets WHERE name = ?", (name,)).fetchone()
         return row is not None
 
+    @_guarded
     def save_dataset(self, dataset: ScholarlyDataset,
                      overwrite: bool = False) -> None:
         """Persist ``dataset`` under its own name."""
@@ -205,6 +240,7 @@ class DatasetStore:
                  for a in dataset.articles.values()
                  for position, author_id in enumerate(a.author_ids)))
 
+    @_guarded
     def load_dataset(self, name: str) -> ScholarlyDataset:
         """Reconstruct a stored dataset."""
         if not self.has_dataset(name):
@@ -239,6 +275,7 @@ class DatasetStore:
                 quality=quality))
         return dataset
 
+    @_guarded
     def delete_dataset(self, name: str) -> None:
         """Remove a dataset and everything attached to it."""
         if not self.has_dataset(name):
@@ -254,6 +291,7 @@ class DatasetStore:
     # ------------------------------------------------------------------
     # rankings
 
+    @_guarded
     def save_ranking(self, dataset: str, method: str,
                      scores: Dict[int, float],
                      overwrite: bool = False) -> None:
@@ -289,6 +327,7 @@ class DatasetStore:
                 ((dataset, method, article_id, float(score))
                  for article_id, score in scores.items()))
 
+    @_guarded
     def load_ranking(self, dataset: str, method: str) -> Dict[int, float]:
         """Load a stored ranking as ``{article_id: score}``."""
         rows = self._conn.execute(
@@ -299,6 +338,7 @@ class DatasetStore:
                 f"no ranking {method!r} stored for {dataset!r}")
         return {article_id: score for article_id, score in rows}
 
+    @_guarded
     def list_rankings(self, dataset: str) -> List[str]:
         """Method names with stored rankings for ``dataset``."""
         rows = self._conn.execute(
@@ -306,6 +346,7 @@ class DatasetStore:
             "ORDER BY method", (dataset,)).fetchall()
         return [row[0] for row in rows]
 
+    @_guarded
     def top_articles(self, dataset: str, method: str,
                      limit: int = 10) -> List[Tuple[int, float]]:
         """Highest-scored ``(article_id, score)`` pairs for a ranking."""
@@ -322,6 +363,7 @@ class DatasetStore:
     # ------------------------------------------------------------------
     # analytics helpers
 
+    @_guarded
     def citation_counts(self, dataset: str,
                         limit: Optional[int] = None
                         ) -> List[Tuple[int, int]]:
@@ -337,6 +379,7 @@ class DatasetStore:
             rows = self._conn.execute(query, (dataset,)).fetchall()
         return [(cited, count) for cited, count in rows]
 
+    @_guarded
     def articles_per_year(self, dataset: str) -> Dict[int, int]:
         """Publication counts keyed by year."""
         if not self.has_dataset(dataset):

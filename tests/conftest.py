@@ -1,4 +1,8 @@
-"""Shared fixtures: small graphs and datasets reused across the suite."""
+"""Shared fixtures: small graphs and datasets reused across the suite.
+
+The global test-hang cap (``timeout`` in pyproject.toml) is handled in
+the repo-root ``conftest.py`` so it also covers benchmark runs.
+"""
 
 from __future__ import annotations
 

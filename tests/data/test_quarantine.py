@@ -1,0 +1,169 @@
+"""Tolerant parsing: on_error="quarantine" for AMiner and MAG."""
+
+import pytest
+
+from repro.errors import ConfigError, ParseError
+from repro.data.aminer import parse_aminer, write_aminer
+from repro.data.mag import parse_mag_directory, write_mag_directory
+from repro.data.quarantine import MAX_SAMPLES, ParseReport
+
+
+GOOD_AMINER = """\
+#*First article
+#@Ada;Bob
+#t2001
+#cVLDB
+#index1
+
+#*Second article
+#t2003
+#index2
+#%1
+"""
+
+
+def _write(tmp_path, text, name="dump.txt"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestParseReport:
+    def test_counts(self):
+        report = ParseReport()
+        report.record_ok()
+        report.record_error(ValueError("bad"))
+        report.record_ok()
+        assert (report.records_ok, report.quarantined) == (2, 1)
+        assert report.total == 3
+        assert not report.clean
+
+    def test_samples_are_capped(self):
+        report = ParseReport()
+        for index in range(MAX_SAMPLES + 4):
+            report.record_error(ValueError(f"bad {index}"))
+        assert len(report.samples) == MAX_SAMPLES
+        assert report.samples[0] == "bad 0"
+        assert f"and {4} more" in report.summary()
+
+    def test_clean_summary_is_one_line(self):
+        report = ParseReport()
+        report.record_ok()
+        assert "\n" not in report.summary()
+
+
+class TestOnErrorValidation:
+    @pytest.mark.parametrize("parse", ["aminer", "mag"])
+    def test_bad_mode_rejected(self, tmp_path, parse):
+        with pytest.raises(ConfigError, match="on_error"):
+            if parse == "aminer":
+                parse_aminer(_write(tmp_path, GOOD_AMINER),
+                             on_error="ignore")
+            else:
+                parse_mag_directory(tmp_path, on_error="ignore")
+
+
+class TestAminerQuarantine:
+    def test_strict_is_default_and_raises(self, tmp_path):
+        text = GOOD_AMINER + "\n#*Third\n#tNaN\n#index3\n"
+        path = _write(tmp_path, text)
+        with pytest.raises(ParseError, match="bad year"):
+            parse_aminer(path)
+
+    def test_quarantine_skips_bad_record_keeps_rest(self, tmp_path):
+        text = GOOD_AMINER + "\n#*Third\n#tNaN\n#index3\n"
+        path = _write(tmp_path, text)
+        report = ParseReport()
+        dataset = parse_aminer(path, on_error="quarantine",
+                               report=report)
+        assert sorted(dataset.articles) == [1, 2]
+        assert report.records_ok == 2
+        assert report.quarantined == 1
+        assert "bad year" in report.samples[0]
+
+    def test_record_with_many_bad_lines_counts_once(self, tmp_path):
+        text = ("#*Broken\n#tNaN\n#indexNaN\n#%NaN\n\n" + GOOD_AMINER)
+        path = _write(tmp_path, text)
+        report = ParseReport()
+        dataset = parse_aminer(path, on_error="quarantine",
+                               report=report)
+        assert sorted(dataset.articles) == [1, 2]
+        assert report.quarantined == 1
+
+    def test_missing_index_quarantined(self, tmp_path):
+        text = "#*No index here\n#t2000\n\n" + GOOD_AMINER
+        path = _write(tmp_path, text)
+        report = ParseReport()
+        dataset = parse_aminer(path, on_error="quarantine",
+                               report=report)
+        assert sorted(dataset.articles) == [1, 2]
+        assert "no #index" in report.samples[0]
+
+    def test_duplicate_id_quarantined(self, tmp_path):
+        text = GOOD_AMINER + "\n#*Clone of first\n#t2005\n#index1\n"
+        path = _write(tmp_path, text)
+        report = ParseReport()
+        dataset = parse_aminer(path, on_error="quarantine",
+                               report=report)
+        assert len(dataset.articles) == 2
+        assert dataset.articles[1].title == "First article"
+        assert report.quarantined == 1
+
+    def test_clean_roundtrip_reports_clean(self, tmp_path,
+                                           tiny_dataset):
+        path = tmp_path / "tiny.txt"
+        write_aminer(tiny_dataset, path)
+        report = ParseReport()
+        dataset = parse_aminer(path, on_error="quarantine",
+                               report=report)
+        assert dataset.num_articles == tiny_dataset.num_articles
+        assert report.clean
+        assert report.records_ok == tiny_dataset.num_articles
+
+
+class TestMagQuarantine:
+    @pytest.fixture()
+    def mag_dir(self, tmp_path, tiny_dataset):
+        directory = tmp_path / "mag"
+        write_mag_directory(tiny_dataset, directory)
+        return directory
+
+    def test_missing_papers_file_fatal_in_both_modes(self, tmp_path):
+        with pytest.raises(ParseError, match="Papers.txt"):
+            parse_mag_directory(tmp_path, on_error="quarantine")
+
+    def test_bad_paper_rows_quarantined(self, mag_dir, tiny_dataset):
+        papers = mag_dir / "Papers.txt"
+        content = papers.read_text(encoding="utf-8")
+        papers.write_text("not-an-id\tBroken\t2001\t\n"
+                          "7\tShort row\n" + content, encoding="utf-8")
+        with pytest.raises(ParseError):
+            parse_mag_directory(mag_dir)
+        report = ParseReport()
+        dataset = parse_mag_directory(mag_dir, on_error="quarantine",
+                                      report=report)
+        assert dataset.num_articles == tiny_dataset.num_articles
+        assert report.quarantined == 2
+        assert report.records_ok == tiny_dataset.num_articles
+
+    def test_bad_reference_rows_quarantined(self, mag_dir,
+                                            tiny_dataset):
+        refs = mag_dir / "PaperReferences.txt"
+        content = refs.read_text(encoding="utf-8")
+        refs.write_text("4\n4\tnope\n" + content, encoding="utf-8")
+        report = ParseReport()
+        dataset = parse_mag_directory(mag_dir, on_error="quarantine",
+                                      report=report)
+        assert report.quarantined == 2
+        assert dataset.num_citations == tiny_dataset.num_citations
+
+    def test_bad_name_rows_quarantined(self, mag_dir):
+        venues = mag_dir / "Venues.txt"
+        content = venues.read_text(encoding="utf-8")
+        venues.write_text("zzz\tBad venue row\n" + content,
+                          encoding="utf-8")
+        report = ParseReport()
+        dataset = parse_mag_directory(mag_dir, on_error="quarantine",
+                                      report=report)
+        assert report.quarantined == 1
+        assert all(v.name for v in dataset.venues.values())

@@ -1,0 +1,168 @@
+"""Checkpoint corruption detection (torn writes, bit rot, tampering)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.engine.incremental import IncrementalEngine
+from repro.engine.state import load_engine, save_engine, verify_checkpoint
+from repro.engine.updates import fraction_update
+from repro.resilience import FaultPlan, InjectedCrash
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset):
+    base, batch = fraction_update(small_dataset, 0.05)
+    engine = IncrementalEngine(base, delta_threshold=1e-3)
+    engine.apply(batch)
+    return engine
+
+
+@pytest.fixture()
+def checkpoint(engine, tmp_path):
+    directory = tmp_path / "ckpt"
+    save_engine(engine, directory)
+    return directory
+
+
+class TestVerifyCheckpoint:
+    def test_healthy_checkpoint_has_no_problems(self, checkpoint):
+        assert verify_checkpoint(checkpoint) == []
+
+    def test_nonexistent_directory(self, tmp_path):
+        problems = verify_checkpoint(tmp_path / "nope")
+        assert len(problems) == 1
+        assert "not a checkpoint directory" in problems[0]
+
+    def test_unreadable_manifest(self, checkpoint):
+        (checkpoint / "MANIFEST.json").write_text("{not json",
+                                                  encoding="utf-8")
+        [problem] = verify_checkpoint(checkpoint)
+        assert "unreadable manifest" in problem
+
+
+class TestTruncation:
+    def test_truncated_arrays_detected_on_load(self, checkpoint):
+        path = checkpoint / "state.npz"
+        with open(path, "r+b") as handle:
+            handle.truncate(64)
+        assert any("truncated" in p for p in verify_checkpoint(checkpoint))
+        with pytest.raises(StorageError, match="earlier rotation"):
+            load_engine(checkpoint)
+
+    def test_truncated_dataset_detected_on_load(self, checkpoint):
+        path = checkpoint / "dataset.jsonl.gz"
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        with pytest.raises(StorageError, match="integrity verification"):
+            load_engine(checkpoint)
+
+    def test_injected_truncation_fault(self, engine, tmp_path):
+        # The fault plan tears the file *after* the manifest seals the
+        # intact content — exactly the torn-page case checksums catch.
+        plan = FaultPlan().truncate_file("state.npz", keep_bytes=64)
+        directory = tmp_path / "ckpt"
+        save_engine(engine, directory, fault_plan=plan)
+        assert (directory / "state.npz").stat().st_size == 64
+        with pytest.raises(StorageError, match="truncated|torn"):
+            load_engine(directory)
+
+
+class TestMissingAndTampered:
+    def test_missing_config_is_a_clear_error(self, checkpoint):
+        (checkpoint / "engine.json").unlink()
+        with pytest.raises(StorageError, match="no engine checkpoint"):
+            load_engine(checkpoint)
+
+    def test_missing_arrays_reported_by_name(self, checkpoint):
+        (checkpoint / "state.npz").unlink()
+        assert any("missing state.npz" in p
+                   for p in verify_checkpoint(checkpoint))
+        with pytest.raises(StorageError, match="state.npz"):
+            load_engine(checkpoint)
+
+    def test_bit_flip_same_size_caught_by_checksum(self, checkpoint):
+        # Same byte count, different content: only the SHA-256 sees it.
+        path = checkpoint / "state.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert any("checksum mismatch" in p
+                   for p in verify_checkpoint(checkpoint))
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            load_engine(checkpoint)
+
+
+class TestCrashMidSave:
+    @pytest.mark.faults
+    @pytest.mark.parametrize("files_before_crash", [1, 2, 3])
+    def test_crash_between_writes_preserves_old_checkpoint(
+            self, engine, tmp_path, files_before_crash):
+        directory = tmp_path / "ckpt"
+        save_engine(engine, directory)
+        reference = load_engine(directory).scores
+        # Second save dies partway through its staging writes; the
+        # published checkpoint must still be the complete first one.
+        plan = FaultPlan().crash_after_files(files_before_crash)
+        with pytest.raises(InjectedCrash):
+            save_engine(engine, directory, fault_plan=plan)
+        assert verify_checkpoint(directory) == []
+        assert np.array_equal(load_engine(directory).scores, reference)
+
+    @pytest.mark.faults
+    def test_crash_before_any_publish_leaves_no_checkpoint(
+            self, engine, tmp_path):
+        directory = tmp_path / "ckpt"
+        plan = FaultPlan().crash_after_files(1)
+        with pytest.raises(InjectedCrash):
+            save_engine(engine, directory, fault_plan=plan)
+        assert not directory.exists()
+        with pytest.raises(StorageError, match="no engine checkpoint"):
+            load_engine(directory)
+
+    def test_stale_staging_directory_is_replaced(self, engine, tmp_path):
+        # Leftover staging from a crashed save must not poison a retry.
+        directory = tmp_path / "ckpt"
+        staging = tmp_path / ".ckpt.tmp"
+        staging.mkdir()
+        (staging / "junk").write_text("stale", encoding="utf-8")
+        save_engine(engine, directory)
+        assert not staging.exists()
+        assert verify_checkpoint(directory) == []
+
+
+class TestLegacyV1:
+    def test_v1_checkpoint_loads_without_manifest(self, engine,
+                                                  tmp_path):
+        directory = tmp_path / "ckpt"
+        save_engine(engine, directory)
+        reference = load_engine(directory).scores
+        # Rewrite as a v1 checkpoint: no manifest, old version stamp.
+        (directory / "MANIFEST.json").unlink()
+        config_path = directory / "engine.json"
+        config = json.loads(config_path.read_text(encoding="utf-8"))
+        config["format_version"] = 1
+        config_path.write_text(json.dumps(config), encoding="utf-8")
+        assert verify_checkpoint(directory) == []
+        assert np.array_equal(load_engine(directory).scores, reference)
+
+    def test_v1_missing_files_still_reported(self, engine, tmp_path):
+        directory = tmp_path / "ckpt"
+        save_engine(engine, directory)
+        (directory / "MANIFEST.json").unlink()
+        (directory / "state.npz").unlink()
+        assert any("no manifest" in p
+                   for p in verify_checkpoint(directory))
+
+
+def test_save_is_idempotent_over_existing(engine, tmp_path):
+    directory = tmp_path / "ckpt"
+    save_engine(engine, directory)
+    first = load_engine(directory).scores
+    save_engine(engine, directory)  # exercises the park-and-swap path
+    assert verify_checkpoint(directory) == []
+    assert np.array_equal(load_engine(directory).scores, first)
+    assert not (tmp_path / ".ckpt.old").exists()
+    assert not (tmp_path / ".ckpt.tmp").exists()

@@ -1,0 +1,70 @@
+"""FaultPlan scripting/query semantics (no processes harmed here)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import FaultPlan, InjectedCrash, WorkerFault
+
+
+class TestWorkerFaultQueries:
+    def test_fault_fires_on_scripted_dispatch_only(self):
+        plan = FaultPlan().crash_worker(1, 2)
+        assert plan.worker_fault(1, 2, attempt=0) is not None
+        assert plan.worker_fault(0, 2, attempt=0) is None
+        assert plan.worker_fault(1, 3, attempt=0) is None
+
+    def test_times_lets_later_attempts_through(self):
+        plan = FaultPlan().crash_worker(0, 1, times=2)
+        assert plan.worker_fault(0, 1, attempt=0) is not None
+        assert plan.worker_fault(0, 1, attempt=1) is not None
+        assert plan.worker_fault(0, 1, attempt=2) is None
+
+    def test_delay_fault_carries_seconds(self):
+        plan = FaultPlan().delay_task(2, 3, seconds=1.25)
+        fault = plan.worker_fault(2, 3)
+        assert fault == WorkerFault("delay", 2, 3, 1, 1.25)
+
+    def test_crash_random_worker_is_seeded(self):
+        picked = FaultPlan(seed=5).crash_random_worker(4, 10)
+        assert picked == FaultPlan(seed=5).crash_random_worker(4, 10)
+        worker, superstep = picked
+        assert 0 <= worker < 4
+        assert 1 <= superstep <= 10
+
+    def test_fire_delay_does_not_crash(self):
+        # A zero-second delay exercises the fire path safely in-process.
+        FaultPlan().delay_task(0, 1, seconds=0.0).fire_worker_fault(0, 1)
+
+    def test_fire_without_matching_fault_is_a_no_op(self):
+        FaultPlan().crash_worker(1, 1).fire_worker_fault(0, 99)
+
+    def test_plan_survives_pickling(self):
+        plan = FaultPlan(seed=3).crash_worker(1, 2).delay_task(0, 1, 0.5)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.worker_fault(1, 2) is not None
+        assert clone.worker_fault(0, 1).seconds == 0.5
+
+
+class TestCheckpointFaults:
+    def test_crash_after_files_counts_writes(self):
+        plan = FaultPlan().crash_after_files(2)
+        plan.on_file_written("a")
+        with pytest.raises(InjectedCrash, match="after writing 2"):
+            plan.on_file_written("b")
+
+    def test_no_crash_when_unscripted(self):
+        plan = FaultPlan()
+        for name in ("a", "b", "c", "d"):
+            plan.on_file_written(name)
+
+    def test_truncation_lookup(self):
+        plan = FaultPlan().truncate_file("state.npz", keep_bytes=64)
+        assert plan.truncation_for("state.npz") == 64
+        assert plan.truncation_for("engine.json") is None
+
+    def test_injected_crash_is_not_a_repro_error(self):
+        # Production error handling (``except ReproError``) must never
+        # swallow an injected crash, just as it cannot catch SIGKILL.
+        assert not issubclass(InjectedCrash, ReproError)

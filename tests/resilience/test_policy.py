@@ -1,0 +1,93 @@
+"""RetryPolicy / Deadline policy object tests."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import Deadline, RetryPolicy
+
+
+class TestDeadline:
+    def test_holds_seconds(self):
+        assert Deadline(2.5).seconds == 2.5
+
+    @pytest.mark.parametrize("seconds", [0, -1, -0.001])
+    def test_rejects_non_positive(self, seconds):
+        with pytest.raises(ConfigError, match="positive"):
+            Deadline(seconds)
+
+    def test_picklable(self):
+        deadline = Deadline(1.5)
+        assert pickle.loads(pickle.dumps(deadline)) == deadline
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ConfigError, match="non-negative"):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_rejects_max_below_base(self):
+        with pytest.raises(ConfigError, match="max_delay"):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigError, match="jitter"):
+            RetryPolicy(jitter=-0.5)
+
+    def test_zero_retries_allowed(self):
+        # First failure degrades immediately; still a valid policy.
+        assert RetryPolicy(max_retries=0).delays().exhausted
+
+
+class TestRetryDelays:
+    def test_exponential_backoff_without_jitter(self):
+        delays = RetryPolicy(max_retries=5, base_delay=0.1, max_delay=10,
+                             jitter=0.0).delays()
+        assert delays.next_delay() == pytest.approx(0.1)
+        assert delays.next_delay() == pytest.approx(0.2)
+        assert delays.next_delay() == pytest.approx(0.4)
+
+    def test_capped_at_max_delay(self):
+        delays = RetryPolicy(max_retries=10, base_delay=1.0,
+                             max_delay=1.5, jitter=0.0).delays()
+        assert delays.next_delay() == pytest.approx(1.0)
+        for _ in range(5):
+            assert delays.next_delay() == pytest.approx(1.5)
+
+    def test_jitter_widens_but_never_shrinks(self):
+        policy = RetryPolicy(max_retries=20, base_delay=0.1,
+                             max_delay=0.1, jitter=0.5, seed=3)
+        delays = policy.delays()
+        for _ in range(20):
+            delay = delays.next_delay()
+            assert 0.1 <= delay < 0.1 * 1.5
+
+    def test_seeded_jitter_is_deterministic(self):
+        policy = RetryPolicy(max_retries=3, seed=7)
+        first, second = policy.delays(), policy.delays()
+        assert [first.next_delay() for _ in range(3)] == \
+            [second.next_delay() for _ in range(3)]
+
+    def test_exhausted_after_max_retries(self):
+        delays = RetryPolicy(max_retries=2, jitter=0.0).delays()
+        assert not delays.exhausted
+        delays.next_delay()
+        assert not delays.exhausted
+        delays.next_delay()
+        assert delays.exhausted
+
+    def test_fresh_sequences_are_independent(self):
+        policy = RetryPolicy(max_retries=1)
+        first = policy.delays()
+        first.next_delay()
+        assert first.exhausted
+        assert not policy.delays().exhausted

@@ -250,3 +250,48 @@ class TestRankingValidation:
         store.save_dataset(tiny_dataset)
         store.save_ranking("tiny", "pr", {0: 0.6, 4: 0.4})
         assert store.load_ranking("tiny", "pr") == {0: 0.6, 4: 0.4}
+
+
+class TestFileBackedResilience:
+    """File-backed stores get WAL journaling and wrapped sqlite errors."""
+
+    def test_file_store_uses_wal(self, tiny_dataset, tmp_path):
+        store = DatasetStore(tmp_path / "articles.db")
+        mode = store._conn.execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+        busy = store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert busy == 5000
+        store.save_dataset(tiny_dataset)
+        assert store.has_dataset("tiny")
+
+    def test_busy_timeout_is_configurable(self, tmp_path):
+        store = DatasetStore(tmp_path / "articles.db",
+                             busy_timeout_ms=250)
+        busy = store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert busy == 250
+
+    def test_memory_store_keeps_default_journal(self):
+        mode = DatasetStore()._conn.execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "memory"
+
+    def test_unopenable_path_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot open"):
+            DatasetStore(tmp_path / "no" / "such" / "dir" / "x.db")
+
+    def test_garbage_file_raises_storage_error(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(StorageError):
+            DatasetStore(path).list_datasets()
+
+    def test_operations_on_closed_connection_are_wrapped(self,
+                                                         tiny_dataset):
+        store = DatasetStore()
+        store.save_dataset(tiny_dataset)
+        store._conn.close()
+        with pytest.raises(StorageError, match="sqlite failure"):
+            store.list_datasets()

@@ -111,3 +111,58 @@ class TestProfile:
         assert report["telemetry"]["iterations"] >= 1
         assert report["metrics"]["num_articles"] == 500
         assert "timings" in report
+
+
+class TestResume:
+    @pytest.fixture()
+    def checkpoint_root(self, tmp_path):
+        from repro.data.generator import GeneratorConfig, generate_dataset
+        from repro.engine.live import LiveRanker
+        from repro.engine.updates import yearly_updates
+
+        dataset = generate_dataset(GeneratorConfig(num_articles=300,
+                                                   seed=7))
+        base, batches = yearly_updates(dataset, from_year=2008)
+        root = tmp_path / "ckpt"
+        live = LiveRanker(base, checkpoint_dir=root, checkpoint_every=1,
+                          checkpoint_keep=3)
+        for batch in batches[:3]:
+            live.apply(batch)
+        return root
+
+    def test_reports_health_and_top(self, checkpoint_root, capsys):
+        assert main(["resume", str(checkpoint_root), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-00000003: ok" in out
+        assert "resumed from ckpt-00000003" in out
+        assert "sha256" in out
+        assert "# top 3 of" in out
+        ranked = [line for line in out.splitlines()
+                  if line.lstrip()[:1].isdigit() and "." in line]
+        assert len(ranked) == 3
+
+    def test_flags_corrupt_rotation_and_falls_back(self,
+                                                   checkpoint_root,
+                                                   capsys):
+        newest = checkpoint_root / "ckpt-00000003"
+        with open(newest / "state.npz", "r+b") as handle:
+            handle.truncate(16)
+        assert main(["resume", str(checkpoint_root)]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt-00000003: CORRUPT" in out
+        assert "resumed from ckpt-00000002" in out
+
+    def test_synthetic_batches_continue_the_session(self,
+                                                    checkpoint_root,
+                                                    capsys):
+        assert main(["resume", str(checkpoint_root), "--batches", "2",
+                     "--batch-size", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "applied batch 4" in out
+        assert "applied batch 5" in out
+        # Auto-checkpointing resumed too (checkpoint_every was 1).
+        assert (checkpoint_root / "ckpt-00000005").is_dir()
+
+    def test_missing_checkpoint_errors(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
