@@ -13,6 +13,10 @@ Commands:
     store     — persist a dataset into a SQLite store / list stored ones.
     profile   — rank a dataset with solver telemetry on and print the
                 stage/iteration breakdown (optionally save JSON).
+    trace     — run a ranking under span tracing and pretty-print the
+                span tree with critical-path annotation.
+    metrics   — run a ranking with the metrics registry attached and
+                export it (Prometheus text exposition or JSON).
     resume    — inspect a live-ranker checkpoint directory (rotation
                 health, manifest) and continue the session from the
                 newest intact rotation.
@@ -201,7 +205,21 @@ def _command_profile(args: argparse.Namespace) -> int:
     dataset = _load_any(args.dataset)
     ranker = _ranker_from_args(args).with_config(solver=args.method)
     telemetry = SolverTelemetry()
-    result = ranker.rank(dataset, telemetry=telemetry)
+    try:
+        result = ranker.rank(dataset, telemetry=telemetry)
+    except Exception as exc:
+        # The report is the profiling artifact: a failed run still
+        # leaves one behind (status "failed") so automation can see
+        # what was measured before the failure.
+        if args.json:
+            report = RunReport(f"profile-{dataset.name}",
+                               telemetry=telemetry)
+            report.record_metric("status", "failed")
+            report.record_metric("error",
+                                 f"{type(exc).__name__}: {exc}")
+            print(f"wrote {report.save(args.json)} (run failed)",
+                  file=sys.stderr)
+        raise
 
     timings = StageTimings()
     for stage, seconds in result.diagnostics.get("timings", {}).items():
@@ -234,6 +252,58 @@ def _command_profile(args: argparse.Namespace) -> int:
         report.record_metric("solver", method)
         report.record_metric("twpr_iterations", iterations)
         print(f"wrote {report.save(args.json)}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, render_trace
+
+    dataset = _load_any(args.dataset)
+    with Observability(f"trace-{dataset.name}") as obs:
+        if args.engine == "model":
+            _ranker_from_args(args).rank(dataset, obs=obs)
+        else:
+            from repro.engine.parallel import ParallelBlockEngine
+            from repro.graph.partition import range_partition
+            from repro.resilience import FaultPlan, RetryPolicy
+
+            fault_plan = None
+            if args.crash:
+                try:
+                    worker, superstep = (int(part) for part
+                                         in args.crash.split(":"))
+                except ValueError:
+                    raise ReproError(
+                        f"--crash must look like WORKER:SUPERSTEP, "
+                        f"got {args.crash!r}") from None
+                fault_plan = FaultPlan().crash_worker(worker, superstep)
+            graph = dataset.citation_csr()
+            engine = ParallelBlockEngine(
+                graph, range_partition(graph, args.blocks),
+                num_workers=args.workers, fault_plan=fault_plan,
+                retry_policy=RetryPolicy(max_retries=2, base_delay=0.0))
+            engine.run(obs=obs)
+        print(render_trace(obs.tracer.export(),
+                           title=f"trace: {dataset.name}"))
+        if args.json:
+            report = obs.report(f"trace-{dataset.name}")
+            print(f"wrote {report.save(args.json)}")
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+
+    dataset = _load_any(args.dataset)
+    with Observability(f"metrics-{dataset.name}") as obs:
+        _ranker_from_args(args).rank(dataset, obs=obs)
+        text = obs.metrics.to_prometheus() if args.format == "prom" \
+            else obs.metrics.to_json() + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -406,6 +476,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also save the report as JSON to this path")
     _add_ranker_arguments(profile)
     profile.set_defaults(handler=_command_profile)
+
+    trace = commands.add_parser(
+        "trace", help="run a ranking under span tracing and print the "
+                      "span tree (critical path starred)")
+    trace.add_argument("dataset")
+    trace.add_argument("--engine", default="model",
+                       choices=["model", "parallel"],
+                       help="what to trace: the full ranking model or "
+                            "the parallel block engine")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="parallel engine worker count")
+    trace.add_argument("--blocks", type=int, default=4,
+                       help="parallel engine partition block count")
+    trace.add_argument("--crash", type=str, default=None,
+                       help="inject one worker crash, WORKER:SUPERSTEP "
+                            "(parallel engine only)")
+    trace.add_argument("--json", type=str, default=None,
+                       help="also save the RunReport (spans + metrics) "
+                            "to this path")
+    _add_ranker_arguments(trace)
+    trace.set_defaults(handler=_command_trace)
+
+    metrics = commands.add_parser(
+        "metrics", help="run a ranking with the metrics registry on "
+                        "and export it")
+    metrics.add_argument("dataset")
+    metrics.add_argument("--format", default="prom",
+                         choices=["prom", "json"],
+                         help="Prometheus text exposition or JSON")
+    metrics.add_argument("--output", type=str, default=None,
+                         help="write to this path instead of stdout")
+    _add_ranker_arguments(metrics)
+    metrics.set_defaults(handler=_command_metrics)
 
     store = commands.add_parser(
         "store", help="persist datasets in a SQLite store")

@@ -16,6 +16,7 @@ Every knob sits in :class:`RankerConfig`; experiments E2/E3 sweep them.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -32,7 +33,21 @@ from repro.core.venue_graph import build_venue_graph, venue_popularity
 from repro.ranking.pagerank import pagerank
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
+
+
+def _stage_observed(obs: Optional["Observability"], timings: Dict[str, float],
+                    stage: str, seconds: float) -> None:
+    """Record one finished stage in the timings dict and, when an
+    :class:`Observability` handle is present, in the
+    ``repro_stage_seconds`` histogram."""
+    timings[stage] = seconds
+    if obs is not None:
+        obs.metrics.histogram(
+            "repro_stage_seconds",
+            "Wall-clock seconds per ranking pipeline stage.",
+            labels=("stage",)).observe(seconds, stage=stage)
 
 
 @dataclass(frozen=True)
@@ -137,7 +152,8 @@ class ArticleRanker:
         return ArticleRanker(replace(self.config, **overrides))
 
     def rank(self, dataset: ScholarlyDataset,
-             telemetry: Optional["SolverTelemetry"] = None
+             telemetry: Optional["SolverTelemetry"] = None,
+             obs: Optional["Observability"] = None
              ) -> RankingResult:
         """Run the full pipeline on ``dataset``.
 
@@ -145,44 +161,60 @@ class ArticleRanker:
         ``result.diagnostics["timings"]`` (seconds), keyed by stage name —
         the batch-efficiency experiments read them. ``telemetry``
         (optional) is handed to the TWPR solve and records its residual
-        trajectory; scores are identical with it on or off.
+        trajectory; scores are identical with it on or off. ``obs``
+        (optional) wraps the pipeline in a ``rank`` span with per-stage
+        child spans and mirrors stage timings into the
+        ``repro_stage_seconds`` histogram.
         """
         if dataset.num_articles == 0:
             raise DatasetError("cannot rank an empty dataset")
+        if obs is not None and telemetry is None:
+            telemetry = obs.telemetry
         config = self.config
         timings: Dict[str, float] = {}
         clock = time.perf_counter
-        stage_start = clock()
-        graph = dataset.citation_csr()
-        years = dataset.article_years(graph)
-        timings["build_graph"] = clock() - stage_start
-        _, max_year = dataset.year_range()
-        observation = config.observation_year \
-            if config.observation_year is not None else max_year
-        if observation < max_year:
-            raise ConfigError(
-                f"observation_year {observation} precedes newest article "
-                f"({max_year}); slice the dataset instead")
+        outer = obs.span("rank", articles=dataset.num_articles) \
+            if obs is not None else nullcontext()
+        with outer:
+            stage_start = clock()
+            with (obs.span("rank.build_graph") if obs is not None
+                  else nullcontext()):
+                graph = dataset.citation_csr()
+                years = dataset.article_years(graph)
+            _stage_observed(obs, timings, "build_graph",
+                            clock() - stage_start)
+            _, max_year = dataset.year_range()
+            observation = config.observation_year \
+                if config.observation_year is not None else max_year
+            if observation < max_year:
+                raise ConfigError(
+                    f"observation_year {observation} precedes newest "
+                    f"article ({max_year}); slice the dataset instead")
 
-        diagnostics: Dict[str, object] = {"timings": timings}
+            diagnostics: Dict[str, object] = {"timings": timings}
 
-        stage_start = clock()
-        prestige_kernel = exponential_decay(config.prestige_decay)
-        twpr = time_weighted_pagerank(
-            graph, years, decay=prestige_kernel, damping=config.damping,
-            tol=config.tol, max_iter=config.max_iter, method=config.solver,
-            telemetry=telemetry)
-        timings["article_prestige"] = clock() - stage_start
-        diagnostics["twpr_iterations"] = twpr.iterations
-        diagnostics["twpr_method"] = twpr.method
-        diagnostics["twpr_converged"] = twpr.converged
+            stage_start = clock()
+            prestige_kernel = exponential_decay(config.prestige_decay)
+            twpr = time_weighted_pagerank(
+                graph, years, decay=prestige_kernel,
+                damping=config.damping, tol=config.tol,
+                max_iter=config.max_iter, method=config.solver,
+                telemetry=telemetry, obs=obs)
+            _stage_observed(obs, timings, "article_prestige",
+                            clock() - stage_start)
+            diagnostics["twpr_iterations"] = twpr.iterations
+            diagnostics["twpr_method"] = twpr.method
+            diagnostics["twpr_converged"] = twpr.converged
 
-        return self._assemble(dataset, graph, years, observation,
-                              twpr.scores, diagnostics, timings)
+            return self._assemble(dataset, graph, years, observation,
+                                  twpr.scores, diagnostics, timings,
+                                  obs=obs)
 
     def rank_with_prestige(self, dataset: ScholarlyDataset,
                            prestige,
-                           graph=None) -> RankingResult:
+                           graph=None,
+                           obs: Optional["Observability"] = None
+                           ) -> RankingResult:
         """Assemble the full model around *externally supplied* prestige.
 
         ``prestige`` is either a mapping (article id -> score) or a
@@ -231,45 +263,56 @@ class ArticleRanker:
         diagnostics: Dict[str, object] = {"timings": timings,
                                           "prestige_source": "external"}
         return self._assemble(dataset, graph, years, observation,
-                              prestige_scores, diagnostics, timings)
+                              prestige_scores, diagnostics, timings,
+                              obs=obs)
 
     def _assemble(self, dataset: ScholarlyDataset, graph, years,
                   observation: int, prestige_scores: np.ndarray,
                   diagnostics: Dict[str, object],
-                  timings: Dict[str, float]) -> RankingResult:
+                  timings: Dict[str, float],
+                  obs: Optional["Observability"] = None) -> RankingResult:
         """Linear-time stages shared by batch and dynamic ranking."""
         config = self.config
         clock = time.perf_counter
-        stage_start = clock()
-        popularity_kernel = exponential_decay(config.popularity_decay)
-        article_popularity = popularity_scores(
-            graph, years, observation, decay=popularity_kernel,
-            self_boost=config.popularity_self_boost)
 
-        article_importance = combine_importance(
-            prestige_scores, article_popularity, theta=config.theta,
-            normalization=config.normalization)
-        timings["article_popularity"] = clock() - stage_start
+        def _span(name: str):
+            return obs.span(name) if obs is not None else nullcontext()
 
         stage_start = clock()
-        venue_feature = self._venue_feature(
-            dataset, graph, observation, diagnostics)
-        timings["venue"] = clock() - stage_start
-        stage_start = clock()
-        author_feature = self._author_feature(
-            dataset, graph, article_importance)
-        timings["author"] = clock() - stage_start
+        with _span("rank.article_popularity"):
+            popularity_kernel = exponential_decay(config.popularity_decay)
+            article_popularity = popularity_scores(
+                graph, years, observation, decay=popularity_kernel,
+                self_boost=config.popularity_self_boost)
+
+            article_importance = combine_importance(
+                prestige_scores, article_popularity, theta=config.theta,
+                normalization=config.normalization)
+        _stage_observed(obs, timings, "article_popularity",
+                        clock() - stage_start)
 
         stage_start = clock()
-        w_article, w_venue, w_author = config.blend_weights()
-        scores = (
-            w_article * normalize_scores(article_importance,
-                                         config.normalization)
-            + w_venue * normalize_scores(venue_feature,
-                                         config.normalization)
-            + w_author * normalize_scores(author_feature,
-                                          config.normalization))
-        timings["assembly"] = clock() - stage_start
+        with _span("rank.venue"):
+            venue_feature = self._venue_feature(
+                dataset, graph, observation, diagnostics)
+        _stage_observed(obs, timings, "venue", clock() - stage_start)
+        stage_start = clock()
+        with _span("rank.author"):
+            author_feature = self._author_feature(
+                dataset, graph, article_importance)
+        _stage_observed(obs, timings, "author", clock() - stage_start)
+
+        stage_start = clock()
+        with _span("rank.assembly"):
+            w_article, w_venue, w_author = config.blend_weights()
+            scores = (
+                w_article * normalize_scores(article_importance,
+                                             config.normalization)
+                + w_venue * normalize_scores(venue_feature,
+                                             config.normalization)
+                + w_author * normalize_scores(author_feature,
+                                              config.normalization))
+        _stage_observed(obs, timings, "assembly", clock() - stage_start)
 
         return RankingResult(
             node_ids=graph.node_ids.copy(),

@@ -23,6 +23,8 @@ Three solvers share one fixed point:
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -37,6 +39,7 @@ from repro.ranking.gauss_seidel import gauss_seidel_pagerank
 from repro.ranking.pagerank import pagerank, validate_initial, validate_jump
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 
@@ -173,7 +176,8 @@ def _level_operators(graph: CSRGraph, weights: np.ndarray
 def _levels_solve(graph: CSRGraph, weights: np.ndarray, damping: float,
                   tol: float, max_sweeps: int, jump: np.ndarray,
                   initial: Optional[np.ndarray],
-                  telemetry: Optional["SolverTelemetry"] = None
+                  telemetry: Optional["SolverTelemetry"] = None,
+                  obs: Optional["Observability"] = None
                   ) -> TWPRResult:
     """Vectorized level-sweep Gauss–Seidel (the batch optimization).
 
@@ -194,22 +198,34 @@ def _levels_solve(graph: CSRGraph, weights: np.ndarray, damping: float,
 
     scores = jump.copy() if initial is None \
         else np.asarray(initial, dtype=np.float64).copy()
-    residual = float("inf")
-    sweeps = 0
-    for sweeps in range(1, max_sweeps + 1):
-        previous = scores.copy()
-        dangling_mass = float(scores[dangling].sum())
-        for nodes, matrix in operators:
-            pulled = matrix @ scores
-            scores[nodes] = damping * (pulled
-                                       + dangling_mass * jump[nodes]) \
-                + (1.0 - damping) * jump[nodes]
-        scores /= scores.sum()
-        residual = float(np.abs(scores - previous).sum())
-        if telemetry is not None:
-            telemetry.record_iteration(residual, dangling_mass)
-        if residual <= tol:
-            return TWPRResult(scores, sweeps, residual, True, "levels")
+    span = obs.span("twpr.levels_solve", nodes=n,
+                    levels=len(operators)) \
+        if obs is not None else nullcontext()
+    stream = telemetry.open_stream("twpr.levels") \
+        if telemetry is not None else None
+    with span:
+        residual = float("inf")
+        sweeps = 0
+        for sweeps in range(1, max_sweeps + 1):
+            sweep_start = time.perf_counter()
+            previous = scores.copy()
+            dangling_mass = float(scores[dangling].sum())
+            for nodes, matrix in operators:
+                pulled = matrix @ scores
+                scores[nodes] = damping * (pulled
+                                           + dangling_mass * jump[nodes]) \
+                    + (1.0 - damping) * jump[nodes]
+            scores /= scores.sum()
+            change = np.abs(scores - previous)
+            residual = float(change.sum())
+            if telemetry is not None:
+                telemetry.record_iteration(residual, dangling_mass)
+                stream.record(
+                    residual, delta=float(change.max()),
+                    active=int(np.count_nonzero(change > tol)),
+                    seconds=time.perf_counter() - sweep_start)
+            if residual <= tol:
+                return TWPRResult(scores, sweeps, residual, True, "levels")
     return TWPRResult(scores, sweeps, residual, False, "levels")
 
 
@@ -221,7 +237,8 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
                            method: str = "auto",
                            initial: Optional[np.ndarray] = None,
                            raise_on_divergence: bool = False,
-                           telemetry: Optional["SolverTelemetry"] = None
+                           telemetry: Optional["SolverTelemetry"] = None,
+                           obs: Optional["Observability"] = None
                            ) -> TWPRResult:
     """Compute TWPR prestige scores.
 
@@ -233,8 +250,13 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
             ``"auto"`` (levels — the optimized batch solver).
         telemetry: optional :class:`repro.obs.SolverTelemetry` recording
             the residual trajectory (all three solvers), dangling-mass
-            trajectory and level count. Observational only — scores are
-            bit-identical with telemetry on or off.
+            trajectory, a per-iteration convergence stream and the level
+            count. Observational only — scores are bit-identical with
+            telemetry on or off.
+        obs: optional :class:`repro.obs.Observability` handle wrapping
+            the solve in a ``twpr.solve`` span (nested solver spans
+            appear underneath) and supplying telemetry when
+            ``telemetry`` itself is not given.
         Other args as in :func:`repro.ranking.pagerank.pagerank`.
 
     ``initial`` is validated once here for all three solvers (shape,
@@ -249,6 +271,9 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
     if tol <= 0 or max_iter <= 0:
         raise ConfigError("tol and max_iter must be positive")
 
+    if obs is not None and telemetry is None:
+        telemetry = obs.telemetry
+
     if decay is None:
         decay = exponential_decay(0.1)
     weights = time_weight_edges(graph, years, decay)
@@ -260,24 +285,30 @@ def time_weighted_pagerank(graph: CSRGraph, years: np.ndarray,
     if telemetry is not None:
         telemetry.solver = "levels" if method == "auto" else method
 
-    if method in ("auto", "levels"):
-        result = _levels_solve(graph, weights, damping, tol, max_iter,
-                               jump_vector, initial_vector,
-                               telemetry=telemetry)
-    elif method == "power":
-        base = pagerank(graph, damping=damping, tol=tol, max_iter=max_iter,
-                        jump=jump_vector, edge_weights=weights,
-                        initial=initial_vector, telemetry=telemetry)
-        result = TWPRResult(base.scores, base.iterations, base.residual,
-                            base.converged, "power")
-    else:
-        base = gauss_seidel_pagerank(graph, damping=damping, tol=tol,
-                                     max_sweeps=max_iter, jump=jump_vector,
-                                     edge_weights=weights,
-                                     initial=initial_vector,
-                                     telemetry=telemetry)
-        result = TWPRResult(base.scores, base.iterations, base.residual,
-                            base.converged, "gauss_seidel")
+    span = obs.span("twpr.solve", method=method, nodes=n,
+                    edges=graph.num_edges) \
+        if obs is not None else nullcontext()
+    with span:
+        if method in ("auto", "levels"):
+            result = _levels_solve(graph, weights, damping, tol, max_iter,
+                                   jump_vector, initial_vector,
+                                   telemetry=telemetry, obs=obs)
+        elif method == "power":
+            base = pagerank(graph, damping=damping, tol=tol,
+                            max_iter=max_iter, jump=jump_vector,
+                            edge_weights=weights, initial=initial_vector,
+                            telemetry=telemetry, obs=obs)
+            result = TWPRResult(base.scores, base.iterations, base.residual,
+                                base.converged, "power")
+        else:
+            base = gauss_seidel_pagerank(graph, damping=damping, tol=tol,
+                                         max_sweeps=max_iter,
+                                         jump=jump_vector,
+                                         edge_weights=weights,
+                                         initial=initial_vector,
+                                         telemetry=telemetry, obs=obs)
+            result = TWPRResult(base.scores, base.iterations, base.residual,
+                                base.converged, "gauss_seidel")
     if raise_on_divergence and not result.converged:
         raise ConvergenceError(
             f"TWPR ({result.method}) did not reach tol={tol} in "

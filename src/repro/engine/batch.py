@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,10 @@ from repro.core.model import ArticleRanker, RankerConfig, RankingResult
 from repro.core.time_weight import TimeDecay
 from repro.core.twpr import TWPRResult, time_weighted_pagerank
 from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
+    from repro.obs.telemetry import SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -44,12 +48,23 @@ class BatchRanker:
     def config(self) -> RankerConfig:
         return self._ranker.config
 
-    def run(self, dataset: ScholarlyDataset) -> BatchReport:
-        """Rank ``dataset`` and report total and per-stage timings."""
+    def run(self, dataset: ScholarlyDataset,
+            telemetry: Optional["SolverTelemetry"] = None,
+            obs: Optional["Observability"] = None) -> BatchReport:
+        """Rank ``dataset`` and report total and per-stage timings.
+
+        ``telemetry`` / ``obs`` are handed through to
+        :meth:`repro.core.model.ArticleRanker.rank` — purely
+        observational, scores are identical with them on or off.
+        """
         start = time.perf_counter()
-        result = self._ranker.rank(dataset)
-        return BatchReport(result=result,
-                           total_seconds=time.perf_counter() - start)
+        result = self._ranker.rank(dataset, telemetry=telemetry, obs=obs)
+        total = time.perf_counter() - start
+        if obs is not None:
+            obs.metrics.gauge(
+                "repro_batch_run_seconds",
+                "End-to-end wall-clock of the last batch run.").set(total)
+        return BatchReport(result=result, total_seconds=total)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ edges only — and normalize once at the end.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -44,6 +45,7 @@ from repro.graph.partition import Partition
 from repro.ranking.pagerank import validate_initial, validate_jump
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 
@@ -167,7 +169,8 @@ class BlockEngine:
             local_tol: float = 1e-12, local_max_iter: int = 50,
             initial: Optional[np.ndarray] = None,
             block_order: Optional[Sequence[int]] = None,
-            telemetry: Optional["SolverTelemetry"] = None
+            telemetry: Optional["SolverTelemetry"] = None,
+            obs: Optional["Observability"] = None
             ) -> BlockRankResult:
         """Iterate supersteps until the global L1 change drops below tol.
 
@@ -187,6 +190,8 @@ class BlockEngine:
             raise ConfigError("tolerances must be positive")
         if max_supersteps <= 0 or local_max_iter <= 0:
             raise ConfigError("iteration budgets must be positive")
+        if obs is not None and telemetry is None:
+            telemetry = obs.telemetry
         n = self.graph.num_nodes
         if n == 0:
             return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
@@ -198,40 +203,51 @@ class BlockEngine:
         validated = validate_initial(initial, n)
         scores = self.jump.copy() if validated is None \
             else validated.copy()
-        messages = 0
-        local_iterations = 0
-        residual = float("inf")
-        supersteps = 0
-        for supersteps in range(1, max_supersteps + 1):
-            superstep_start = time.perf_counter()
-            block_iterations: Optional[dict] = \
-                {} if telemetry is not None else None
-            previous = scores.copy()
-            current = scores.copy()
-            step_local = 0
-            for block in order:
-                nodes = self._members[block]
-                external = self._boundary_ops[block] @ current
-                block_scores, inner = solve_block(
-                    self._internal_ops[block], external, self.jump[nodes],
-                    current[nodes], self.damping, local_tol,
-                    local_max_iter)
-                current[nodes] = block_scores
-                step_local += inner
-                if block_iterations is not None:
-                    block_iterations[block] = inner
-            local_iterations += step_local
-            messages += self._cut_edges
-            residual = float(np.abs(current - previous).sum())
-            scores = current
-            if telemetry is not None:
-                telemetry.record_superstep(
-                    time.perf_counter() - superstep_start,
-                    self._cut_edges, residual,
-                    local_iterations=step_local,
-                    block_iterations=block_iterations)
-            if residual <= tol:
-                break
+        span = obs.span("block_engine.run", nodes=n,
+                        blocks=self.partition.num_blocks) \
+            if obs is not None else nullcontext()
+        stream = telemetry.open_stream("block_engine", kind="superstep") \
+            if telemetry is not None else None
+        with span:
+            messages = 0
+            local_iterations = 0
+            residual = float("inf")
+            supersteps = 0
+            for supersteps in range(1, max_supersteps + 1):
+                superstep_start = time.perf_counter()
+                block_iterations: Optional[dict] = \
+                    {} if telemetry is not None else None
+                previous = scores.copy()
+                current = scores.copy()
+                step_local = 0
+                for block in order:
+                    nodes = self._members[block]
+                    external = self._boundary_ops[block] @ current
+                    block_scores, inner = solve_block(
+                        self._internal_ops[block], external,
+                        self.jump[nodes], current[nodes], self.damping,
+                        local_tol, local_max_iter)
+                    current[nodes] = block_scores
+                    step_local += inner
+                    if block_iterations is not None:
+                        block_iterations[block] = inner
+                local_iterations += step_local
+                messages += self._cut_edges
+                change = np.abs(current - previous)
+                residual = float(change.sum())
+                scores = current
+                if telemetry is not None:
+                    seconds = time.perf_counter() - superstep_start
+                    telemetry.record_superstep(
+                        seconds, self._cut_edges, residual,
+                        local_iterations=step_local,
+                        block_iterations=block_iterations)
+                    stream.record(
+                        residual, delta=float(change.max()),
+                        active=int(np.count_nonzero(change > tol)),
+                        seconds=seconds)
+                if residual <= tol:
+                    break
         converged = residual <= tol
         scores = scores / scores.sum()
         return BlockRankResult(scores, supersteps, messages,
@@ -243,7 +259,8 @@ def vertex_centric_pagerank(graph: CSRGraph, partition: Partition,
                             max_supersteps: int = 200,
                             jump: Optional[np.ndarray] = None,
                             edge_weights: Optional[np.ndarray] = None,
-                            telemetry: Optional["SolverTelemetry"] = None
+                            telemetry: Optional["SolverTelemetry"] = None,
+                            obs: Optional["Observability"] = None
                             ) -> BlockRankResult:
     """Pregel-style baseline: one Jacobi iteration per superstep.
 
@@ -255,6 +272,8 @@ def vertex_centric_pagerank(graph: CSRGraph, partition: Partition,
         raise ConfigError(f"damping must be in [0, 1), got {damping}")
     if tol <= 0 or max_supersteps <= 0:
         raise ConfigError("tol and max_supersteps must be positive")
+    if obs is not None and telemetry is None:
+        telemetry = obs.telemetry
     n = graph.num_nodes
     if n == 0:
         return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
@@ -268,22 +287,33 @@ def vertex_centric_pagerank(graph: CSRGraph, partition: Partition,
     cut = partition.edge_cut(graph)
 
     scores = jump_vector.copy()
-    messages = 0
-    residual = float("inf")
-    supersteps = 0
-    for supersteps in range(1, max_supersteps + 1):
-        superstep_start = time.perf_counter()
-        new_scores = damping * (transition_t @ scores) \
-            + (1.0 - damping) * jump_vector
-        messages += cut
-        residual = float(np.abs(new_scores - scores).sum())
-        scores = new_scores
-        if telemetry is not None:
-            telemetry.record_superstep(
-                time.perf_counter() - superstep_start, cut, residual,
-                local_iterations=1)
-        if residual <= tol:
-            break
+    span = obs.span("vertex_centric.run", nodes=n,
+                    blocks=partition.num_blocks) \
+        if obs is not None else nullcontext()
+    stream = telemetry.open_stream("vertex_centric", kind="superstep") \
+        if telemetry is not None else None
+    with span:
+        messages = 0
+        residual = float("inf")
+        supersteps = 0
+        for supersteps in range(1, max_supersteps + 1):
+            superstep_start = time.perf_counter()
+            new_scores = damping * (transition_t @ scores) \
+                + (1.0 - damping) * jump_vector
+            messages += cut
+            change = np.abs(new_scores - scores)
+            residual = float(change.sum())
+            scores = new_scores
+            if telemetry is not None:
+                seconds = time.perf_counter() - superstep_start
+                telemetry.record_superstep(seconds, cut, residual,
+                                           local_iterations=1)
+                stream.record(
+                    residual, delta=float(change.max()),
+                    active=int(np.count_nonzero(change > tol)),
+                    seconds=seconds)
+            if residual <= tol:
+                break
     converged = residual <= tol
     scores = scores / scores.sum()
     return BlockRankResult(scores, supersteps, messages, supersteps,

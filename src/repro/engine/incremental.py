@@ -19,6 +19,7 @@ large thresholds keep it tiny and cheap — E7 sweeps this trade-off.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -26,6 +27,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 from repro.errors import ConfigError
@@ -69,7 +71,8 @@ class IncrementalEngine:
                  decay: Optional[TimeDecay] = None,
                  delta_threshold: float = 1e-3, tol: float = 1e-10,
                  max_iter: int = 200,
-                 telemetry: Optional["SolverTelemetry"] = None) -> None:
+                 telemetry: Optional["SolverTelemetry"] = None,
+                 obs: Optional["Observability"] = None) -> None:
         """Solve the initial snapshot exactly and remember its state.
 
         Args:
@@ -85,6 +88,11 @@ class IncrementalEngine:
                 :meth:`apply` appends one batch record (affected-area
                 size/fraction, seeds, iterations, residual, seconds).
                 Maintained scores are unchanged with it on or off.
+            obs: optional :class:`repro.obs.Observability` handle; the
+                bootstrap solve and every :meth:`apply` open spans, each
+                batch lands in an ``"incremental"`` convergence stream
+                (kind ``"batch"``), and counters/gauges track batch
+                count and affected fraction.
         """
         if not 0.0 <= damping < 1.0:
             raise ConfigError(f"damping must be in [0, 1), got {damping}")
@@ -92,21 +100,28 @@ class IncrementalEngine:
             raise ConfigError("delta_threshold must be positive")
         if tol <= 0 or max_iter <= 0:
             raise ConfigError("tol and max_iter must be positive")
+        if obs is not None and telemetry is None:
+            telemetry = obs.telemetry
         self.damping = damping
         self.decay = decay if decay is not None else exponential_decay(0.1)
         self.delta_threshold = delta_threshold
         self.tol = tol
         self.max_iter = max_iter
         self.telemetry = telemetry
+        self.obs = obs
 
         self.dataset = dataset
-        self.graph = dataset.citation_csr()
-        self.years = dataset.article_years(self.graph)
-        self._edge_weights = time_weight_edges(self.graph, self.years,
-                                               self.decay)
-        initial = time_weighted_pagerank(
-            self.graph, self.years, decay=self.decay, damping=damping,
-            tol=tol, max_iter=max_iter, method="auto")
+        bootstrap_span = obs.span("incremental.bootstrap",
+                                  articles=dataset.num_articles) \
+            if obs is not None else nullcontext()
+        with bootstrap_span:
+            self.graph = dataset.citation_csr()
+            self.years = dataset.article_years(self.graph)
+            self._edge_weights = time_weight_edges(self.graph, self.years,
+                                                   self.decay)
+            initial = time_weighted_pagerank(
+                self.graph, self.years, decay=self.decay, damping=damping,
+                tol=tol, max_iter=max_iter, method="auto", obs=obs)
         self.scores = initial.scores
 
     # ------------------------------------------------------------------
@@ -124,6 +139,15 @@ class IncrementalEngine:
         CSR is built by *appending* rows to the old one in O(batch) time —
         no O(n + m) rebuild. Out-of-order ids fall back to a full rebuild.
         """
+        obs = self.obs
+        span = obs.span("incremental.apply",
+                        articles=len(batch.articles),
+                        citations=len(batch.citations)) \
+            if obs is not None else nullcontext()
+        with span:
+            return self._apply_inner(batch)
+
+    def _apply_inner(self, batch: UpdateBatch) -> IncrementalReport:
         start = time.perf_counter()
         old_n = self.graph.num_nodes
         old_scores = self.scores
@@ -173,6 +197,16 @@ class IncrementalEngine:
                 seeds=len(affected.seeds), iterations=iterations,
                 residual=residual, seconds=seconds,
                 num_nodes=graph.num_nodes, num_edges=graph.num_edges)
+            self.telemetry.open_stream("incremental", kind="batch").record(
+                residual, active=len(affected.nodes), seconds=seconds)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_incremental_batches_total",
+                "Update batches applied incrementally.").inc()
+            self.obs.metrics.gauge(
+                "repro_affected_fraction",
+                "Affected-area fraction of the last applied batch.").set(
+                affected.fraction)
         return IncrementalReport(
             affected=affected, iterations=iterations, residual=residual,
             converged=converged, seconds=seconds,

@@ -23,6 +23,7 @@ import json
 import os
 import re
 import shutil
+from contextlib import nullcontext
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
@@ -30,6 +31,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 from repro.errors import ConfigError, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 from repro.core.model import ArticleRanker, RankerConfig, RankingResult
 from repro.core.time_weight import exponential_decay
@@ -61,6 +63,7 @@ class LiveRanker:
                  config: Optional[RankerConfig] = None,
                  delta_threshold: float = 1e-3,
                  telemetry: Optional["SolverTelemetry"] = None,
+                 obs: Optional["Observability"] = None,
                  checkpoint_dir: Optional[PathLike] = None,
                  checkpoint_every: int = 0,
                  checkpoint_keep: int = 3) -> None:
@@ -70,8 +73,10 @@ class LiveRanker:
         incremental engine); ``config.observation_year`` must be unset —
         the observation horizon tracks the newest article automatically.
         ``telemetry`` is handed to the incremental engine, so every
-        applied batch appends one affected-area record; the rankings are
-        unchanged with it on or off.
+        applied batch appends one affected-area record; ``obs`` (an
+        :class:`repro.obs.Observability` handle) additionally traces the
+        bootstrap and every applied batch. The rankings are unchanged
+        with either on or off.
 
         ``checkpoint_dir`` opts into crash safety: every
         ``checkpoint_every`` batches (0 = only on explicit
@@ -92,6 +97,7 @@ class LiveRanker:
             raise ConfigError(
                 "checkpoint_every needs a checkpoint_dir to write to")
         self._ranker = ArticleRanker(self.config)
+        self._obs = obs
         self._engine = IncrementalEngine(
             dataset,
             damping=self.config.damping,
@@ -99,9 +105,11 @@ class LiveRanker:
             delta_threshold=delta_threshold,
             tol=self.config.tol,
             max_iter=self.config.max_iter,
-            telemetry=telemetry)
+            telemetry=telemetry,
+            obs=obs)
         self._result = self._ranker.rank_with_prestige(
-            dataset, self._engine.scores, graph=self._engine.graph)
+            dataset, self._engine.scores, graph=self._engine.graph,
+            obs=obs)
         self._batches_applied = 0
         self._checkpoint_dir = None if checkpoint_dir is None \
             else Path(checkpoint_dir)
@@ -131,7 +139,7 @@ class LiveRanker:
         report = self._engine.apply(batch)
         self._result = self._ranker.rank_with_prestige(
             self._engine.dataset, self._engine.scores,
-            graph=self._engine.graph)
+            graph=self._engine.graph, obs=self._obs)
         self._batches_applied += 1
         if (self._checkpoint_every
                 and self._batches_applied % self._checkpoint_every == 0):
@@ -152,11 +160,21 @@ class LiveRanker:
                 "no checkpoint_dir configured on this LiveRanker")
         root = self._checkpoint_dir
         root.mkdir(parents=True, exist_ok=True)
-        self._write_live_metadata(root)
         rotation = root / f"ckpt-{self._batches_applied:08d}"
-        save_engine(self._engine, rotation)
-        for stale in checkpoint_rotations(root)[self._checkpoint_keep:]:
-            shutil.rmtree(stale)
+        span = self._obs.span("live.checkpoint",
+                              batches=self._batches_applied) \
+            if self._obs is not None else nullcontext()
+        with span:
+            self._write_live_metadata(root)
+            save_engine(self._engine, rotation)
+            stale_rotations = \
+                checkpoint_rotations(root)[self._checkpoint_keep:]
+            for stale in stale_rotations:
+                shutil.rmtree(stale)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_checkpoints_total",
+                "Live checkpoint rotations written.").inc()
         return rotation
 
     def _write_live_metadata(self, root: Path) -> None:
@@ -174,7 +192,8 @@ class LiveRanker:
 
     @classmethod
     def resume(cls, directory: PathLike,
-               telemetry: Optional["SolverTelemetry"] = None
+               telemetry: Optional["SolverTelemetry"] = None,
+               obs: Optional["Observability"] = None
                ) -> "LiveRanker":
         """Recover a live session from its checkpoint rotation root.
 
@@ -219,10 +238,14 @@ class LiveRanker:
         live = cls.__new__(cls)
         live.config = config
         live._ranker = ArticleRanker(config)
+        if obs is not None and telemetry is None:
+            telemetry = obs.telemetry
         engine.telemetry = telemetry
+        engine.obs = obs
+        live._obs = obs
         live._engine = engine
         live._result = live._ranker.rank_with_prestige(
-            engine.dataset, engine.scores, graph=engine.graph)
+            engine.dataset, engine.scores, graph=engine.graph, obs=obs)
         live._batches_applied = int(
             _ROTATION_PATTERN.match(recovered.name).group(1))
         live._checkpoint_dir = directory

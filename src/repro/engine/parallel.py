@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import pickle
 import time
+from contextlib import nullcontext
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -48,10 +49,12 @@ from repro.engine.blocks import (
     _block_operators,
     solve_block,
 )
+from repro.obs.trace import TraceContext, Tracer
 from repro.ranking.pagerank import validate_jump
 from repro.resilience import Deadline, FaultPlan, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 # Worker-process state, installed by _init_worker.
@@ -100,15 +103,33 @@ def _solve_block_set(blocks: Dict[int, tuple], block_ids: List[int],
 
 
 def _solve_blocks_task(args: Tuple[List[int], np.ndarray, float, int,
-                                   int, int]
-                       ) -> List[Tuple[int, np.ndarray, int]]:
-    """One worker task: fire any scripted fault, then solve the blocks."""
-    block_ids, previous, local_tol, local_max_iter, superstep, attempt = \
-        args
-    if _WORKER_PLAN is not None:
-        _WORKER_PLAN.fire_worker_fault(_WORKER_ID, superstep, attempt)
-    return _solve_block_set(_WORKER_BLOCKS, block_ids, previous,
-                            _WORKER_DAMPING, local_tol, local_max_iter)
+                                   int, int, Optional[TraceContext]]
+                       ) -> Tuple[List[Tuple[int, np.ndarray, int]],
+                                  List[Dict[str, object]]]:
+    """One worker task: fire any scripted fault, then solve the blocks.
+
+    Returns ``(results, spans)``. When the coordinator ships a
+    :class:`TraceContext`, the solve runs inside a ``worker.solve`` span
+    parented under the coordinator's superstep span, and the finished
+    span dicts travel back with the results for the coordinator to
+    :meth:`~repro.obs.trace.Tracer.adopt`. A scripted fault fires
+    *inside* the span — a crashed attempt's span dies with the process
+    and the coordinator's recovery spans document the gap instead.
+    """
+    (block_ids, previous, local_tol, local_max_iter, superstep,
+     attempt, trace_ctx) = args
+    tracer = Tracer(parent=trace_ctx) if trace_ctx is not None else None
+    span = tracer.span("worker.solve", worker=_WORKER_ID,
+                       superstep=superstep, attempt=attempt,
+                       blocks=len(block_ids)) \
+        if tracer is not None else nullcontext()
+    with span:
+        if _WORKER_PLAN is not None:
+            _WORKER_PLAN.fire_worker_fault(_WORKER_ID, superstep, attempt)
+        results = _solve_block_set(_WORKER_BLOCKS, block_ids, previous,
+                                   _WORKER_DAMPING, local_tol,
+                                   local_max_iter)
+    return results, tracer.export() if tracer is not None else []
 
 
 class ParallelBlockEngine:
@@ -191,9 +212,25 @@ class ParallelBlockEngine:
         return _solve_block_set(payload, block_ids, previous,
                                 self.damping, local_tol, local_max_iter)
 
+    def _solve_degraded(self, block_ids: List[int],
+                        payload: Dict[int, tuple], previous: np.ndarray,
+                        local_tol: float, local_max_iter: int,
+                        obs: Optional["Observability"], worker: int
+                        ) -> List[Tuple[int, np.ndarray, int]]:
+        """Inline solve for an already-degraded worker, traced as a
+        ``worker.solve_inline`` span so degraded supersteps stay visible
+        in the trace."""
+        span = obs.span("worker.solve_inline", worker=worker,
+                        blocks=len(block_ids), degraded=True) \
+            if obs is not None else nullcontext()
+        with span:
+            return self._solve_inline(block_ids, payload, previous,
+                                      local_tol, local_max_iter)
+
     def run(self, tol: float = 1e-10, max_supersteps: int = 100,
             local_tol: float = 1e-12, local_max_iter: int = 50,
-            telemetry: Optional["SolverTelemetry"] = None
+            telemetry: Optional["SolverTelemetry"] = None,
+            obs: Optional["Observability"] = None
             ) -> BlockRankResult:
         """Run supersteps across the worker pool until convergence.
 
@@ -204,11 +241,21 @@ class ParallelBlockEngine:
         every recovery event (crash / timeout / respawn / degrade). The
         fixed point is unchanged with telemetry on or off — and with
         faults on or off.
+
+        ``obs`` (optional) additionally produces **one trace** covering
+        the whole run: a ``parallel.run`` root span, one ``superstep``
+        span per superstep, ``worker.solve`` spans shipped back from the
+        worker processes (parented under the superstep span via a
+        pickled :class:`repro.obs.trace.TraceContext`),
+        ``recovery.respawn`` / ``recovery.degrade`` spans on the
+        recovery path, and counters/histograms in ``obs.metrics``.
         """
         if tol <= 0 or local_tol <= 0:
             raise ConfigError("tolerances must be positive")
         if max_supersteps <= 0 or local_max_iter <= 0:
             raise ConfigError("iteration budgets must be positive")
+        if obs is not None and telemetry is None:
+            telemetry = obs.telemetry
         n = self.graph.num_nodes
         if n == 0:
             return BlockRankResult(np.zeros(0), 0, 0, 0, 0.0, True)
@@ -230,60 +277,101 @@ class ParallelBlockEngine:
         deadline_seconds = None if self.deadline is None \
             else self.deadline.seconds
         retries = self.retry_policy.delays()
+        stream = telemetry.open_stream("parallel_engine",
+                                       kind="superstep") \
+            if telemetry is not None else None
+        superstep_hist = obs.metrics.histogram(
+            "repro_superstep_seconds",
+            "Wall-clock seconds per parallel superstep.") \
+            if obs is not None else None
+        run_span = obs.span("parallel.run", nodes=n,
+                            workers=len(active),
+                            blocks=self.partition.num_blocks) \
+            if obs is not None else nullcontext()
         # One single-process pool per worker; a ``None`` slot marks a
         # worker degraded to inline coordinator execution.
         pools: List[Optional[ProcessPoolExecutor]] = [
             self._spawn_pool(worker, payload)
             for worker, _, payload in active]
         try:
-            for supersteps in range(1, max_supersteps + 1):
-                superstep_start = time.perf_counter()
-                previous = scores.copy()
-                futures: List[Optional[object]] = []
-                for slot, (worker, block_ids, payload) in enumerate(active):
-                    if pools[slot] is None:
-                        futures.append(None)
-                        continue
-                    futures.append(pools[slot].submit(
-                        _solve_blocks_task,
-                        (block_ids, previous, local_tol, local_max_iter,
-                         supersteps, 0)))
-                new_scores = scores.copy()
-                step_local = 0
-                block_iterations: Optional[dict] = \
-                    {} if telemetry is not None else None
-                shipped_to = 0
-                for slot, (worker, block_ids, payload) in enumerate(active):
-                    if futures[slot] is None:
-                        results = self._solve_inline(
-                            block_ids, payload, previous, local_tol,
-                            local_max_iter)
-                    else:
-                        shipped_to += 1
-                        results = self._collect_with_recovery(
-                            slot, futures[slot], active, pools,
-                            previous, local_tol, local_max_iter,
-                            supersteps, deadline_seconds, retries,
-                            telemetry)
-                    for block_id, block_scores, inner in results:
-                        new_scores[self._members[block_id]] = block_scores
-                        step_local += inner
-                        if block_iterations is not None:
-                            block_iterations[block_id] = inner
-                local_iterations += step_local
-                messages += self._cut_edges
-                residual = float(np.abs(new_scores - previous).sum())
-                scores = new_scores
-                if telemetry is not None:
-                    # Every live worker received the previous vector.
-                    telemetry.record_bytes(previous.nbytes * shipped_to)
-                    telemetry.record_superstep(
-                        time.perf_counter() - superstep_start,
-                        self._cut_edges, residual,
-                        local_iterations=step_local,
-                        block_iterations=block_iterations)
-                if residual <= tol:
-                    break
+            with run_span:
+                for supersteps in range(1, max_supersteps + 1):
+                    superstep_start = time.perf_counter()
+                    previous = scores.copy()
+                    step_span = obs.span("superstep", index=supersteps) \
+                        if obs is not None else nullcontext()
+                    with step_span:
+                        trace_ctx = obs.tracer.current_context() \
+                            if obs is not None else None
+                        futures: List[Optional[object]] = []
+                        for slot, (worker, block_ids, payload) \
+                                in enumerate(active):
+                            if pools[slot] is None:
+                                futures.append(None)
+                                continue
+                            futures.append(pools[slot].submit(
+                                _solve_blocks_task,
+                                (block_ids, previous, local_tol,
+                                 local_max_iter, supersteps, 0,
+                                 trace_ctx)))
+                        new_scores = scores.copy()
+                        step_local = 0
+                        block_iterations: Optional[dict] = \
+                            {} if telemetry is not None else None
+                        shipped_to = 0
+                        for slot, (worker, block_ids, payload) \
+                                in enumerate(active):
+                            if futures[slot] is None:
+                                results = self._solve_degraded(
+                                    block_ids, payload, previous,
+                                    local_tol, local_max_iter, obs,
+                                    worker)
+                            else:
+                                shipped_to += 1
+                                results = self._collect_with_recovery(
+                                    slot, futures[slot], active, pools,
+                                    previous, local_tol, local_max_iter,
+                                    supersteps, deadline_seconds,
+                                    retries, telemetry, trace_ctx, obs)
+                            for block_id, block_scores, inner in results:
+                                new_scores[self._members[block_id]] = \
+                                    block_scores
+                                step_local += inner
+                                if block_iterations is not None:
+                                    block_iterations[block_id] = inner
+                        local_iterations += step_local
+                        messages += self._cut_edges
+                        change = np.abs(new_scores - previous)
+                        residual = float(change.sum())
+                        scores = new_scores
+                        seconds = time.perf_counter() - superstep_start
+                        if telemetry is not None:
+                            # Every live worker received the previous
+                            # vector.
+                            telemetry.record_bytes(
+                                previous.nbytes * shipped_to)
+                            telemetry.record_superstep(
+                                seconds, self._cut_edges, residual,
+                                local_iterations=step_local,
+                                block_iterations=block_iterations)
+                            stream.record(
+                                residual, delta=float(change.max()),
+                                active=int(np.count_nonzero(
+                                    change > tol)),
+                                seconds=seconds)
+                        if obs is not None:
+                            obs.metrics.counter(
+                                "repro_supersteps_total",
+                                "Parallel supersteps executed.").inc()
+                            superstep_hist.observe(seconds)
+                    if residual <= tol:
+                        break
+                if obs is not None:
+                    obs.metrics.gauge(
+                        "repro_active_workers",
+                        "Workers still running in their own process "
+                        "(not degraded to inline).").set(
+                        sum(1 for pool in pools if pool is not None))
         finally:
             for pool in pools:
                 if pool is not None:
@@ -299,7 +387,7 @@ class ParallelBlockEngine:
     def _collect_with_recovery(self, slot, future, active, pools,
                                previous, local_tol, local_max_iter,
                                superstep, deadline_seconds, retries,
-                               telemetry):
+                               telemetry, trace_ctx=None, obs=None):
         """Await one worker's results, retrying through crashes/hangs.
 
         On failure the worker's pool is torn down and respawned, and the
@@ -308,18 +396,36 @@ class ParallelBlockEngine:
         worker is degraded: its pool slot becomes ``None`` and the
         coordinator solves its blocks inline — this superstep and every
         later one.
+
+        With ``obs``, every failure becomes a ``worker.failure`` event
+        on the open superstep span, every respawn a ``recovery.respawn``
+        span and every degradation a ``recovery.degrade`` span (the
+        inline solve runs inside it), plus
+        ``repro_worker_failures_total{kind=...}`` /
+        ``repro_recoveries_total{kind=...}`` counters.
         """
         worker, block_ids, payload = active[slot]
         attempt = 0
         while True:
             try:
-                return future.result(timeout=deadline_seconds)
+                results, spans = future.result(timeout=deadline_seconds)
+                if obs is not None and spans:
+                    obs.tracer.adopt(spans)
+                return results
             except (BrokenProcessPool, FuturesTimeout) as exc:
                 kind = "timeout" if isinstance(exc, FuturesTimeout) \
                     else "crash"
                 if telemetry is not None:
                     telemetry.record_recovery(superstep, worker, kind,
                                               attempt, block_ids)
+                if obs is not None:
+                    obs.event("worker.failure", worker=worker,
+                              cause=kind, attempt=attempt,
+                              superstep=superstep)
+                    obs.metrics.counter(
+                        "repro_worker_failures_total",
+                        "Worker failures seen by the coordinator.",
+                        labels=("kind",)).inc(kind=kind)
                 # A hung worker may still be executing: abandon its pool
                 # without waiting (the process exits once it finishes).
                 pools[slot].shutdown(wait=False, cancel_futures=True)
@@ -330,27 +436,50 @@ class ParallelBlockEngine:
                         telemetry.record_recovery(superstep, worker,
                                                   "degrade", attempt,
                                                   block_ids)
-                    return self._solve_inline(block_ids, payload,
-                                              previous, local_tol,
-                                              local_max_iter)
-                delay = retries.next_delay()
-                if delay > 0:
-                    time.sleep(delay)
-                pools[slot] = self._spawn_pool(worker, payload)
-                if telemetry is not None:
-                    telemetry.record_recovery(superstep, worker,
-                                              "respawn", attempt,
-                                              block_ids)
-                    telemetry.record_bytes(len(pickle.dumps(
-                        payload, pickle.HIGHEST_PROTOCOL)))
-                try:
-                    future = pools[slot].submit(
-                        _solve_blocks_task,
-                        (block_ids, previous, local_tol, local_max_iter,
-                         superstep, attempt))
-                except BrokenProcessPool:  # pragma: no cover - defensive
-                    # The replacement died before accepting work; loop
-                    # around as if the dispatch itself had crashed.
-                    future = Future()
-                    future.set_exception(
-                        BrokenProcessPool("respawned pool broken"))
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "repro_recoveries_total",
+                            "Recovery actions taken by the coordinator.",
+                            labels=("kind",)).inc(kind="degrade")
+                    degrade_span = obs.span(
+                        "recovery.degrade", worker=worker,
+                        superstep=superstep, attempt=attempt,
+                        blocks=len(block_ids)) \
+                        if obs is not None else nullcontext()
+                    with degrade_span:
+                        return self._solve_inline(block_ids, payload,
+                                                  previous, local_tol,
+                                                  local_max_iter)
+                respawn_span = obs.span(
+                    "recovery.respawn", worker=worker,
+                    superstep=superstep, attempt=attempt, cause=kind) \
+                    if obs is not None else nullcontext()
+                with respawn_span:
+                    delay = retries.next_delay()
+                    if delay > 0:
+                        time.sleep(delay)
+                    pools[slot] = self._spawn_pool(worker, payload)
+                    if telemetry is not None:
+                        telemetry.record_recovery(superstep, worker,
+                                                  "respawn", attempt,
+                                                  block_ids)
+                        telemetry.record_bytes(len(pickle.dumps(
+                            payload, pickle.HIGHEST_PROTOCOL)))
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "repro_recoveries_total",
+                            "Recovery actions taken by the coordinator.",
+                            labels=("kind",)).inc(kind="respawn")
+                    try:
+                        future = pools[slot].submit(
+                            _solve_blocks_task,
+                            (block_ids, previous, local_tol,
+                             local_max_iter, superstep, attempt,
+                             trace_ctx))
+                    except BrokenProcessPool:  # pragma: no cover
+                        # The replacement died before accepting work;
+                        # loop around as if the dispatch itself had
+                        # crashed.
+                        future = Future()
+                        future.set_exception(
+                            BrokenProcessPool("respawned pool broken"))

@@ -245,10 +245,11 @@ def load_engine(directory: PathLike) -> IncrementalEngine:
     engine.delta_threshold = float(config["delta_threshold"])
     engine.tol = float(config["tol"])
     engine.max_iter = int(config["max_iter"])
-    # Telemetry recorders are in-memory observers, never checkpointed;
-    # a restored engine starts unobserved (assign engine.telemetry to
-    # re-attach one).
+    # Telemetry/observability recorders are in-memory observers, never
+    # checkpointed; a restored engine starts unobserved (assign
+    # engine.telemetry / engine.obs to re-attach them).
     engine.telemetry = None
+    engine.obs = None
     engine.dataset = dataset
 
     from repro.graph.csr import CSRGraph

@@ -1,20 +1,44 @@
-"""Observability: timers, solver telemetry, machine-readable reports.
+"""Observability: tracing, metrics, convergence streams, reports.
 
 Everything here is passive and opt-in — solvers and engines accept a
-``telemetry=`` keyword (default ``None``) and record into it without
-ever changing the math, so fixed points are identical with telemetry
-on or off.
+``telemetry=`` keyword (default ``None``) and, since format v2, an
+``obs=`` :class:`Observability` handle that bundles all four recorders.
+Nothing here ever changes the math: fixed points are bit-identical with
+observability on or off.
 
 * :mod:`repro.obs.timers` — :class:`Timer` / :class:`StageTimings`,
   nestable ``perf_counter`` stopwatches.
 * :mod:`repro.obs.telemetry` — :class:`SolverTelemetry`: residual
   trajectories, superstep/message accounting, bytes shipped,
-  affected-area batches, worker/block attribution.
+  affected-area batches, worker/block attribution, recovery events.
+* :mod:`repro.obs.trace` — hierarchical span tracing with
+  cross-process propagation (:class:`Tracer`, :class:`Span`,
+  :class:`TraceContext`, :func:`render_trace`, :func:`critical_path`).
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with JSON and Prometheus export.
+* :mod:`repro.obs.convergence` — :class:`ConvergenceStream`:
+  per-iteration residual / delta / active-node records.
+* :mod:`repro.obs.events` — :class:`EventLog`, a line-buffered JSONL
+  sink with size-based rotation.
+* :mod:`repro.obs.handle` — :class:`Observability`, the single handle
+  threaded where ``SolverTelemetry`` already goes.
 * :mod:`repro.obs.report` — :class:`RunReport`: one run serialized to
-  JSON with host/python/time provenance.
+  JSON (format v2) with host/python/git/time provenance.
+
+See ``docs/OBSERVABILITY.md`` for span names, metric names, and the
+serialized schemas.
 """
 
-from repro.obs.report import RunReport, run_metadata
+from repro.obs.convergence import ConvergencePoint, ConvergenceStream
+from repro.obs.events import EventLog
+from repro.obs.handle import Observability, maybe_span, resolve_telemetry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import REPORT_FORMAT_VERSION, RunReport, run_metadata
 from repro.obs.telemetry import (
     BatchRecord,
     RecoveryRecord,
@@ -22,14 +46,39 @@ from repro.obs.telemetry import (
     SuperstepRecord,
 )
 from repro.obs.timers import StageTimings, Timer
+from repro.obs.trace import (
+    Span,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    critical_path,
+    render_trace,
+)
 
 __all__ = [
     "BatchRecord",
+    "ConvergencePoint",
+    "ConvergenceStream",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "REPORT_FORMAT_VERSION",
     "RecoveryRecord",
     "RunReport",
     "SolverTelemetry",
+    "Span",
+    "SpanEvent",
     "StageTimings",
     "SuperstepRecord",
+    "TraceContext",
     "Timer",
+    "Tracer",
+    "critical_path",
+    "maybe_span",
+    "render_trace",
+    "resolve_telemetry",
     "run_metadata",
 ]

@@ -1,0 +1,90 @@
+"""Convergence streams: how the fixed point was actually reached.
+
+A :class:`ConvergenceStream` is an append-only series of
+:class:`ConvergencePoint` records — one per solver iteration, engine
+superstep, or incremental batch — capturing the residual, the largest
+per-node change (``delta``), and how many nodes/blocks were still
+moving (``active``). Solvers feed a stream through their
+:class:`repro.obs.SolverTelemetry` (``telemetry.open_stream``), and the
+whole set serializes into :class:`repro.obs.report.RunReport` so a
+saved artifact answers "how did the residual decay?" without rerunning.
+
+``kind`` names the record granularity by convention:
+
+* ``"iteration"`` — one solver iteration/sweep (TWPR power,
+  Gauss–Seidel, level sweeps, affected-area re-solves);
+* ``"superstep"`` — one block/vertex-centric superstep;
+* ``"batch"`` — one incremental update batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ConvergencePoint:
+    """One observation of an iterative process."""
+
+    index: int
+    residual: float
+    #: largest single-node absolute change this step (0 if untracked).
+    delta: float = 0.0
+    #: nodes (or blocks) still moving beyond tolerance this step.
+    active: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "residual": self.residual,
+                "delta": self.delta, "active": self.active,
+                "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ConvergencePoint":
+        return cls(index=int(payload["index"]),
+                   residual=float(payload["residual"]),
+                   delta=float(payload.get("delta", 0.0)),
+                   active=int(payload.get("active", 0)),
+                   seconds=float(payload.get("seconds", 0.0)))
+
+
+@dataclass
+class ConvergenceStream:
+    """Append-only per-step convergence series for one solve."""
+
+    name: str
+    kind: str = "iteration"
+    points: List[ConvergencePoint] = field(default_factory=list)
+
+    def record(self, residual: float, delta: float = 0.0,
+               active: int = 0, seconds: float = 0.0
+               ) -> ConvergencePoint:
+        point = ConvergencePoint(
+            index=len(self.points), residual=float(residual),
+            delta=float(delta), active=int(active),
+            seconds=float(seconds))
+        self.points.append(point)
+        return point
+
+    @property
+    def residuals(self) -> List[float]:
+        return [point.residual for point in self.points]
+
+    @property
+    def final_residual(self) -> float:
+        return self.points[-1].residual if self.points else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind,
+                "points": [point.as_dict() for point in self.points]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ConvergenceStream":
+        return cls(name=str(payload["name"]),
+                   kind=str(payload.get("kind", "iteration")),
+                   points=[ConvergencePoint.from_dict(p)
+                           for p in payload.get("points", [])])

@@ -1,0 +1,101 @@
+"""Line-buffered JSONL event sink with size-based rotation.
+
+:class:`EventLog` appends one JSON object per line — timestamp, kind,
+free-form fields — flushing per line so a crash loses at most the line
+being written. When the active file exceeds ``max_bytes`` it is rotated
+shift-style (``events.jsonl`` → ``events.jsonl.1`` → … up to
+``backups``; the oldest falls off), the scheme log collectors already
+understand.
+
+The log is deliberately dumb: no levels, no formatting, no global
+state. Engines emit through :meth:`repro.obs.Observability.event`, so
+an event lands both here (durable) and on the currently open trace
+span (contextual).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class EventLog:
+    """Append-only JSONL sink with shift rotation."""
+
+    def __init__(self, path: PathLike,
+                 max_bytes: int = 10 * 1024 * 1024,
+                 backups: int = 3) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8", buffering=1)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> Dict[str, object]:
+        """Write one event line; returns the record written."""
+        if self._handle is None:
+            raise ValueError("event log is closed")
+        record: Dict[str, object] = {"ts": time.time(), "kind": str(kind)}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=str)
+        if self._handle.tell() + len(line) + 1 > self.max_bytes:
+            self._rotate()
+        self._handle.write(line + "\n")
+        self.emitted += 1
+        return record
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(
+                f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for index in range(self.backups - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{index}")
+                if source.exists():
+                    os.replace(source,
+                               self.path.with_name(
+                                   f"{self.path.name}.{index + 1}"))
+            if self.path.exists():
+                os.replace(self.path,
+                           self.path.with_name(f"{self.path.name}.1"))
+        self._handle = open(self.path, "a", encoding="utf-8",
+                            buffering=1)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: PathLike) -> List[Dict[str, object]]:
+        """Parse one JSONL event file back into records."""
+        records = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

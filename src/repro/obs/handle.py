@@ -1,0 +1,97 @@
+"""The single opt-in observability handle threaded through the system.
+
+:class:`Observability` bundles the four recorders — span tracer,
+metrics registry, solver telemetry, optional JSONL event log — behind
+one object that rides the same keyword path ``SolverTelemetry`` always
+has. Engines accept ``obs=None`` (default: zero overhead, zero
+behaviour change) and guard every record with ``if obs is not None``;
+the math never reads anything back, so fixed points are bit-identical
+with observability on or off.
+
+Call-site helpers:
+
+* :func:`maybe_span` — a span context manager that degrades to
+  ``nullcontext`` when ``obs`` is ``None``, so hot paths need no
+  branching beyond the guard they already have;
+* :func:`resolve_telemetry` — engines that take both ``telemetry=``
+  (the historical keyword) and ``obs=`` use the explicit telemetry if
+  given, else the handle's.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SolverTelemetry
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """Tracer + metrics + telemetry (+ optional event log), one handle."""
+
+    def __init__(self, name: str = "run",
+                 telemetry: Optional[SolverTelemetry] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None) -> None:
+        self.name = name
+        self.telemetry = telemetry if telemetry is not None \
+            else SolverTelemetry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.events = events
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes):
+        """Open a child span (see :meth:`repro.obs.trace.Tracer.span`)."""
+        return self.tracer.span(name, **attributes)
+
+    def event(self, kind: str, **fields) -> None:
+        """Record one event on the current span *and* the event log."""
+        self.tracer.event(kind, **fields)
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    def report(self, name: Optional[str] = None):
+        """Bundle everything recorded so far into a v2 ``RunReport``."""
+        from repro.obs.report import RunReport
+
+        report = RunReport(name if name is not None else self.name,
+                           timings=self.telemetry.timings,
+                           telemetry=self.telemetry)
+        report.spans = self.tracer.export()
+        report.metrics_registry = self.metrics.snapshot()
+        return report
+
+    def close(self) -> None:
+        """Close the event log, if one is attached."""
+        if self.events is not None:
+            self.events.close()
+
+    def __enter__(self) -> "Observability":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def maybe_span(obs: Optional[Observability], name: str,
+               **attributes) -> ContextManager:
+    """``obs.span(...)`` or an inert context when observability is off."""
+    if obs is None:
+        return nullcontext()
+    return obs.span(name, **attributes)
+
+
+def resolve_telemetry(obs: Optional[Observability],
+                      telemetry: Optional[SolverTelemetry]
+                      ) -> Optional[SolverTelemetry]:
+    """The telemetry recorder a call site should write into."""
+    if telemetry is not None:
+        return telemetry
+    return obs.telemetry if obs is not None else None

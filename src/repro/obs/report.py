@@ -1,27 +1,53 @@
 """Machine-readable run reports (the JSON artifact of one measured run).
 
 :class:`RunReport` bundles what a benchmark or profiled run produced —
-stage timings, solver telemetry, free-form metrics — together with
-enough provenance (host, python, timestamp) that two artifacts can be
+stage timings, solver telemetry, convergence streams, trace spans, a
+metrics-registry snapshot, free-form metrics — together with enough
+provenance (host, python, git SHA, timestamp) that two artifacts can be
 compared honestly. ``save()`` writes canonical JSON; ``load()`` reads
 it back, so perf trajectories (``BENCH_*.json``) can be diffed across
-commits.
+commits (see ``benchmarks/compare.py``).
+
+Format history:
+
+* **v1** — name, meta (host/python/time), timings, telemetry, metrics.
+* **v2** — adds ``spans`` (finished trace spans, see
+  :mod:`repro.obs.trace`), ``metrics_registry`` (a
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot`), a ``git_sha``
+  provenance field, and telemetry ``convergence`` streams. v1 files
+  load unchanged under the v2 reader — every v2 section is optional.
 """
 
 from __future__ import annotations
 
 import datetime
+import functools
 import json
 import platform
+import subprocess
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from repro.errors import StorageError
 from repro.obs.telemetry import SolverTelemetry
 from repro.obs.timers import StageTimings
 
 PathLike = Union[str, Path]
 
-REPORT_FORMAT_VERSION = 1
+REPORT_FORMAT_VERSION = 2
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """HEAD commit of the working tree, or ``"unknown"`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
 
 
 def run_metadata() -> Dict[str, str]:
@@ -30,6 +56,7 @@ def run_metadata() -> Dict[str, str]:
         "host": platform.platform(),
         "python": platform.python_version(),
         "time": datetime.datetime.now().isoformat(timespec="seconds"),
+        "git_sha": _git_sha(),
     }
 
 
@@ -43,6 +70,10 @@ class RunReport:
         self.timings = timings if timings is not None else StageTimings()
         self.telemetry = telemetry
         self.metrics: Dict[str, object] = {}
+        #: finished trace spans (list of span dicts), v2 section.
+        self.spans: List[Dict[str, object]] = []
+        #: a :meth:`MetricsRegistry.snapshot` dict, v2 section.
+        self.metrics_registry: Dict[str, object] = {}
         self.meta = run_metadata()
 
     def record_metric(self, name: str, value) -> None:
@@ -61,6 +92,10 @@ class RunReport:
             payload["telemetry"] = self.telemetry.as_dict()
         if self.metrics:
             payload["metrics"] = dict(self.metrics)
+        if self.spans:
+            payload["spans"] = list(self.spans)
+        if self.metrics_registry:
+            payload["metrics_registry"] = dict(self.metrics_registry)
         return payload
 
     def to_json(self, indent: int = 2) -> str:
@@ -74,10 +109,30 @@ class RunReport:
 
     @staticmethod
     def load(path: PathLike) -> Dict[str, object]:
-        """Read a saved report back as a plain dict."""
-        return json.loads(Path(path).read_text(encoding="utf-8"))
+        """Read a saved report back as a plain dict.
+
+        Accepts every format version up to the current one (v1 files
+        simply lack the v2 sections — readers treat them as empty);
+        rejects files from a *newer* format than this reader knows.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"cannot read run report {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise StorageError(
+                f"run report {path} is not a JSON object")
+        version = int(payload.get("format_version", 1))
+        if version > REPORT_FORMAT_VERSION:
+            raise StorageError(
+                f"run report {path} has format_version {version}; this "
+                f"reader understands <= {REPORT_FORMAT_VERSION}")
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunReport(name={self.name!r}, "
                 f"stages={len(self.timings)}, "
+                f"spans={len(self.spans)}, "
                 f"metrics={sorted(self.metrics)})")

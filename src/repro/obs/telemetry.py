@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.convergence import ConvergenceStream
 from repro.obs.timers import StageTimings
 
 
@@ -53,6 +54,18 @@ class SuperstepRecord:
             "block_iterations": {str(k): v
                                  for k, v in self.block_iterations.items()},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SuperstepRecord":
+        return cls(
+            index=int(payload["index"]),
+            seconds=float(payload["seconds"]),
+            messages=int(payload["messages"]),
+            residual=float(payload["residual"]),
+            local_iterations=int(payload.get("local_iterations", 0)),
+            block_iterations={int(k): int(v) for k, v
+                              in payload.get("block_iterations",
+                                             {}).items()})
 
 
 @dataclass
@@ -81,6 +94,17 @@ class BatchRecord:
             "num_nodes": self.num_nodes,
             "num_edges": self.num_edges,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BatchRecord":
+        return cls(**{key: (int(payload[key]) if key in
+                            ("index", "affected_nodes", "seeds",
+                             "iterations", "num_nodes", "num_edges")
+                            else float(payload[key]))
+                      for key in ("index", "affected_nodes",
+                                  "affected_fraction", "seeds",
+                                  "iterations", "residual", "seconds",
+                                  "num_nodes", "num_edges")})
 
 
 @dataclass
@@ -111,6 +135,15 @@ class RecoveryRecord:
             "blocks": list(self.blocks),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RecoveryRecord":
+        return cls(index=int(payload["index"]),
+                   superstep=int(payload["superstep"]),
+                   worker=int(payload["worker"]),
+                   kind=str(payload["kind"]),
+                   attempt=int(payload.get("attempt", 0)),
+                   blocks=[int(b) for b in payload.get("blocks", [])])
+
 
 class SolverTelemetry:
     """Recorder for one solver/engine run (or one live session)."""
@@ -126,6 +159,7 @@ class SolverTelemetry:
         self.bytes_shipped: int = 0
         self.counters: Dict[str, float] = {}
         self.timings = StageTimings()
+        self.convergence: Dict[str, ConvergenceStream] = {}
 
     # ------------------------------------------------------------------
     # recording (call sites guard with `if telemetry is not None`)
@@ -191,6 +225,20 @@ class SolverTelemetry:
         """Bytes serialized toward worker processes."""
         self.bytes_shipped += int(count)
 
+    def open_stream(self, name: str,
+                    kind: str = "iteration") -> ConvergenceStream:
+        """Get or create the named :class:`ConvergenceStream`.
+
+        Solvers open one stream per solve (e.g. ``"twpr/levels"``) and
+        append a point per iteration; engines open ``"superstep"`` /
+        ``"batch"`` streams. All streams serialize with the telemetry.
+        """
+        stream = self.convergence.get(name)
+        if stream is None:
+            stream = ConvergenceStream(name=name, kind=kind)
+            self.convergence[name] = stream
+        return stream
+
     def incr(self, name: str, value: float = 1.0) -> None:
         """Bump a named counter."""
         self.counters[name] = self.counters.get(name, 0.0) + value
@@ -239,7 +287,44 @@ class SolverTelemetry:
             payload["counters"] = dict(self.counters)
         if len(self.timings):
             payload["timings"] = self.timings.as_dict()
+        if self.convergence:
+            payload["convergence"] = [stream.as_dict() for stream
+                                      in self.convergence.values()]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolverTelemetry":
+        """Rebuild a telemetry snapshot saved by :meth:`as_dict`.
+
+        Inverse up to what ``as_dict`` serializes: ``timings`` come back
+        flat (compound stage keys preserved, per-stage entry counts
+        reset to 1), which keeps ``as_dict`` → ``from_dict`` →
+        ``as_dict`` a fixed point.
+        """
+        telemetry = cls(solver=str(payload.get("solver", "")))
+        telemetry.residuals = [float(r) for r
+                               in payload.get("residuals", [])]
+        telemetry.dangling_mass = [float(m) for m
+                                   in payload.get("dangling_mass", [])]
+        telemetry.supersteps = [SuperstepRecord.from_dict(r)
+                                for r in payload.get("supersteps", [])]
+        telemetry.batches = [BatchRecord.from_dict(r)
+                             for r in payload.get("batches", [])]
+        telemetry.recoveries = [RecoveryRecord.from_dict(r)
+                                for r in payload.get("recoveries", [])]
+        telemetry.worker_blocks = {
+            int(worker): [int(b) for b in blocks]
+            for worker, blocks in payload.get("worker_blocks",
+                                              {}).items()}
+        telemetry.bytes_shipped = int(payload.get("bytes_shipped", 0))
+        telemetry.counters = {str(k): float(v) for k, v
+                              in payload.get("counters", {}).items()}
+        for key, seconds in payload.get("timings", {}).items():
+            telemetry.timings.add(key, seconds)
+        for stream in payload.get("convergence", []):
+            parsed = ConvergenceStream.from_dict(stream)
+            telemetry.convergence[parsed.name] = parsed
+        return telemetry
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SolverTelemetry(solver={self.solver!r}, "

@@ -28,8 +28,11 @@ class Timer:
             ...
         print(t.seconds)
 
-    ``seconds`` is the final duration after exit; :attr:`elapsed` also
-    works while the timer is still running.
+    ``seconds`` is the accumulated duration after exit; :attr:`elapsed`
+    also works while the timer is still running. A stopped timer can be
+    re-``start()``\\ ed: further run time *accumulates* onto ``seconds``
+    (a restart never silently discards the prior duration), so one
+    timer can meter a stop-and-go activity. :meth:`reset` zeroes it.
     """
 
     def __init__(self, name: str = "timer") -> None:
@@ -38,15 +41,24 @@ class Timer:
         self._start: Optional[float] = None
 
     def start(self) -> "Timer":
-        self._start = time.perf_counter()
+        """Start (or resume) the timer; no-op while already running."""
+        if self._start is None:
+            self._start = time.perf_counter()
         return self
 
     def stop(self) -> float:
-        """Stop and return the duration (idempotent after the first call)."""
+        """Stop and return the accumulated duration (idempotent after
+        the first call)."""
         if self._start is not None:
-            self.seconds = time.perf_counter() - self._start
+            self.seconds += time.perf_counter() - self._start
             self._start = None
         return self.seconds
+
+    def reset(self) -> "Timer":
+        """Zero the accumulated duration and stop the clock."""
+        self.seconds = 0.0
+        self._start = None
+        return self
 
     @property
     def running(self) -> bool:
@@ -54,9 +66,9 @@ class Timer:
 
     @property
     def elapsed(self) -> float:
-        """Duration so far (running) or final duration (stopped)."""
+        """Accumulated duration, including the in-flight segment."""
         if self._start is not None:
-            return time.perf_counter() - self._start
+            return self.seconds + (time.perf_counter() - self._start)
         return self.seconds
 
     def __enter__(self) -> "Timer":

@@ -1,0 +1,301 @@
+"""Hierarchical span tracing (zero-dependency, cross-process capable).
+
+A *trace* is one logical operation — "rank this dataset", "run this
+parallel solve" — and a *span* is one timed step inside it. Spans nest:
+every span records its parent, so a finished trace is a tree whose
+shape explains *where* the time went, not just how much was spent.
+
+Three pieces:
+
+* :class:`Span` — trace id, span id, parent id, wall-clock start,
+  monotonic duration, free-form attributes, timestamped events, and an
+  ``ok``/``error`` status.
+* :class:`Tracer` — a process-local context stack. ``tracer.span(...)``
+  opens a child of whatever span is currently open; finished spans
+  accumulate on the tracer for export.
+* :class:`TraceContext` — the picklable ``(trace_id, span_id)`` pair a
+  coordinator ships to worker processes. A worker builds its own
+  ``Tracer`` around the context, opens spans under the remote parent,
+  and returns the finished spans with its results; the coordinator
+  :meth:`Tracer.adopt`\\ s them, so one trace covers dispatch, the
+  per-worker solve, recovery, and the merge.
+
+Durations are measured with ``time.perf_counter`` (monotonic); span
+*starts* are wall-clock ``time.time`` so spans from different processes
+on the same machine order sensibly in one tree.
+
+:func:`render_trace` pretty-prints the tree with per-span durations and
+marks the **critical path** — the chain of spans that actually bounded
+the run's wall-clock — with ``*``.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+
+def _new_id() -> str:
+    """A 16-hex-char random span/trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable propagation token: which span to parent under."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    name: str
+    #: seconds since the owning span's start.
+    offset: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "offset": self.offset,
+                "attributes": dict(self.attributes)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanEvent":
+        return cls(name=str(payload["name"]),
+                   offset=float(payload.get("offset", 0.0)),
+                   attributes=dict(payload.get("attributes", {})))
+
+
+@dataclass
+class Span:
+    """One timed step of a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    #: wall-clock start (``time.time()``), comparable across processes.
+    start: float
+    duration: float = 0.0
+    attributes: Dict[str, object] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    status: str = "ok"
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def add_event(self, name: str, **attributes) -> SpanEvent:
+        event = SpanEvent(name=name, offset=time.time() - self.start,
+                          attributes=attributes)
+        self.events.append(event)
+        return event
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.events:
+            payload["events"] = [event.as_dict() for event in self.events]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=float(payload.get("duration", 0.0)),
+            attributes=dict(payload.get("attributes", {})),
+            events=[SpanEvent.from_dict(e)
+                    for e in payload.get("events", [])],
+            status=str(payload.get("status", "ok")))
+
+
+class Tracer:
+    """Process-local span stack; finished spans accumulate for export.
+
+    ``parent`` seeds the tracer with a remote :class:`TraceContext`:
+    root spans opened here become children of the remote span, which is
+    how worker processes join the coordinator's trace.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None,
+                 parent: Optional[TraceContext] = None) -> None:
+        if parent is not None and trace_id is not None \
+                and parent.trace_id != trace_id:
+            raise ValueError("parent context belongs to a different trace")
+        self.trace_id = parent.trace_id if parent is not None \
+            else (trace_id if trace_id is not None else _new_id())
+        self._parent = parent
+        self._stack: List[Span] = []
+        self.finished: List[Span] = []
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a child span of the current context for the duration of
+        the ``with`` block. Exceptions mark the span ``error`` (with an
+        ``exception`` event) and propagate."""
+        if self._stack:
+            parent_id: Optional[str] = self._stack[-1].span_id
+        elif self._parent is not None:
+            parent_id = self._parent.span_id
+        else:
+            parent_id = None
+        span = Span(trace_id=self.trace_id, span_id=_new_id(),
+                    parent_id=parent_id, name=name, start=time.time(),
+                    attributes=dict(attributes))
+        started = time.perf_counter()
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.add_event("exception", type=type(exc).__name__,
+                           message=str(exc))
+            raise
+        finally:
+            span.duration = time.perf_counter() - started
+            self._stack.pop()
+            self.finished.append(span)
+
+    def event(self, name: str, **attributes) -> Optional[SpanEvent]:
+        """Annotate the currently open span (no-op without one)."""
+        if not self._stack:
+            return None
+        return self._stack[-1].add_event(name, **attributes)
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The propagation token for the innermost open span."""
+        if self._stack:
+            return TraceContext(self.trace_id, self._stack[-1].span_id)
+        return self._parent
+
+    # ------------------------------------------------------------------
+
+    def adopt(self, spans: Sequence[Union[Span, Dict[str, object]]]
+              ) -> None:
+        """Fold spans finished elsewhere (e.g. a worker process) in."""
+        for span in spans:
+            if not isinstance(span, Span):
+                span = Span.from_dict(span)
+            self.finished.append(span)
+
+    def export(self) -> List[Dict[str, object]]:
+        """All finished spans as JSON-serializable dicts."""
+        return [span.as_dict() for span in self.finished]
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+
+# ----------------------------------------------------------------------
+# rendering
+
+def _tree(spans: Sequence[Span]):
+    """``(roots, children_by_id)`` with children in start order."""
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[str, List[Span]] = {}
+    roots: List[Span] = []
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start)
+    roots.sort(key=lambda s: s.start)
+    return roots, children
+
+
+def critical_path(spans: Sequence[Union[Span, Dict[str, object]]]
+                  ) -> Set[str]:
+    """Span ids on the critical path of each root.
+
+    Within each span, walk *backwards* from its end: the child that
+    finished last bounded the wall-clock; before that child started,
+    the latest-finishing remaining child bounded it; and so on. Spans
+    off this chain overlapped with it and could have been slower for
+    free. Sequential children all land on the path; of parallel
+    children only the one that gated the merge does.
+    """
+    spans = [span if isinstance(span, Span) else Span.from_dict(span)
+             for span in spans]
+    roots, children = _tree(spans)
+    path: Set[str] = set()
+
+    def _walk(span: Span) -> None:
+        path.add(span.span_id)
+        remaining = list(children.get(span.span_id, []))
+        horizon = span.end
+        while remaining:
+            candidates = [c for c in remaining if c.start < horizon]
+            if not candidates:
+                break
+            gating = max(candidates, key=lambda c: c.end)
+            remaining.remove(gating)
+            _walk(gating)
+            horizon = gating.start
+
+    for root in roots:
+        _walk(root)
+    return path
+
+
+def render_trace(spans: Sequence[Union[Span, Dict[str, object]]],
+                 title: str = "trace",
+                 show_events: bool = True) -> str:
+    """A fixed-width span tree with durations, attributes and ``*``
+    marking the critical path."""
+    spans = [span if isinstance(span, Span) else Span.from_dict(span)
+             for span in spans]
+    if not spans:
+        return f"# {title}\n(no spans recorded)"
+    roots, children = _tree(spans)
+    on_path = critical_path(spans)
+    lines = [f"# {title} (trace {spans[0].trace_id}, "
+             f"{len(spans)} spans, * = critical path)"]
+
+    def _attrs(span: Span) -> str:
+        if not span.attributes:
+            return ""
+        inner = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        return f"  {{{inner}}}"
+
+    def _walk(span: Span, depth: int) -> None:
+        mark = "*" if span.span_id in on_path else " "
+        flag = "" if span.status == "ok" else f"  [{span.status}]"
+        label = "  " * depth + span.name
+        lines.append(f"{mark} {label:<36} {span.duration * 1e3:10.2f} ms"
+                     f"{flag}{_attrs(span)}")
+        if show_events:
+            for event in span.events:
+                detail = " ".join(f"{k}={v}" for k, v
+                                  in event.attributes.items())
+                lines.append(
+                    "  " + "  " * (depth + 1)
+                    + f"· {event.name} @{event.offset * 1e3:.1f}ms"
+                    + (f" {detail}" if detail else ""))
+        for child in children.get(span.span_id, []):
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+    return "\n".join(lines)

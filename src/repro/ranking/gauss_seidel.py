@@ -15,6 +15,8 @@ identical because at convergence the scores stop changing.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.ranking.pagerank import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 
@@ -62,7 +65,8 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
                           order: Optional[Sequence[int]] = None,
                           initial: Optional[np.ndarray] = None,
                           raise_on_divergence: bool = False,
-                          telemetry: Optional["SolverTelemetry"] = None
+                          telemetry: Optional["SolverTelemetry"] = None,
+                          obs: Optional["Observability"] = None
                           ) -> PageRankResult:
     """PageRank via Gauss–Seidel sweeps.
 
@@ -70,7 +74,10 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
     ``order`` fixes the sweep order (default: :func:`influence_order`).
     Convergence is measured as the L1 change of one full sweep.
     ``telemetry`` (optional) records the per-sweep residual and
-    dangling-mass trajectory without affecting the result.
+    dangling-mass trajectory plus a ``"gauss_seidel"`` convergence
+    stream, without affecting the result. ``obs`` wraps the sweeps in
+    a ``gauss_seidel.solve`` span and supplies telemetry when
+    ``telemetry`` itself is not given.
     """
     if not 0.0 <= damping < 1.0:
         raise ConfigError(f"damping must be in [0, 1), got {damping}")
@@ -78,6 +85,9 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
         raise ConfigError("tol must be positive")
     if max_sweeps <= 0:
         raise ConfigError("max_sweeps must be positive")
+
+    if obs is not None and telemetry is None:
+        telemetry = obs.telemetry
 
     n = graph.num_nodes
     if n == 0:
@@ -117,24 +127,35 @@ def gauss_seidel_pagerank(graph: CSRGraph, damping: float = 0.85,
     scores = validated.copy() if validated is not None \
         else jump_vector.copy()
 
-    residual = float("inf")
-    sweeps = 0
-    for sweeps in range(1, max_sweeps + 1):
-        previous = scores.copy()
-        dangling_mass = float(scores[dangling].sum())
-        for node in sweep_order:
-            start, stop = in_ptr[node], in_ptr[node + 1]
-            pulled = float(np.dot(in_prob[start:stop],
-                                  scores[in_src[start:stop]]))
-            scores[node] = damping * (pulled
-                                      + dangling_mass * jump_vector[node]) \
-                + (1.0 - damping) * jump_vector[node]
-        scores /= scores.sum()
-        residual = float(np.abs(scores - previous).sum())
-        if telemetry is not None:
-            telemetry.record_iteration(residual, dangling_mass)
-        if residual <= tol:
-            return PageRankResult(scores, sweeps, residual, True)
+    span = obs.span("gauss_seidel.solve", nodes=n, edges=graph.num_edges) \
+        if obs is not None else nullcontext()
+    stream = telemetry.open_stream("gauss_seidel") \
+        if telemetry is not None else None
+    with span:
+        residual = float("inf")
+        sweeps = 0
+        for sweeps in range(1, max_sweeps + 1):
+            sweep_start = time.perf_counter()
+            previous = scores.copy()
+            dangling_mass = float(scores[dangling].sum())
+            for node in sweep_order:
+                start, stop = in_ptr[node], in_ptr[node + 1]
+                pulled = float(np.dot(in_prob[start:stop],
+                                      scores[in_src[start:stop]]))
+                scores[node] = damping * (pulled + dangling_mass
+                                          * jump_vector[node]) \
+                    + (1.0 - damping) * jump_vector[node]
+            scores /= scores.sum()
+            change = np.abs(scores - previous)
+            residual = float(change.sum())
+            if telemetry is not None:
+                telemetry.record_iteration(residual, dangling_mass)
+                stream.record(
+                    residual, delta=float(change.max()),
+                    active=int(np.count_nonzero(change > tol)),
+                    seconds=time.perf_counter() - sweep_start)
+            if residual <= tol:
+                return PageRankResult(scores, sweeps, residual, True)
     if raise_on_divergence:
         raise ConvergenceError(
             f"Gauss-Seidel PageRank did not reach tol={tol} in "

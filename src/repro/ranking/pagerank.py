@@ -16,6 +16,8 @@ stochastic completion).
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
@@ -26,6 +28,7 @@ from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.handle import Observability
     from repro.obs.telemetry import SolverTelemetry
 
 
@@ -126,7 +129,8 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
              edge_weights: Optional[np.ndarray] = None,
              initial: Optional[np.ndarray] = None,
              raise_on_divergence: bool = False,
-             telemetry: Optional["SolverTelemetry"] = None
+             telemetry: Optional["SolverTelemetry"] = None,
+             obs: Optional["Observability"] = None
              ) -> PageRankResult:
     """Compute (weighted, personalized) PageRank of ``graph``.
 
@@ -144,9 +148,13 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
         raise_on_divergence: raise :class:`ConvergenceError` instead of
             returning a non-converged result.
         telemetry: optional :class:`repro.obs.SolverTelemetry` recording
-            the per-iteration residual and dangling-mass trajectory.
-            Purely observational — scores are identical with it on or
-            off.
+            the per-iteration residual and dangling-mass trajectory plus
+            a ``"pagerank"`` convergence stream (residual / max per-node
+            delta / active-node count per iteration). Purely
+            observational — scores are identical with it on or off.
+        obs: optional :class:`repro.obs.Observability` handle; wraps the
+            solve in a ``pagerank.solve`` span and supplies telemetry
+            when ``telemetry`` itself is not given.
 
     Returns:
         :class:`PageRankResult` with the stationary distribution.
@@ -157,6 +165,9 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
         raise ConfigError("tol must be positive")
     if max_iter <= 0:
         raise ConfigError("max_iter must be positive")
+
+    if obs is not None and telemetry is None:
+        telemetry = obs.telemetry
 
     n = graph.num_nodes
     if n == 0:
@@ -169,21 +180,32 @@ def pagerank(graph: CSRGraph, damping: float = 0.85,
     scores = validated.copy() if validated is not None \
         else jump_vector.copy()
 
-    residual = float("inf")
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
-        dangling_mass = float(scores[dangling].sum())
-        new_scores = damping * (transition_t @ scores
-                                + dangling_mass * jump_vector) \
-            + (1.0 - damping) * jump_vector
-        # Guard against numeric drift: keep it a distribution.
-        new_scores /= new_scores.sum()
-        residual = float(np.abs(new_scores - scores).sum())
-        scores = new_scores
-        if telemetry is not None:
-            telemetry.record_iteration(residual, dangling_mass)
-        if residual <= tol:
-            return PageRankResult(scores, iterations, residual, True)
+    span = obs.span("pagerank.solve", nodes=n, edges=graph.num_edges) \
+        if obs is not None else nullcontext()
+    stream = telemetry.open_stream("pagerank") \
+        if telemetry is not None else None
+    with span:
+        residual = float("inf")
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            step_start = time.perf_counter()
+            dangling_mass = float(scores[dangling].sum())
+            new_scores = damping * (transition_t @ scores
+                                    + dangling_mass * jump_vector) \
+                + (1.0 - damping) * jump_vector
+            # Guard against numeric drift: keep it a distribution.
+            new_scores /= new_scores.sum()
+            change = np.abs(new_scores - scores)
+            residual = float(change.sum())
+            scores = new_scores
+            if telemetry is not None:
+                telemetry.record_iteration(residual, dangling_mass)
+                stream.record(
+                    residual, delta=float(change.max()),
+                    active=int(np.count_nonzero(change > tol)),
+                    seconds=time.perf_counter() - step_start)
+            if residual <= tol:
+                return PageRankResult(scores, iterations, residual, True)
     if raise_on_divergence:
         raise ConvergenceError(
             f"PageRank did not reach tol={tol} in {max_iter} iterations "

@@ -1,0 +1,115 @@
+"""benchmarks/compare.py tests: report diffing and the regression gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare.py")
+compare = importlib.util.module_from_spec(_SPEC)
+# Registered before exec: dataclass decorators look the module up.
+sys.modules[_SPEC.name] = compare
+_SPEC.loader.exec_module(compare)
+
+pytestmark = pytest.mark.obs
+
+
+def _report(timings=None, metrics=None, name="run"):
+    payload = {"format_version": 2, "name": name, "meta": {}}
+    if timings:
+        payload["timings"] = timings
+    if metrics:
+        payload["metrics"] = metrics
+    return payload
+
+
+class TestCompareReports:
+    def test_regression_beyond_threshold_flagged(self):
+        comparison = compare.compare_reports(
+            _report(timings={"solve": 1.0, "io": 0.5}),
+            _report(timings={"solve": 1.3, "io": 0.55}))
+        assert not comparison.ok
+        [regression] = comparison.regressions
+        assert regression.key == "timings/solve"
+        assert regression.change == pytest.approx(0.3)
+        [steady] = comparison.unchanged
+        assert steady.key == "timings/io"
+
+    def test_improvement_is_not_fatal(self):
+        comparison = compare.compare_reports(
+            _report(timings={"solve": 1.0}),
+            _report(timings={"solve": 0.5}))
+        assert comparison.ok
+        assert [d.key for d in comparison.improvements] == \
+            ["timings/solve"]
+
+    def test_sub_millisecond_stages_skipped(self):
+        comparison = compare.compare_reports(
+            _report(timings={"tiny": 1e-5}),
+            _report(timings={"tiny": 9e-5}))  # 9x but pure noise
+        assert comparison.ok
+        assert comparison.unchanged == []
+
+    def test_stages_only_one_side_measured_ignored(self):
+        comparison = compare.compare_reports(
+            _report(timings={"old_stage": 1.0}),
+            _report(timings={"new_stage": 1.0}))
+        assert comparison.ok
+        assert comparison.unchanged == []
+
+    def test_perf_artifact_records_matched_by_label_position(self):
+        baseline = _report(metrics={"records": [
+            {"label": "scaling", "num_nodes": 10, "seconds": 1.0},
+            {"label": "scaling", "num_nodes": 20, "seconds": 2.0}]})
+        candidate = _report(metrics={"records": [
+            {"label": "scaling", "num_nodes": 10, "seconds": 1.0},
+            {"label": "scaling", "num_nodes": 20, "seconds": 3.0}]})
+        comparison = compare.compare_reports(baseline, candidate)
+        [regression] = comparison.regressions
+        assert regression.key == "records/scaling[1].seconds"
+        assert regression.change == pytest.approx(0.5)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            compare.compare_reports(_report(), _report(), threshold=0)
+
+
+class TestCommandLine:
+    def test_exit_codes_and_rendering(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_report(timings={"solve": 1.0},
+                                           name="base")))
+        cand.write_text(json.dumps(_report(timings={"solve": 2.0},
+                                           name="cand")))
+        assert compare.main([str(base), str(cand)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "timings/solve" in out
+        assert "base -> cand" in out
+        # Same file against itself: clean exit.
+        assert compare.main([str(base), str(base)]) == 0
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_report(timings={"solve": 1.0})))
+        cand.write_text(json.dumps(_report(timings={"solve": 1.3})))
+        assert compare.main([str(base), str(cand),
+                             "--threshold", "0.5"]) == 0
+
+
+class TestBenchArtifactStamping:
+    def test_bench_artifacts_carry_version_and_sha(self, tmp_path):
+        from repro.bench.runner import PerfArtifact
+        from repro.obs import REPORT_FORMAT_VERSION
+
+        artifact = PerfArtifact("E0")
+        artifact.record("scaling", num_nodes=10, seconds=0.5)
+        payload = json.loads(artifact.save(tmp_path).read_text())
+        assert payload["format_version"] == REPORT_FORMAT_VERSION
+        assert "git_sha" in payload["meta"]

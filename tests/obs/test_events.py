@@ -1,0 +1,72 @@
+"""EventLog (JSONL sink with shift rotation) unit tests."""
+
+import pytest
+
+from repro.obs.events import EventLog
+
+pytestmark = pytest.mark.obs
+
+
+class TestEmit:
+    def test_lines_are_json_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("start", run="r1")
+            log.emit("stop", code=0)
+        records = EventLog.read(path)
+        assert [r["kind"] for r in records] == ["start", "stop"]
+        assert records[0]["run"] == "r1"
+        assert records[1]["code"] == 0
+        assert all("ts" in r for r in records)
+        assert log.emitted == 2
+
+    def test_flushes_per_line(self, tmp_path):
+        # A crash (no close) loses at most the line being written.
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("durable")
+        assert EventLog.read(path)[0]["kind"] == "durable"
+        log.close()
+
+    def test_emit_after_close_rejected(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.close()
+        with pytest.raises(ValueError, match="closed"):
+            log.emit("late")
+
+    def test_nonserializable_fields_stringified(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("odd", where=path)  # Path is not JSON-native
+        assert EventLog.read(path)[0]["where"] == str(path)
+
+
+class TestRotation:
+    def test_shift_rotation_keeps_backups(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=200, backups=2) as log:
+            for index in range(50):
+                log.emit("tick", index=index)
+        assert path.exists()
+        assert path.with_name("events.jsonl.1").exists()
+        assert path.with_name("events.jsonl.2").exists()
+        assert not path.with_name("events.jsonl.3").exists()
+        # Newest records live in the active file, older in .1, etc.
+        newest = EventLog.read(path)
+        older = EventLog.read(path.with_name("events.jsonl.1"))
+        assert newest[-1]["index"] == 49
+        assert older[-1]["index"] < newest[0]["index"]
+
+    def test_zero_backups_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=120, backups=0) as log:
+            for index in range(20):
+                log.emit("tick", index=index)
+        assert not path.with_name("events.jsonl.1").exists()
+        assert path.stat().st_size <= 120
+
+    def test_bad_configuration_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "e.jsonl", backups=-1)

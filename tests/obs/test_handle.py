@@ -1,0 +1,76 @@
+"""Observability handle tests: bundling, helpers, report export."""
+
+from contextlib import nullcontext
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    Observability,
+    SolverTelemetry,
+    maybe_span,
+    resolve_telemetry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestHandle:
+    def test_defaults_build_all_recorders(self):
+        obs = Observability("run")
+        assert obs.telemetry is not None
+        assert obs.tracer is not None
+        assert obs.metrics is not None
+        assert obs.events is None
+
+    def test_span_delegates_to_tracer(self):
+        obs = Observability()
+        with obs.span("step", index=1):
+            pass
+        [span] = obs.tracer.finished
+        assert span.name == "step"
+        assert span.attributes == {"index": 1}
+
+    def test_event_lands_on_span_and_log(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        with Observability(events=EventLog(log_path)) as obs:
+            with obs.span("s"):
+                obs.event("worker.failure", worker=1, cause="crash")
+        [span] = obs.tracer.finished
+        assert span.events[0].name == "worker.failure"
+        [record] = EventLog.read(log_path)
+        assert record["kind"] == "worker.failure"
+        assert record["cause"] == "crash"
+
+    def test_report_bundles_spans_and_metrics(self):
+        obs = Observability("bundled")
+        with obs.span("root"):
+            pass
+        obs.metrics.counter("c").inc()
+        obs.telemetry.record_iteration(0.5)
+        payload = obs.report().to_dict()
+        assert payload["name"] == "bundled"
+        assert payload["spans"][0]["name"] == "root"
+        assert payload["metrics_registry"]["c"]["values"][0]["value"] == 1
+        assert payload["telemetry"]["residuals"] == [0.5]
+
+
+class TestHelpers:
+    def test_maybe_span_off_is_nullcontext(self):
+        context = maybe_span(None, "anything")
+        assert isinstance(context, nullcontext)
+
+    def test_maybe_span_on_records(self):
+        obs = Observability()
+        with maybe_span(obs, "s", k="v"):
+            pass
+        assert obs.tracer.finished[0].attributes == {"k": "v"}
+
+    def test_resolve_telemetry_precedence(self):
+        explicit = SolverTelemetry()
+        obs = Observability()
+        assert resolve_telemetry(None, None) is None
+        assert resolve_telemetry(None, explicit) is explicit
+        assert resolve_telemetry(obs, None) is obs.telemetry
+        # An explicit telemetry wins over the handle's.
+        assert resolve_telemetry(obs, explicit) is explicit

@@ -1,0 +1,124 @@
+"""MetricsRegistry unit tests: instruments, validation, exposition."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("jobs_total")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3.0
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter(
+            "failures_total", labels=("kind",))
+        counter.inc(kind="crash")
+        counter.inc(2, kind="timeout")
+        assert counter.value(kind="crash") == 1.0
+        assert counter.value(kind="timeout") == 2.0
+        assert counter.value(kind="other") == 0.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigError, match="increase"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c", labels=("kind",))
+        with pytest.raises(ConfigError, match="labels"):
+            counter.inc(worker=1)
+
+
+class TestGauge:
+    def test_set_inc(self):
+        gauge = MetricsRegistry().gauge("workers")
+        gauge.set(4)
+        gauge.inc(-1)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ConfigError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            registry.histogram("h3", buckets=(1.0, float("inf")))
+
+    def test_exposition_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels=("a",))
+        with pytest.raises(ConfigError, match="labels"):
+            registry.counter("x", labels=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError, match="metric name"):
+            registry.counter("2bad")
+        with pytest.raises(ConfigError, match="label name"):
+            registry.counter("ok", labels=("bad-label",))
+
+    def test_snapshot_json_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help text", labels=("k",)).inc(k="v")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        parsed = json.loads(registry.to_json())
+        assert parsed["c"]["values"] == [
+            {"labels": {"k": "v"}, "value": 1.0}]
+        assert parsed["g"]["kind"] == "gauge"
+        assert parsed["h"]["buckets"] == [1.0]
+
+    def test_prometheus_help_and_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs processed.").inc()
+        text = registry.to_prometheus()
+        assert "# HELP jobs_total Jobs processed." in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exposes_nothing(self):
+        assert MetricsRegistry().to_prometheus() == ""

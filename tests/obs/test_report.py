@@ -9,8 +9,13 @@ from repro.obs.report import REPORT_FORMAT_VERSION
 class TestRunReport:
     def test_metadata_keys(self):
         meta = run_metadata()
-        assert set(meta) == {"host", "python", "time"}
+        assert set(meta) == {"host", "python", "time", "git_sha"}
         assert all(isinstance(v, str) for v in meta.values())
+
+    def test_git_sha_stamped(self):
+        # The test suite runs inside the repo, so the SHA resolves.
+        sha = run_metadata()["git_sha"]
+        assert sha == "unknown" or len(sha) == 40
 
     def test_to_dict_minimal(self):
         payload = RunReport("empty").to_dict()

@@ -1,0 +1,115 @@
+"""Serialization round-trips: telemetry records, report versioning."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.obs import RunReport, SolverTelemetry
+from repro.obs.telemetry import RecoveryRecord
+
+pytestmark = pytest.mark.obs
+
+
+def _full_telemetry() -> SolverTelemetry:
+    telemetry = SolverTelemetry("parallel")
+    telemetry.record_iteration(0.5, dangling_mass=0.1)
+    telemetry.record_iteration(0.05)
+    telemetry.record_superstep(0.01, messages=12, residual=0.3,
+                               local_iterations=5,
+                               block_iterations={0: 3, 1: 2})
+    telemetry.record_batch(affected_nodes=10, affected_fraction=0.1,
+                           seeds=3, iterations=7, residual=1e-9,
+                           seconds=0.02, num_nodes=100, num_edges=400)
+    telemetry.record_recovery(superstep=2, worker=1, kind="crash",
+                              attempt=0, blocks=[1, 3])
+    telemetry.record_recovery(superstep=2, worker=1, kind="respawn",
+                              attempt=1)
+    telemetry.record_worker(0, [0, 2])
+    telemetry.record_bytes(1024)
+    telemetry.incr("sweeps", 3)
+    telemetry.timings.add("solve", 0.5)
+    telemetry.open_stream("pagerank").record(0.5, delta=0.2, active=9,
+                                             seconds=0.001)
+    return telemetry
+
+
+class TestTelemetryRoundtrip:
+    def test_as_dict_from_dict_is_fixed_point(self):
+        first = _full_telemetry().as_dict()
+        second = SolverTelemetry.from_dict(first).as_dict()
+        assert second == first
+
+    def test_survives_json(self):
+        payload = json.loads(json.dumps(_full_telemetry().as_dict()))
+        rebuilt = SolverTelemetry.from_dict(payload)
+        assert rebuilt.worker_blocks == {0: [0, 2]}  # keys back to int
+        assert rebuilt.supersteps[0].block_iterations == {0: 3, 1: 2}
+        assert rebuilt.convergence["pagerank"].residuals == [0.5]
+
+    def test_recovery_records_roundtrip(self):
+        rebuilt = SolverTelemetry.from_dict(_full_telemetry().as_dict())
+        crash, respawn = rebuilt.recoveries
+        assert isinstance(crash, RecoveryRecord)
+        assert (crash.kind, crash.worker, crash.superstep) == \
+            ("crash", 1, 2)
+        assert crash.blocks == [1, 3]
+        assert (respawn.kind, respawn.attempt) == ("respawn", 1)
+        # The aggregate counters round-trip too.
+        assert rebuilt.counters["resilience.crashes"] == 1.0
+        assert rebuilt.counters["resilience.respawns"] == 1.0
+
+    def test_recovery_record_defaults(self):
+        record = RecoveryRecord.from_dict(
+            {"index": 0, "superstep": 1, "worker": 2, "kind": "timeout"})
+        assert record.attempt == 0
+        assert record.blocks == []
+
+
+class TestReportVersioning:
+    def test_v1_file_loads_under_v2_reader(self, tmp_path):
+        # A v1 artifact has no spans/metrics_registry/git_sha sections.
+        v1 = {
+            "format_version": 1,
+            "name": "bench",
+            "meta": {"host": "x", "python": "3.9.0",
+                     "time": "2025-01-01T00:00:00"},
+            "timings": {"solve": 0.5},
+            "telemetry": {"solver": "power", "iterations": 1,
+                          "residuals": [0.1]},
+            "metrics": {"num_articles": 10},
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1), encoding="utf-8")
+        loaded = RunReport.load(path)
+        assert loaded["format_version"] == 1
+        assert loaded.get("spans", []) == []
+        telemetry = SolverTelemetry.from_dict(loaded["telemetry"])
+        assert telemetry.residuals == [0.1]
+        assert telemetry.convergence == {}
+
+    def test_missing_version_treated_as_v1(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"name": "x"}), encoding="utf-8")
+        assert RunReport.load(path)["name"] == "x"
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "vN.json"
+        path.write_text(json.dumps({"format_version": 99, "name": "x"}),
+                        encoding="utf-8")
+        with pytest.raises(StorageError, match="format_version 99"):
+            RunReport.load(path)
+
+    def test_v2_sections_roundtrip(self, tmp_path):
+        report = RunReport("run", telemetry=_full_telemetry())
+        report.spans = [{"trace_id": "t", "span_id": "s",
+                         "parent_id": None, "name": "root",
+                         "start": 0.0, "duration": 1.0, "status": "ok"}]
+        report.metrics_registry = {"c": {"kind": "counter", "help": "",
+                                         "labels": [], "values": []}}
+        loaded = RunReport.load(report.save(tmp_path / "v2.json"))
+        assert loaded["format_version"] == 2
+        assert loaded["spans"][0]["name"] == "root"
+        assert loaded["metrics_registry"]["c"]["kind"] == "counter"
+        assert loaded["meta"]["git_sha"]
+        assert loaded["telemetry"]["convergence"][0]["name"] == "pagerank"

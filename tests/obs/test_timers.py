@@ -21,6 +21,30 @@ class TestTimer:
         time.sleep(0.005)
         assert timer.stop() == first
 
+    def test_restart_accumulates(self):
+        # Regression: stop → start → stop must ADD the second segment,
+        # never silently discard the first one.
+        timer = Timer().start()
+        time.sleep(0.005)
+        first = timer.stop()
+        assert first > 0
+        timer.start()
+        time.sleep(0.005)
+        assert timer.stop() >= first + 0.005
+
+    def test_start_while_running_is_noop(self):
+        timer = Timer().start()
+        time.sleep(0.005)
+        timer.start()  # must not reset the in-flight segment
+        assert timer.stop() >= 0.005
+
+    def test_reset_zeroes(self):
+        timer = Timer().start()
+        timer.stop()
+        timer.reset()
+        assert timer.seconds == 0.0
+        assert not timer.running
+
     def test_elapsed_while_running(self):
         timer = Timer().start()
         time.sleep(0.005)

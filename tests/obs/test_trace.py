@@ -1,0 +1,146 @@
+"""Span tracer unit tests: nesting, propagation, critical path."""
+
+import pickle
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    critical_path,
+    render_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpans:
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.trace_id == outer.trace_id == tracer.trace_id
+        # inner finished first, so it exports first.
+        assert [s.name for s in tracer.finished] == ["outer", "inner"] \
+            or [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id
+        assert a.span_id != b.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        [span] = tracer.finished
+        assert span.status == "error"
+        [event] = span.events
+        assert event.name == "exception"
+        assert event.attributes["type"] == "RuntimeError"
+        # The stack unwound: a later span is a root again.
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_event_lands_on_open_span(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.event("checkpoint", batch=3)
+        [span] = tracer.finished
+        assert span.events[0].name == "checkpoint"
+        assert span.events[0].attributes == {"batch": 3}
+        assert span.events[0].offset >= 0
+
+    def test_event_without_open_span_is_noop(self):
+        assert Tracer().event("orphan") is None
+
+    def test_duration_and_end(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            pass
+        assert span.duration >= 0
+        assert span.end == pytest.approx(span.start + span.duration)
+
+    def test_dict_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("s", worker=1):
+            tracer.event("e", k="v")
+        [exported] = tracer.export()
+        rebuilt = Span.from_dict(exported)
+        assert rebuilt.as_dict() == exported
+
+
+class TestPropagation:
+    def test_context_is_picklable(self):
+        ctx = TraceContext("t" * 16, "s" * 16)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_worker_spans_join_coordinator_trace(self):
+        coordinator = Tracer()
+        with coordinator.span("parallel.run"):
+            with coordinator.span("superstep") as step:
+                ctx = coordinator.current_context()
+                # ...what a worker process does on the other side:
+                worker = Tracer(parent=ctx)
+                with worker.span("worker.solve", worker=0):
+                    pass
+                shipped = worker.export()
+            coordinator.adopt(shipped)
+        spans = {s.name: s for s in coordinator.finished}
+        assert spans["worker.solve"].trace_id == coordinator.trace_id
+        assert spans["worker.solve"].parent_id == step.span_id
+
+    def test_current_context_outside_spans_is_parent(self):
+        ctx = TraceContext("a" * 16, "b" * 16)
+        assert Tracer(parent=ctx).current_context() == ctx
+        assert Tracer().current_context() is None
+
+    def test_mismatched_parent_trace_rejected(self):
+        ctx = TraceContext("a" * 16, "b" * 16)
+        with pytest.raises(ValueError, match="different trace"):
+            Tracer(trace_id="c" * 16, parent=ctx)
+
+
+def _span(name, span_id, parent_id, start, duration):
+    return Span(trace_id="t", span_id=span_id, parent_id=parent_id,
+                name=name, start=start, duration=duration)
+
+
+class TestCriticalPath:
+    def test_sequential_children_all_on_path(self):
+        spans = [_span("root", "r", None, 0.0, 3.0),
+                 _span("a", "a", "r", 0.0, 1.0),
+                 _span("b", "b", "r", 1.0, 2.0)]
+        assert critical_path(spans) == {"r", "a", "b"}
+
+    def test_parallel_children_only_gating_one(self):
+        # a and b overlap entirely; b finishes last, so only b gated.
+        spans = [_span("root", "r", None, 0.0, 2.0),
+                 _span("a", "a", "r", 0.0, 1.0),
+                 _span("b", "b", "r", 0.0, 2.0)]
+        assert critical_path(spans) == {"r", "b"}
+
+    def test_render_marks_path_and_events(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child", worker=2):
+                tracer.event("note", detail="x")
+        text = render_trace(tracer.export(), title="demo")
+        assert "# demo" in text
+        assert "* root" in text
+        assert "child" in text and "{worker=2}" in text
+        assert "· note" in text and "detail=x" in text
+
+    def test_render_empty(self):
+        assert "no spans" in render_trace([], title="t")

@@ -102,15 +102,94 @@ class TestProfile:
     def test_json_report(self, dataset_path, tmp_path, capsys):
         import json
 
+        from repro.obs import REPORT_FORMAT_VERSION
+
         out_path = tmp_path / "profile.json"
         assert main(["profile", str(dataset_path), "--method", "levels",
                      "--json", str(out_path)]) == 0
         report = json.loads(out_path.read_text())
-        assert report["format_version"] == 1
+        assert report["format_version"] == REPORT_FORMAT_VERSION
         assert report["telemetry"]["solver"] == "levels"
         assert report["telemetry"]["iterations"] >= 1
         assert report["metrics"]["num_articles"] == 500
         assert "timings" in report
+
+    def test_failed_run_still_writes_report(self, tmp_path, capsys):
+        import json
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        out_path = tmp_path / "failed.json"
+        assert main(["profile", str(empty),
+                     "--json", str(out_path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "run failed" in err
+        report = json.loads(out_path.read_text())
+        assert report["metrics"]["status"] == "failed"
+        assert "empty" in report["metrics"]["error"]
+
+    def test_failed_run_without_json_writes_nothing(self, tmp_path,
+                                                    capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert list(tmp_path.glob("*.json")) == []
+
+
+@pytest.mark.obs
+class TestTrace:
+    def test_model_trace_renders_span_tree(self, dataset_path, capsys):
+        assert main(["trace", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# trace:" in out
+        assert "* rank" in out
+        assert "critical path" in out
+        assert "twpr.solve" in out
+
+    def test_parallel_trace_with_crash(self, dataset_path, tmp_path,
+                                       capsys):
+        import json
+
+        report_path = tmp_path / "trace.json"
+        assert main(["trace", str(dataset_path), "--engine", "parallel",
+                     "--workers", "2", "--crash", "1:2",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parallel.run" in out
+        assert "worker.solve" in out
+        assert "recovery.respawn" in out
+        report = json.loads(report_path.read_text())
+        names = {span["name"] for span in report["spans"]}
+        assert {"parallel.run", "superstep", "worker.solve"} <= names
+        assert len({span["trace_id"] for span in report["spans"]}) == 1
+
+    def test_bad_crash_spec_errors(self, dataset_path, capsys):
+        assert main(["trace", str(dataset_path), "--engine", "parallel",
+                     "--crash", "nope"]) == 1
+        assert "WORKER:SUPERSTEP" in capsys.readouterr().err
+
+
+@pytest.mark.obs
+class TestMetrics:
+    def test_prometheus_to_stdout(self, dataset_path, capsys):
+        assert main(["metrics", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_stage_seconds histogram" in out
+        assert 'repro_stage_seconds_bucket{stage="build_graph",le="+Inf"}' \
+            in out
+        assert "repro_stage_seconds_count" in out
+
+    def test_json_to_file(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        assert main(["metrics", str(dataset_path), "--format", "json",
+                     "--output", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["repro_stage_seconds"]["kind"] == "histogram"
 
 
 class TestResume:
