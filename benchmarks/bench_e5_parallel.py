@@ -108,3 +108,62 @@ def test_e5_worker_scaling(benchmark, run_once):
     # Supersteps may grow mildly with workers (weaker cross-worker
     # coupling) but must stay far below the vertex-centric count.
     assert max(supersteps) < 15
+
+
+def test_e5_ipc_data_planes(benchmark, run_once):
+    """E5c — zero-copy shared memory vs pickled IPC, same math.
+
+    Expected shape: identical fixed points (bit for bit), per-superstep
+    serialized bytes collapsing to the control-message floor on the
+    shm plane, and wall-clock no worse (usually better: the score
+    vector is no longer pickled to every worker every superstep).
+    """
+    import numpy as np
+
+    from repro.obs import SolverTelemetry
+
+    graph, _ = sized_citation_graph(SCALE)
+    partition = range_partition(graph, 8)
+    planes = {"shm": True, "pickle": False}
+
+    def run_all():
+        measured = {}
+        for name, flag in planes.items():
+            engine = ParallelBlockEngine(graph, partition,
+                                         num_workers=4,
+                                         shared_memory=flag)
+            telemetry = SolverTelemetry("parallel")
+            start = time.perf_counter()
+            result = engine.run(telemetry=telemetry)
+            measured[name] = {
+                "seconds": time.perf_counter() - start,
+                "bytes": telemetry.bytes_shipped,
+                "shm_bytes": telemetry.counters.get("ipc.shm_bytes", 0),
+                "supersteps": result.supersteps,
+                "scores": result.scores,
+            }
+            assert result.converged
+        return measured
+
+    measured = run_once(benchmark, run_all)
+    print("\n" + render_rows(
+        f"E5c IPC data planes ({SCALE} articles, range(8), 4 workers)",
+        [{
+            "plane": name,
+            "seconds": f"{m['seconds']:.2f}",
+            "shipped KB": f"{m['bytes'] / 1e3:.1f}",
+            "shm MB": f"{m['shm_bytes'] / 1e6:.1f}",
+            "supersteps": m["supersteps"],
+        } for name, m in measured.items()]))
+
+    artifact = PerfArtifact("E5")
+    for name, m in measured.items():
+        artifact.record("ipc_plane", plane=name,
+                        seconds=m["seconds"],
+                        bytes_shipped=m["bytes"],
+                        shm_bytes=m["shm_bytes"],
+                        supersteps=m["supersteps"])
+    print(f"wrote {artifact.save()}")
+    assert np.array_equal(measured["shm"]["scores"],
+                          measured["pickle"]["scores"])
+    assert measured["shm"]["bytes"] < measured["pickle"]["bytes"] / 10

@@ -14,7 +14,12 @@ Compares, section by section, everything two reports both measured:
 
 A *regression* is a candidate value more than ``threshold`` (default
 20%) above the baseline; the exit code is 1 when any stage regressed,
-so CI can gate on it. Improvements are reported too, never fatal.
+so CI can gate on it. With one or more ``--hard-prefix PREFIX``
+options, only regressions whose key starts with a given prefix are
+fatal — the rest are reported as *soft* and don't affect the exit
+code. That lets CI hard-fail on deterministic measurements (e.g.
+``metrics/bytes_``) while tolerating noisy ones (``timings/``) on
+shared runners. Improvements are reported too, never fatal.
 Values too small to time reliably (< 1 ms) are skipped — their ratios
 are noise. Works across format versions: v1 artifacts simply have
 fewer sections to compare.
@@ -131,10 +136,31 @@ def compare_reports(baseline: Dict[str, object],
     return comparison
 
 
+def split_regressions(comparison: Comparison,
+                      hard_prefixes: Optional[Sequence[str]]
+                      ) -> Tuple[List[Delta], List[Delta]]:
+    """Split regressions into (hard, soft) under the prefix gate.
+
+    Without prefixes every regression is hard (the historical
+    behavior); with prefixes only matching keys are.
+    """
+    if not hard_prefixes:
+        return list(comparison.regressions), []
+    hard = [delta for delta in comparison.regressions
+            if any(delta.key.startswith(prefix)
+                   for prefix in hard_prefixes)]
+    soft = [delta for delta in comparison.regressions
+            if delta not in hard]
+    return hard, soft
+
+
 def render(comparison: Comparison, baseline_name: str,
-           candidate_name: str, threshold: float) -> str:
+           candidate_name: str, threshold: float,
+           hard_prefixes: Optional[Sequence[str]] = None) -> str:
     lines = [f"# compare: {baseline_name} -> {candidate_name} "
              f"(threshold {threshold:.0%})"]
+    _, soft = split_regressions(comparison, hard_prefixes)
+    soft_keys = {delta.key for delta in soft}
 
     def _row(delta: Delta, verdict: str) -> str:
         return (f"{verdict:<12} {delta.key:<44} "
@@ -142,7 +168,9 @@ def render(comparison: Comparison, baseline_name: str,
                 f"({delta.change:+.1%})")
 
     for delta in comparison.regressions:
-        lines.append(_row(delta, "REGRESSION"))
+        verdict = "regr (soft)" if delta.key in soft_keys \
+            else "REGRESSION"
+        lines.append(_row(delta, verdict))
     for delta in comparison.improvements:
         lines.append(_row(delta, "improvement"))
     for delta in comparison.unchanged:
@@ -164,6 +192,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("candidate", help="candidate report (JSON)")
     parser.add_argument("--threshold", type=float, default=0.2,
                         help="relative regression gate (0.2 = 20%%)")
+    parser.add_argument("--hard-prefix", action="append",
+                        dest="hard_prefixes", metavar="PREFIX",
+                        help="only regressions whose key starts with "
+                             "this prefix are fatal (repeatable); "
+                             "others are reported as soft")
     args = parser.parse_args(argv)
     baseline = RunReport.load(args.baseline)
     candidate = RunReport.load(args.candidate)
@@ -173,13 +206,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render(comparison,
                      str(baseline.get("name", args.baseline)),
                      str(candidate.get("name", args.candidate)),
-                     args.threshold))
+                     args.threshold, args.hard_prefixes))
     except BrokenPipeError:  # downstream pager/head closed the pipe
         try:
             sys.stdout.close()
         except OSError:
             pass
-    return 0 if comparison.ok else 1
+    hard, _ = split_regressions(comparison, args.hard_prefixes)
+    return 1 if hard else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

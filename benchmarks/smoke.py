@@ -1,0 +1,100 @@
+"""Parallel-engine CI smoke benchmark (small, fast, gated).
+
+Runs the block-centric parallel engine on a small synthetic citation
+graph over both IPC data planes and writes one ``RunReport`` with:
+
+* ``metrics/bytes_shipped_shm`` / ``metrics/bytes_shipped_pickle`` —
+  bytes actually serialized toward workers (the shm plane must stay at
+  the control-message floor: these numbers are deterministic for a
+  fixed graph/worker count, so regressions here mean the data plane
+  started shipping arrays again);
+* ``metrics/supersteps_*`` — convergence behavior (deterministic);
+* ``timings/*_run`` — wall-clock per plane (noisy on shared runners).
+
+CI diffs the report against the committed baseline with::
+
+    python benchmarks/compare.py benchmarks/baselines/parallel_smoke.json \
+        OUT.json --hard-prefix metrics/bytes_ --hard-prefix metrics/supersteps_
+
+so byte/superstep regressions fail the build while timing noise is
+reported but soft. Regenerate the baseline (after an *intentional*
+change) by running this script with ``--json`` pointed at the baseline
+path.
+
+Named ``smoke.py`` (not ``bench_*.py``) on purpose: ``bench_*`` files
+are collected by pytest as benchmark suites; this is a standalone
+script for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.workloads import sized_citation_graph
+from repro.engine.parallel import ParallelBlockEngine
+from repro.graph.partition import range_partition
+from repro.obs import RunReport, SolverTelemetry, StageTimings
+
+PLANES = (("shm", True), ("pickle", False))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Small parallel-engine benchmark; writes a "
+                    "RunReport for benchmarks/compare.py gating.")
+    parser.add_argument("--json", required=True,
+                        help="where to write the RunReport")
+    parser.add_argument("--scale", type=int, default=3000,
+                        help="synthetic corpus size (articles)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--blocks", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    graph, _ = sized_citation_graph(args.scale)
+    partition = range_partition(graph, args.blocks)
+    timings = StageTimings()
+    report = RunReport("parallel-smoke", timings=timings)
+    report.record_metric("scale", args.scale)
+    report.record_metric("workers", args.workers)
+    report.record_metric("blocks", args.blocks)
+
+    scores = {}
+    for name, flag in PLANES:
+        telemetry = SolverTelemetry("parallel")
+        engine = ParallelBlockEngine(graph, partition,
+                                     num_workers=args.workers,
+                                     shared_memory=flag)
+        start = time.perf_counter()
+        result = engine.run(telemetry=telemetry)
+        seconds = time.perf_counter() - start
+        if not result.converged:
+            print(f"FATAL: {name} plane did not converge",
+                  file=sys.stderr)
+            return 2
+        timings.add(f"{name}_run", seconds)
+        scores[name] = result.scores
+        report.record_metric(f"bytes_shipped_{name}",
+                             telemetry.bytes_shipped)
+        report.record_metric(f"supersteps_{name}", result.supersteps)
+        if flag is True:
+            report.record_metric(
+                "shm_segment_bytes",
+                int(telemetry.counters.get("ipc.shm_bytes", 0)))
+        print(f"{name:>6}: {seconds:.3f}s, {result.supersteps} "
+              f"supersteps, {telemetry.bytes_shipped} bytes shipped")
+
+    if not np.array_equal(scores["shm"], scores["pickle"]):
+        print("FATAL: data planes disagree on the fixed point",
+              file=sys.stderr)
+        return 2
+    print(f"wrote {report.save(args.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

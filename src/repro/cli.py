@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -199,10 +200,65 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shm_mode(value: str):
+    """CLI spelling -> engine flag (`on`/`off`/`auto`)."""
+    return {"on": True, "off": False, "auto": "auto"}[value]
+
+
+def _parallel_engine_from_args(args: argparse.Namespace, dataset,
+                               fault_plan=None):
+    from repro.engine.parallel import ParallelBlockEngine
+    from repro.graph.partition import range_partition
+    from repro.resilience import RetryPolicy
+
+    graph = dataset.citation_csr()
+    return ParallelBlockEngine(
+        graph, range_partition(graph, args.blocks),
+        num_workers=args.workers, fault_plan=fault_plan,
+        retry_policy=RetryPolicy(max_retries=2, base_delay=0.0),
+        shared_memory=_shm_mode(args.shared_memory))
+
+
+def _profile_parallel(args: argparse.Namespace, dataset) -> int:
+    from repro.obs import RunReport, SolverTelemetry
+
+    telemetry = SolverTelemetry()
+    engine = _parallel_engine_from_args(args, dataset)
+    start = time.perf_counter()
+    result = engine.run(telemetry=telemetry)
+    seconds = time.perf_counter() - start
+    plane = "shared-memory" if engine.last_used_shared_memory \
+        else "pickle"
+    print(f"# profile: {dataset.name} ({dataset.num_articles} articles, "
+          f"{dataset.num_citations} citations), engine=parallel "
+          f"({plane}, {args.workers} workers, {args.blocks} blocks)")
+    print(f"supersteps: {result.supersteps}, "
+          f"converged={result.converged}, {seconds:.3f}s")
+    print(f"bytes shipped over IPC: {telemetry.bytes_shipped}")
+    for counter, value in sorted(telemetry.counters.items()):
+        print(f"{counter}: {value:g}")
+
+    if args.json:
+        report = RunReport(f"profile-{dataset.name}",
+                           telemetry=telemetry)
+        report.record_metric("engine", "parallel")
+        report.record_metric("shared_memory",
+                             engine.last_used_shared_memory)
+        report.record_metric("workers", args.workers)
+        report.record_metric("blocks", args.blocks)
+        report.record_metric("supersteps", result.supersteps)
+        report.record_metric("bytes_shipped", telemetry.bytes_shipped)
+        report.record_metric("run_seconds", seconds)
+        print(f"wrote {report.save(args.json)}")
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, SolverTelemetry, StageTimings
 
     dataset = _load_any(args.dataset)
+    if args.engine == "parallel":
+        return _profile_parallel(args, dataset)
     ranker = _ranker_from_args(args).with_config(solver=args.method)
     telemetry = SolverTelemetry()
     try:
@@ -263,9 +319,7 @@ def _command_trace(args: argparse.Namespace) -> int:
         if args.engine == "model":
             _ranker_from_args(args).rank(dataset, obs=obs)
         else:
-            from repro.engine.parallel import ParallelBlockEngine
-            from repro.graph.partition import range_partition
-            from repro.resilience import FaultPlan, RetryPolicy
+            from repro.resilience import FaultPlan
 
             fault_plan = None
             if args.crash:
@@ -277,11 +331,8 @@ def _command_trace(args: argparse.Namespace) -> int:
                         f"--crash must look like WORKER:SUPERSTEP, "
                         f"got {args.crash!r}") from None
                 fault_plan = FaultPlan().crash_worker(worker, superstep)
-            graph = dataset.citation_csr()
-            engine = ParallelBlockEngine(
-                graph, range_partition(graph, args.blocks),
-                num_workers=args.workers, fault_plan=fault_plan,
-                retry_policy=RetryPolicy(max_retries=2, base_delay=0.0))
+            engine = _parallel_engine_from_args(args, dataset,
+                                                fault_plan=fault_plan)
             engine.run(obs=obs)
         print(render_trace(obs.tracer.export(),
                            title=f"trace: {dataset.name}"))
@@ -472,6 +523,19 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["auto", "power", "gauss_seidel",
                                   "levels"],
                          help="TWPR solver to profile")
+    profile.add_argument("--engine", default="model",
+                         choices=["model", "parallel"],
+                         help="what to profile: the full ranking model "
+                              "or the parallel block engine")
+    profile.add_argument("--workers", type=int, default=2,
+                         help="parallel engine worker count")
+    profile.add_argument("--blocks", type=int, default=4,
+                         help="parallel engine partition block count")
+    profile.add_argument("--shared-memory", default="auto",
+                         choices=["auto", "on", "off"],
+                         help="parallel engine IPC data plane: "
+                              "zero-copy shared memory, pickle, or "
+                              "auto-detect")
     profile.add_argument("--json", type=str, default=None,
                          help="also save the report as JSON to this path")
     _add_ranker_arguments(profile)
@@ -489,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel engine worker count")
     trace.add_argument("--blocks", type=int, default=4,
                        help="parallel engine partition block count")
+    trace.add_argument("--shared-memory", default="auto",
+                       choices=["auto", "on", "off"],
+                       help="parallel engine IPC data plane: zero-copy "
+                            "shared memory, pickle, or auto-detect")
     trace.add_argument("--crash", type=str, default=None,
                        help="inject one worker crash, WORKER:SUPERSTEP "
                             "(parallel engine only)")

@@ -118,6 +118,63 @@ def _block_operators(graph: CSRGraph, partition: Partition,
         cut_edges
 
 
+def flatten_block_payload(payload: Dict[int, tuple]
+                          ) -> Tuple[Dict[str, np.ndarray],
+                                     Dict[int, Tuple[Tuple[int, int],
+                                                     Tuple[int, int]]]]:
+    """Decompose a worker's block payload into named flat arrays.
+
+    Each block entry ``(internal_op, boundary_op, jump_block, members)``
+    becomes eight arrays (CSR triples of both operators, plus the jump
+    and member vectors) keyed ``b<id>.<part>``, ready for
+    :func:`repro.engine.shm.pack_arrays`. Returns the array dict and the
+    per-block operator shapes (the only metadata the arrays themselves
+    do not carry). Inverse: :func:`rebuild_block_payload`.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    shapes: Dict[int, Tuple[Tuple[int, int], Tuple[int, int]]] = {}
+    for block_id, (internal, boundary, jump_block, members) \
+            in payload.items():
+        key = f"b{block_id}."
+        arrays[key + "int.data"] = internal.data
+        arrays[key + "int.indices"] = internal.indices
+        arrays[key + "int.indptr"] = internal.indptr
+        arrays[key + "bnd.data"] = boundary.data
+        arrays[key + "bnd.indices"] = boundary.indices
+        arrays[key + "bnd.indptr"] = boundary.indptr
+        arrays[key + "jump"] = jump_block
+        arrays[key + "members"] = members
+        shapes[block_id] = (tuple(internal.shape), tuple(boundary.shape))
+    return arrays, shapes
+
+
+def rebuild_block_payload(arrays: Dict[str, np.ndarray],
+                          shapes: Dict[int, Tuple[Tuple[int, int],
+                                                  Tuple[int, int]]]
+                          ) -> Dict[int, tuple]:
+    """Reassemble a block payload from (shared-memory) array views.
+
+    The CSR operators are rebuilt with ``copy=False`` around the given
+    buffers, so a payload attached from shared memory stays zero-copy:
+    the worker's ``internal_op @ scores`` reads the coordinator's pages
+    directly.
+    """
+    payload: Dict[int, tuple] = {}
+    for block_id, (internal_shape, boundary_shape) in shapes.items():
+        key = f"b{block_id}."
+        internal = csr_matrix(
+            (arrays[key + "int.data"], arrays[key + "int.indices"],
+             arrays[key + "int.indptr"]),
+            shape=internal_shape, copy=False)
+        boundary = csr_matrix(
+            (arrays[key + "bnd.data"], arrays[key + "bnd.indices"],
+             arrays[key + "bnd.indptr"]),
+            shape=boundary_shape, copy=False)
+        payload[block_id] = (internal, boundary, arrays[key + "jump"],
+                             arrays[key + "members"])
+    return payload
+
+
 def solve_block(internal_op: csr_matrix, external: np.ndarray,
                 jump_block: np.ndarray, initial: np.ndarray,
                 damping: float, local_tol: float,

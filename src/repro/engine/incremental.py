@@ -111,6 +111,9 @@ class IncrementalEngine:
         self.obs = obs
 
         self.dataset = dataset
+        # (graph, weights, src_idx, dst_idx, strengths) of the last
+        # structure pulled — see _pull_structure.
+        self._structure_cache: Optional[tuple] = None
         bootstrap_span = obs.span("incremental.bootstrap",
                                   articles=dataset.num_articles) \
             if obs is not None else nullcontext()
@@ -227,6 +230,10 @@ class IncrementalEngine:
         if not batch.articles and not batch.citations:
             return (self.graph, self.years, self._edge_weights,
                     empty, empty)
+        # The graph is about to change shape (append, merge, or the
+        # caller's full rebuild on None): drop the structure cache now
+        # so the superseded arrays don't stay alive behind it.
+        self._structure_cache = None
         old_n = self.graph.num_nodes
         max_old = int(self.graph.node_ids[-1]) if old_n else -1
         new_articles = sorted(batch.articles, key=lambda a: a.id)
@@ -339,6 +346,31 @@ class IncrementalEngine:
                 changed_sources)
 
     # ------------------------------------------------------------------
+    # derived edge structure (shared by discovery and re-solve)
+
+    def _pull_structure(self, graph: CSRGraph, weights: np.ndarray):
+        """Edge sources/targets and per-node out-strengths, cached.
+
+        ``_discover_affected`` and ``_resolve`` both need ``src_idx``
+        and ``strengths`` derived from the *same* ``(graph, weights)``
+        pair, and consecutive empty or no-op batches hand the very same
+        objects back in — so the cache is keyed on identity: any real
+        graph change produces new arrays and misses naturally, while
+        ``_append_graph`` also invalidates explicitly so stale
+        structure arrays are not kept alive.
+        """
+        cached = self._structure_cache
+        if cached is not None and cached[0] is graph \
+                and cached[1] is weights:
+            return cached[2], cached[3], cached[4]
+        src_idx, dst_idx, _ = graph.edge_array()
+        strengths = np.bincount(src_idx, weights=weights,
+                                minlength=graph.num_nodes)
+        self._structure_cache = (graph, weights, src_idx, dst_idx,
+                                 strengths)
+        return src_idx, dst_idx, strengths
+
+    # ------------------------------------------------------------------
     # affected-area discovery
 
     def _discover_affected(self, graph: CSRGraph, weights: np.ndarray,
@@ -360,9 +392,7 @@ class IncrementalEngine:
         threshold. Geometric damping guarantees termination.
         """
         n = graph.num_nodes
-        src_idx = np.repeat(np.arange(n, dtype=np.int64),
-                            np.diff(graph.indptr))
-        strengths = np.bincount(src_idx, weights=weights, minlength=n)
+        src_idx, _, strengths = self._pull_structure(graph, weights)
         safe = np.where(strengths > 0, strengths, 1.0)
 
         estimate = np.zeros(n, dtype=np.float64)
@@ -410,8 +440,7 @@ class IncrementalEngine:
                  scores: np.ndarray, affected: np.ndarray):
         """Iterate the affected rows only, unaffected scores held fixed."""
         n = graph.num_nodes
-        src_idx, dst_idx, _ = graph.edge_array()
-        strengths = np.bincount(src_idx, weights=weights, minlength=n)
+        src_idx, dst_idx, strengths = self._pull_structure(graph, weights)
         dangling = strengths == 0.0
         probability = weights / np.where(dangling, 1.0,
                                          strengths)[src_idx]

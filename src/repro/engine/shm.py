@@ -1,0 +1,206 @@
+"""Zero-copy shared-memory IPC for the parallel block engine.
+
+Process-pool dispatch pays for every array it ships twice: once to
+pickle it in the coordinator and once to unpickle it in the worker.
+For the block-centric engine those arrays are *immutable* (the CSR
+block operators) or *single-writer per superstep* (the score frontier),
+so Pregel-style systems put them in shared address space and ship only
+control messages. This module provides the minimal machinery for that
+on one machine, on top of :mod:`multiprocessing.shared_memory`:
+
+* :class:`ArraySpec` / :class:`SegmentLayout` — a picklable manifest
+  describing where each named numpy array lives inside one segment
+  (dtype, shape, byte offset). The manifest is the only thing that
+  still crosses the process boundary by value.
+* :func:`pack_arrays` — coordinator side: lay out named arrays into a
+  freshly created segment (16-byte aligned) and return the live
+  ``SharedMemory`` handle plus its layout.
+* :func:`attach_arrays` — worker side: map an existing segment and
+  rebuild zero-copy numpy views from its layout. Attachments are
+  unregistered from the ``resource_tracker`` so ownership (and the
+  single ``unlink``) stays with the coordinator — a worker dying must
+  not tear the segment down under everyone else.
+
+Lifecycle contract: the coordinator creates segments, workers attach
+and only ever ``close`` (implicitly, at process exit); the coordinator
+``close`` + ``unlink``\\ s every segment in a ``finally`` block, so no
+named segment survives either a clean or a crashed run.
+"""
+
+from __future__ import annotations
+
+import secrets
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised implicitly on every import
+    from multiprocessing import resource_tracker
+    from multiprocessing.shared_memory import SharedMemory
+    SHARED_MEMORY_AVAILABLE = True
+except ImportError:  # pragma: no cover - platform without shm support
+    SharedMemory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    SHARED_MEMORY_AVAILABLE = False
+
+#: Segment offsets are rounded up to this many bytes so every view is
+#: safely aligned for any dtype we store (float64/int64 need 8).
+_ALIGN = 16
+
+
+class StaleFrontierError(RuntimeError):
+    """A worker observed an epoch other than the one it was dispatched.
+
+    Raised by the seqlock-style frontier read: the coordinator bumps the
+    shared epoch counter *after* fully writing a superstep's frontier
+    buffer and *before* dispatching, so a legitimate worker can never
+    see a mismatch. Only an abandoned (timed-out, still-running) zombie
+    task can — its exception dies with its abandoned future instead of
+    letting it read a half-written frontier.
+    """
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one named array lives inside a segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SegmentLayout:
+    """Picklable manifest of one shared-memory segment."""
+
+    segment: str
+    total_bytes: int
+    arrays: Tuple[ArraySpec, ...]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def new_segment_name(prefix: str = "repro") -> str:
+    """A collision-resistant segment name (``/dev/shm`` is global)."""
+    return f"{prefix}-{secrets.token_hex(8)}"
+
+
+def pack_arrays(arrays: Dict[str, np.ndarray],
+                prefix: str = "repro"
+                ) -> Tuple["SharedMemory", SegmentLayout]:
+    """Create one segment holding every given array, copied in once.
+
+    Returns the owning ``SharedMemory`` handle (close + unlink it when
+    the run ends) and the :class:`SegmentLayout` workers need to attach.
+    Raises ``OSError`` when the platform cannot provide the segment —
+    callers in ``"auto"`` mode catch that and fall back to pickling.
+    """
+    if not SHARED_MEMORY_AVAILABLE:  # pragma: no cover - platform guard
+        raise OSError("multiprocessing.shared_memory is unavailable")
+    specs = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        specs.append(ArraySpec(name=name, dtype=array.dtype.str,
+                               shape=tuple(array.shape), offset=offset))
+        offset += array.nbytes
+    # A zero-byte segment is invalid; keep a minimal one so the layout
+    # machinery works uniformly for degenerate (empty) payloads.
+    total = max(offset, _ALIGN)
+    segment = SharedMemory(name=new_segment_name(prefix), create=True,
+                           size=total)
+    layout = SegmentLayout(segment=segment.name, total_bytes=total,
+                           arrays=tuple(specs))
+    for spec in layout.arrays:
+        view = np.ndarray(spec.shape, dtype=spec.dtype,
+                          buffer=segment.buf, offset=spec.offset)
+        view[...] = np.ascontiguousarray(arrays[spec.name])
+    return segment, layout
+
+
+def attach_arrays(layout: SegmentLayout
+                  ) -> Tuple["SharedMemory", Dict[str, np.ndarray]]:
+    """Map an existing segment and return zero-copy views per array.
+
+    The returned handle must stay referenced as long as any view is
+    used. The attachment is untracked: only the creating coordinator
+    unlinks the segment.
+    """
+    if not SHARED_MEMORY_AVAILABLE:  # pragma: no cover - platform guard
+        raise OSError("multiprocessing.shared_memory is unavailable")
+    try:
+        segment = SharedMemory(name=layout.segment, track=False)
+    except TypeError:  # Python < 3.13: no track keyword
+        with _registration_suppressed():
+            segment = SharedMemory(name=layout.segment)
+    views = {
+        spec.name: np.ndarray(spec.shape, dtype=spec.dtype,
+                              buffer=segment.buf, offset=spec.offset)
+        for spec in layout.arrays
+    }
+    return segment, views
+
+
+def map_views(segment: "SharedMemory",
+              layout: SegmentLayout) -> Dict[str, np.ndarray]:
+    """Views over a segment already held open (coordinator side).
+
+    Unlike :func:`attach_arrays` this maps no new handle — the caller
+    keeps the one :func:`pack_arrays` returned — so it is safe for the
+    process that owns the segment and will later unlink it.
+    """
+    return {
+        spec.name: np.ndarray(spec.shape, dtype=spec.dtype,
+                              buffer=segment.buf, offset=spec.offset)
+        for spec in layout.arrays
+    }
+
+
+@contextmanager
+def _registration_suppressed():
+    """Attach without telling the resource tracker (Python < 3.13).
+
+    Older ``SharedMemory`` registers *attachments* too, which is wrong
+    for a non-owning worker twice over: the tracker would warn about
+    and unlink the segment when the worker exits, and — because forked
+    workers share the coordinator's tracker process — a post-hoc
+    ``unregister`` would instead erase the *coordinator's* registration
+    (and a second worker's unregister then crashes the tracker with a
+    ``KeyError``). Suppressing the register call entirely sends the
+    shared tracker no message at all.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def destroy_segment(segment: "SharedMemory") -> None:
+    """Coordinator-side teardown: close and unlink, tolerant of races.
+
+    Safe to call on a segment that was already unlinked (e.g. cleanup
+    running again after a partially failed run).
+    """
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - exported views
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass

@@ -42,19 +42,29 @@ class RankIndex:
         ``scores`` must cover every article of ``dataset`` (extra ids are
         rejected too — a mismatched ranking is a bug worth failing on).
         """
-        if set(scores) != set(dataset.articles):
+        score_ids = np.fromiter(scores.keys(), dtype=np.int64,
+                                count=len(scores))
+        article_ids = np.fromiter(dataset.articles.keys(),
+                                  dtype=np.int64,
+                                  count=len(dataset.articles))
+        if score_ids.shape != article_ids.shape or \
+                np.setxor1d(score_ids, article_ids).size:
             raise ConfigError(
                 "scores must cover exactly the dataset's articles")
         self._dataset = dataset
-        ids = np.asarray(sorted(dataset.articles), dtype=np.int64)
-        values = np.asarray([scores[int(i)] for i in ids],
-                            dtype=np.float64)
+        score_order = np.argsort(score_ids, kind="stable")
+        ids = score_ids[score_order]
+        values = np.fromiter(scores.values(), dtype=np.float64,
+                             count=len(scores))[score_order]
         order = np.lexsort((ids, -values))
         self._ids = ids[order]
         self._scores = values[order]
-        self._years = np.asarray(
-            [dataset.articles[int(i)].year for i in self._ids],
-            dtype=np.int64)
+        years = np.fromiter(
+            (article.year for article in dataset.articles.values()),
+            dtype=np.int64, count=len(dataset.articles))
+        article_order = np.argsort(article_ids, kind="stable")
+        # years aligned to sorted ids, then reordered by score like ids.
+        self._years = years[article_order][order]
         self._rank_of: Dict[int, int] = {
             int(article_id): position
             for position, article_id in enumerate(self._ids)}

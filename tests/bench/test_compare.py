@@ -103,6 +103,41 @@ class TestCommandLine:
                              "--threshold", "0.5"]) == 0
 
 
+class TestHardPrefix:
+    def test_non_matching_regressions_are_soft(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_report(
+            timings={"solve": 1.0}, metrics={"bytes_shipped": 1000})))
+        cand.write_text(json.dumps(_report(
+            timings={"solve": 5.0}, metrics={"bytes_shipped": 1000})))
+        # Timing regressed 5x but only bytes are gated: soft, exit 0.
+        assert compare.main([str(base), str(cand),
+                             "--hard-prefix", "metrics/bytes_"]) == 0
+        out = capsys.readouterr().out
+        assert "regr (soft)" in out
+        assert "REGRESSION" not in out
+
+    def test_matching_regressions_stay_fatal(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_report(
+            metrics={"bytes_shipped": 1000})))
+        cand.write_text(json.dumps(_report(
+            metrics={"bytes_shipped": 5000})))
+        assert compare.main([str(base), str(cand),
+                             "--hard-prefix", "metrics/bytes_"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_split_regressions_without_prefixes_all_hard(self):
+        comparison = compare.compare_reports(
+            _report(timings={"solve": 1.0}),
+            _report(timings={"solve": 2.0}))
+        hard, soft = compare.split_regressions(comparison, None)
+        assert [d.key for d in hard] == ["timings/solve"]
+        assert soft == []
+
+
 class TestBenchArtifactStamping:
     def test_bench_artifacts_carry_version_and_sha(self, tmp_path):
         from repro.bench.runner import PerfArtifact

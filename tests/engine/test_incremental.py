@@ -111,6 +111,43 @@ class TestStream:
         assert np.abs(engine.scores - before).sum() < 1e-9
 
 
+class TestStructureCache:
+    def test_empty_batches_reuse_cached_structure(self, small_dataset):
+        from repro.engine.updates import UpdateBatch
+        _, max_year = small_dataset.year_range()
+        base, _ = yearly_updates(small_dataset, max_year)
+        engine = IncrementalEngine(base)
+        engine.apply(UpdateBatch(articles=()))
+        cached = engine._structure_cache
+        assert cached is not None
+        # A second no-op batch hands the same graph/weights back in and
+        # must hit the cache instead of re-deriving the arrays.
+        engine.apply(UpdateBatch(articles=()))
+        assert engine._structure_cache is cached
+
+    def test_real_batch_invalidates_and_stays_correct(self, split):
+        base, batch = split
+        engine = IncrementalEngine(base)
+        from repro.engine.updates import UpdateBatch
+        engine.apply(UpdateBatch(articles=()))
+        stale = engine._structure_cache
+        engine.apply(batch)
+        fresh = engine._structure_cache
+        assert fresh is not stale
+        assert fresh[0] is engine.graph
+        assert fresh[1] is engine._edge_weights
+        # Cached strengths describe the *current* graph.
+        assert len(fresh[4]) == engine.graph.num_nodes
+        # And the cache never changes the math: an engine applying the
+        # same batch sequence with the cache dropped before every apply
+        # lands on bit-identical scores.
+        baseline = IncrementalEngine(base)
+        baseline.apply(UpdateBatch(articles=()))
+        baseline._structure_cache = None
+        baseline.apply(batch)
+        assert np.array_equal(engine.scores, baseline.scores)
+
+
 class TestTelemetry:
     def test_batch_records_and_identical_scores(self, split):
         from repro.obs import SolverTelemetry

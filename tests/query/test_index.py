@@ -45,6 +45,28 @@ class TestLookups:
         index = RankIndex(tiny_dataset, {i: 1.0 for i in range(5)})
         assert [e.article_id for e in index.top(5)] == [0, 1, 2, 3, 4]
 
+    def test_tie_order_independent_of_mapping_order(self, tiny_dataset):
+        # Stable tie ordering must come from the ids, not from whatever
+        # order the score mapping happens to iterate in.
+        shuffled = {3: 1.0, 0: 1.0, 4: 1.0, 1: 1.0, 2: 1.0}
+        index = RankIndex(tiny_dataset, shuffled)
+        assert [e.article_id for e in index.top(5)] == [0, 1, 2, 3, 4]
+        assert [index.rank_of(i) for i in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_partial_ties_keep_id_order_within_group(self, tiny_dataset):
+        index = RankIndex(tiny_dataset,
+                          {0: 0.5, 1: 0.9, 2: 0.5, 3: 0.9, 4: 0.1})
+        assert [e.article_id for e in index.top(5)] == [1, 3, 0, 2, 4]
+
+    def test_years_track_articles_after_reorder(self, tiny_dataset):
+        # Years are gathered per article and must follow the score
+        # reordering exactly (year filters read the aligned array).
+        index = RankIndex(tiny_dataset,
+                          {0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4, 4: 0.5})
+        for entry in index.top(5):
+            assert entry.year == \
+                tiny_dataset.articles[entry.article_id].year
+
 
 class TestTop:
     def test_global_top(self, index):

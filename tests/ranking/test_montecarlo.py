@@ -39,6 +39,23 @@ class TestMonteCarlo:
         b = monte_carlo_pagerank(graph, walks_per_node=50, seed=7)
         assert np.array_equal(a.scores, b.scores)
 
+    def test_deterministic_given_seed_with_dangling(self,
+                                                    small_dataset):
+        # Same property on a realistic graph (dangling nodes included):
+        # equal seeds must agree bit for bit, walk for walk.
+        graph = small_dataset.citation_csr()
+        a = monte_carlo_pagerank(graph, walks_per_node=25, seed=123)
+        b = monte_carlo_pagerank(graph, walks_per_node=25, seed=123)
+        assert np.array_equal(a.scores, b.scores)
+        assert a.walks == b.walks
+        assert a.steps == b.steps
+
+    def test_seed_actually_matters(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        a = monte_carlo_pagerank(graph, walks_per_node=25, seed=123)
+        c = monte_carlo_pagerank(graph, walks_per_node=25, seed=124)
+        assert not np.array_equal(a.scores, c.scores)
+
     def test_all_dangling_uniform(self):
         graph = CSRGraph.from_edges([], nodes=[0, 1, 2])
         result = monte_carlo_pagerank(graph, walks_per_node=10, seed=0)
