@@ -20,6 +20,9 @@ Commands:
     resume    — inspect a live-ranker checkpoint directory (rotation
                 health, manifest) and continue the session from the
                 newest intact rotation.
+    serve-sim — run a simulated serving workload (reader threads vs a
+                live update feed, optionally with injected crash/NaN
+                faults) and print the health timeline.
 """
 
 from __future__ import annotations
@@ -428,6 +431,26 @@ def _command_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_sim(args: argparse.Namespace) -> int:
+    from repro.serve import run_simulation
+
+    dataset = _load_any(args.dataset)
+    sim = run_simulation(
+        dataset, batches=args.batches, batch_size=args.batch_size,
+        readers=args.readers, top=args.top,
+        crash_batch=args.crash_batch, poison_batch=args.poison_batch,
+        seed=args.seed)
+    print(f"# serve-sim: {dataset.name} ({dataset.num_articles} "
+          f"articles), {args.batches} batch(es) x {args.batch_size}, "
+          f"{args.readers} reader(s)")
+    print(sim.render())
+    if args.json:
+        Path(args.json).write_text(sim.to_json() + "\n",
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     with DatasetStore(args.db) as store:
         if args.dataset is None:
@@ -597,6 +620,30 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--batch-size", type=int, default=20)
     resume.add_argument("--seed", type=int, default=0)
     resume.set_defaults(handler=_command_resume)
+
+    serve_sim = commands.add_parser(
+        "serve-sim", help="simulated serving workload with optional "
+                          "injected update-path faults; prints the "
+                          "health timeline")
+    serve_sim.add_argument("dataset")
+    serve_sim.add_argument("--batches", type=int, default=6,
+                           help="synthetic arrival batches to feed")
+    serve_sim.add_argument("--batch-size", type=int, default=20)
+    serve_sim.add_argument("--readers", type=int, default=2,
+                           help="concurrent reader threads")
+    serve_sim.add_argument("--top", type=int, default=10,
+                           help="k each reader requests")
+    serve_sim.add_argument("--crash-batch", type=int, default=None,
+                           help="inject one update-path crash at this "
+                                "0-based batch index")
+    serve_sim.add_argument("--poison-batch", type=int, default=None,
+                           help="poison this 0-based batch's candidate "
+                                "ranking with NaNs (guardrail veto)")
+    serve_sim.add_argument("--seed", type=int, default=0)
+    serve_sim.add_argument("--json", type=str, default=None,
+                           help="also save the timeline as JSON to "
+                                "this path")
+    serve_sim.set_defaults(handler=_command_serve_sim)
     return parser
 
 

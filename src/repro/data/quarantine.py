@@ -13,7 +13,7 @@ fail-fast behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
 
@@ -67,3 +67,35 @@ class ParseReport:
         suffix = "" if self.quarantined <= len(self.samples) \
             else f"\n  ... and {self.quarantined - len(self.samples)} more"
         return f"{head}\n{shown}{suffix}"
+
+
+@dataclass(frozen=True)
+class QuarantinedBatch:
+    """One update batch the serving layer refused to publish.
+
+    Kept with the offending batch itself so an operator can inspect,
+    fix, and replay it; ``reasons`` are the guardrail violations or the
+    update-path exception that condemned it.
+    """
+
+    index: int
+    reasons: tuple
+    attempts: int
+    num_articles: int
+    num_citations: int
+    batch: Optional[object] = None
+
+    def report(self) -> Dict[str, object]:
+        """JSON-serializable triage record (the batch itself omitted)."""
+        return {
+            "index": self.index,
+            "reasons": list(self.reasons),
+            "attempts": self.attempts,
+            "num_articles": self.num_articles,
+            "num_citations": self.num_citations,
+        }
+
+    def summary(self) -> str:
+        head = (f"batch {self.index} quarantined after "
+                f"{self.attempts} attempt(s): ")
+        return head + "; ".join(self.reasons)

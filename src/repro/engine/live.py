@@ -66,7 +66,8 @@ class LiveRanker:
                  obs: Optional["Observability"] = None,
                  checkpoint_dir: Optional[PathLike] = None,
                  checkpoint_every: int = 0,
-                 checkpoint_keep: int = 3) -> None:
+                 checkpoint_keep: int = 3,
+                 fault_plan=None) -> None:
         """Bootstrap on ``dataset`` (one exact solve), then stay live.
 
         ``config.solver`` is ignored (prestige is maintained by the
@@ -83,6 +84,10 @@ class LiveRanker:
         :meth:`checkpoint` calls) the engine state is saved atomically
         under ``checkpoint_dir/ckpt-<batches>``, keeping the newest
         ``checkpoint_keep`` rotations.
+
+        ``fault_plan`` (a :class:`repro.resilience.FaultPlan`) is handed
+        to every checkpoint save — the fault-injection suite's hook for
+        crashing mid-save; leave it ``None`` in production.
         """
         self.config = config or RankerConfig()
         if self.config.observation_year is not None:
@@ -115,6 +120,7 @@ class LiveRanker:
             else Path(checkpoint_dir)
         self._checkpoint_every = checkpoint_every
         self._checkpoint_keep = checkpoint_keep
+        self._fault_plan = fault_plan
 
     # ------------------------------------------------------------------
 
@@ -166,10 +172,16 @@ class LiveRanker:
             if self._obs is not None else nullcontext()
         with span:
             self._write_live_metadata(root)
-            save_engine(self._engine, rotation)
-            stale_rotations = \
-                checkpoint_rotations(root)[self._checkpoint_keep:]
-            for stale in stale_rotations:
+            # Prune *before* saving as well as after: a crash between a
+            # past save and its prune leaves keep+1 rotations behind,
+            # and without this pass repeated crash-restart cycles would
+            # accumulate rotations indefinitely. Only rotations already
+            # beyond checkpoint_keep are touched — never fresh data.
+            for stale in checkpoint_rotations(root)[self._checkpoint_keep:]:
+                shutil.rmtree(stale)
+            save_engine(self._engine, rotation,
+                        fault_plan=self._fault_plan)
+            for stale in checkpoint_rotations(root)[self._checkpoint_keep:]:
                 shutil.rmtree(stale)
         if self._obs is not None:
             self._obs.metrics.counter(
@@ -251,4 +263,5 @@ class LiveRanker:
         live._checkpoint_dir = directory
         live._checkpoint_every = int(meta.get("checkpoint_every", 0))
         live._checkpoint_keep = int(meta.get("checkpoint_keep", 3))
+        live._fault_plan = None
         return live

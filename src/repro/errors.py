@@ -66,5 +66,24 @@ class ConfigError(ReproError):
     """Invalid configuration value for a model or engine."""
 
 
+class ServeError(ReproError):
+    """The serving layer could not satisfy a request or publish."""
+
+
+class OverloadError(ServeError):
+    """A read request was shed by the admission gate.
+
+    Raised instead of queueing unboundedly: the caller is expected to
+    back off (or retry against another replica). Carries the gate
+    occupancy observed at shed time.
+    """
+
+    def __init__(self, message: str, inflight: int = 0,
+                 capacity: int = 0) -> None:
+        super().__init__(message)
+        self.inflight = inflight
+        self.capacity = capacity
+
+
 class PartitionError(ReproError):
     """A graph partition is invalid (uncovered nodes, overlap, bad count)."""

@@ -69,16 +69,25 @@ class RankIndex:
             int(article_id): position
             for position, article_id in enumerate(self._ids)}
 
-        self._by_venue: Dict[int, List[int]] = {}
-        self._by_author: Dict[int, List[int]] = {}
+        venue_lists: Dict[int, List[int]] = {}
+        author_lists: Dict[int, List[int]] = {}
         for position, article_id in enumerate(self._ids):
             article = dataset.articles[int(article_id)]
             if article.venue_id is not None:
-                self._by_venue.setdefault(article.venue_id,
-                                          []).append(position)
+                venue_lists.setdefault(article.venue_id,
+                                       []).append(position)
             for author_id in article.author_ids:
-                self._by_author.setdefault(author_id,
-                                           []).append(position)
+                author_lists.setdefault(author_id,
+                                        []).append(position)
+        # Positions are appended in score order, i.e. already sorted
+        # ascending — which both keeps filtered iteration best-first and
+        # lets filter intersection use assume_unique sorted-set numpy.
+        self._by_venue: Dict[int, np.ndarray] = {
+            venue: np.asarray(positions, dtype=np.int64)
+            for venue, positions in venue_lists.items()}
+        self._by_author: Dict[int, np.ndarray] = {
+            author: np.asarray(positions, dtype=np.int64)
+            for author, positions in author_lists.items()}
 
     # ------------------------------------------------------------------
     # lookups
@@ -147,16 +156,20 @@ class RankIndex:
         if year_range is not None and year_range[0] > year_range[1]:
             raise ConfigError("year_range must be (low, high)")
 
-        candidates: Optional[List[int]] = None
+        empty = np.zeros(0, dtype=np.int64)
+        candidates: Optional[np.ndarray] = None
         if venue_id is not None:
-            candidates = self._by_venue.get(venue_id, [])
+            candidates = self._by_venue.get(venue_id, empty)
         if author_id is not None:
-            author_positions = self._by_author.get(author_id, [])
+            author_positions = self._by_author.get(author_id, empty)
             if candidates is None:
                 candidates = author_positions
             else:
-                author_set = set(author_positions)
-                candidates = [p for p in candidates if p in author_set]
+                # Both posting lists are sorted and duplicate-free;
+                # intersect1d keeps the ascending (= best-score-first)
+                # order.
+                candidates = np.intersect1d(candidates, author_positions,
+                                            assume_unique=True)
 
         positions = candidates if candidates is not None \
             else range(len(self._ids))
@@ -165,4 +178,4 @@ class RankIndex:
                 year = int(self._years[position])
                 if not year_range[0] <= year <= year_range[1]:
                     continue
-            yield position
+            yield int(position)

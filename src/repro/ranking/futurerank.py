@@ -91,6 +91,9 @@ def futurerank(graph: CSRGraph, author_lists: Sequence[Sequence[int]],
     ``i`` (contiguous author indexing ``0..num_authors-1``).
     """
     n = graph.num_nodes
+    weights = graph.weights
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigError("edge weights must be finite and non-negative")
     if len(author_lists) != n:
         raise ConfigError("author_lists must align with graph nodes")
     years = np.asarray(years, dtype=np.float64)

@@ -33,6 +33,9 @@ def hits(graph: CSRGraph, tol: float = 1e-10, max_iter: int = 200,
         raise ConfigError("tol must be positive")
     if max_iter <= 0:
         raise ConfigError("max_iter must be positive")
+    weights = graph.weights
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigError("edge weights must be finite and non-negative")
     n = graph.num_nodes
     if n == 0:
         empty = np.zeros(0)

@@ -78,6 +78,9 @@ def prank(graph: CSRGraph, author_lists: Sequence[Sequence[int]],
     ``venue_of[i]`` is the venue index of paper ``i`` (-1 = none).
     """
     n = graph.num_nodes
+    weights = graph.weights
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigError("edge weights must be finite and non-negative")
     if len(author_lists) != n:
         raise ConfigError("author_lists must align with graph nodes")
     venue_of = np.asarray(venue_of, dtype=np.int64)

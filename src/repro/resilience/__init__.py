@@ -21,6 +21,7 @@ see ``docs/OPERATIONS.md`` for the operational picture.
 
 from repro.resilience.faults import (
     WORKER_CRASH_EXIT_CODE,
+    BatchFault,
     FaultPlan,
     InjectedCrash,
     WorkerFault,
@@ -28,6 +29,7 @@ from repro.resilience.faults import (
 from repro.resilience.policy import Deadline, RetryDelays, RetryPolicy
 
 __all__ = [
+    "BatchFault",
     "Deadline",
     "FaultPlan",
     "InjectedCrash",

@@ -55,6 +55,28 @@ class WorkerFault:
     seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class BatchFault:
+    """One scripted update-batch failure (the serving layer's faults).
+
+    ``kind``:
+
+    * ``"crash"`` — the update path raises while applying the batch
+      (a poisoned parser record, an assertion deep in the solve);
+    * ``"nan"`` — the batch applies but the resulting ranking carries
+      non-finite scores (numeric poisoning the publish guardrails must
+      catch before the snapshot swap).
+
+    Keyed by ``(batch index, attempt)`` exactly like worker faults: a
+    fault with ``times=t`` fires on attempts ``0..t-1`` and lets
+    attempt ``t`` through, so retry/quarantine paths are testable.
+    """
+
+    kind: str  # "crash" | "nan"
+    batch: int
+    times: int = 1
+
+
 @dataclass
 class FaultPlan:
     """A deterministic, picklable script of injected failures."""
@@ -63,6 +85,7 @@ class FaultPlan:
     worker_faults: List[WorkerFault] = field(default_factory=list)
     file_truncations: Dict[str, int] = field(default_factory=dict)
     crash_after: Optional[int] = None
+    batch_faults: List[BatchFault] = field(default_factory=list)
     _files_written: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -106,6 +129,21 @@ class FaultPlan:
         self.crash_after = int(count)
         return self
 
+    def crash_batch(self, batch: int, times: int = 1) -> "FaultPlan":
+        """Make the update path raise while applying batch ``batch``
+        (first ``times`` attempts)."""
+        self.batch_faults.append(BatchFault("crash", int(batch),
+                                            int(times)))
+        return self
+
+    def poison_batch(self, batch: int, times: int = 1) -> "FaultPlan":
+        """Make batch ``batch`` yield a ranking with NaN scores (first
+        ``times`` attempts) — the guardrails, not the apply, must stop
+        it."""
+        self.batch_faults.append(BatchFault("nan", int(batch),
+                                            int(times)))
+        return self
+
     # ------------------------------------------------------------------
     # query / fire side (called from engines and the checkpoint writer)
 
@@ -130,6 +168,24 @@ class FaultPlan:
             # A hard exit, not an exception: the pool must observe a
             # dead process, exactly like an OOM kill or segfault.
             os._exit(WORKER_CRASH_EXIT_CODE)
+
+    def batch_fault(self, batch: int,
+                    attempt: int = 0) -> Optional[BatchFault]:
+        """The scripted fault for this batch attempt, if it should
+        still fire."""
+        for fault in self.batch_faults:
+            if fault.batch == batch and attempt < fault.times:
+                return fault
+        return None
+
+    def fire_batch_crash(self, batch: int, attempt: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if a ``"crash"`` batch fault is
+        scripted for this attempt (called from inside the update path)."""
+        fault = self.batch_fault(batch, attempt)
+        if fault is not None and fault.kind == "crash":
+            raise InjectedCrash(
+                f"injected update-path crash applying batch {batch} "
+                f"(attempt {attempt})")
 
     def on_file_written(self, name: str) -> None:
         """Checkpoint-writer hook, called after each file write."""

@@ -1,0 +1,35 @@
+"""repro.serve: degradation-first serving over a live ranking.
+
+The subsystem keeps a scholarly index *answering* while its update path
+misbehaves: reads land on an atomically-swapped, guardrail-validated
+:class:`Snapshot`; a bounded :class:`AdmissionGate` sheds excess load
+with typed errors; a :class:`CircuitBreaker` stops a failing update
+pipeline from being hammered while the last good snapshot keeps
+serving. See ``docs/OPERATIONS.md`` ("Serving under failure") for the
+operational story.
+"""
+
+from repro.serve.admission import AdmissionGate
+from repro.serve.breaker import (CLOSED, HALF_OPEN, OPEN, STATE_CODES,
+                                 CircuitBreaker)
+from repro.serve.guardrails import GuardrailPolicy, validate_candidate
+from repro.serve.service import IngestReport, RankingService, ReadResult
+from repro.serve.sim import ServeSimulation, run_simulation
+from repro.serve.snapshot import Snapshot
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "STATE_CODES",
+    "GuardrailPolicy",
+    "validate_candidate",
+    "IngestReport",
+    "RankingService",
+    "ReadResult",
+    "ServeSimulation",
+    "run_simulation",
+    "Snapshot",
+]

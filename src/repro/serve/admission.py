@@ -1,0 +1,107 @@
+"""Bounded admission: shed load instead of queueing unboundedly.
+
+An :class:`AdmissionGate` caps how many read requests are in flight at
+once. A request that finds a free slot proceeds immediately; one that
+does not either waits — *bounded* by its :class:`repro.resilience.Deadline`
+and by the gate's waiting-room size — or is shed right away with a
+typed :class:`repro.errors.OverloadError`. Nothing ever queues without
+a bound, so a traffic spike degrades to fast, explicit rejections
+rather than a silently growing latency cliff.
+
+Thread-safe; sheds and admissions are counted for ``health()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError, OverloadError
+from repro.resilience.policy import Deadline
+
+
+class AdmissionGate:
+    """Counting gate over the read path.
+
+    Args:
+        max_inflight: concurrent requests allowed past the gate.
+        max_waiting: requests allowed to *wait* for a slot (0 = shed
+            immediately when full). A waiter only waits as long as its
+            request deadline allows.
+    """
+
+    def __init__(self, max_inflight: int = 64,
+                 max_waiting: int = 0) -> None:
+        if max_inflight <= 0:
+            raise ConfigError(
+                f"max_inflight must be positive, got {max_inflight}")
+        if max_waiting < 0:
+            raise ConfigError(
+                f"max_waiting must be >= 0, got {max_waiting}")
+        self.max_inflight = max_inflight
+        self.max_waiting = max_waiting
+        self._condition = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self._admitted_total = 0
+        self._shed_total = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def admitted_total(self) -> int:
+        return self._admitted_total
+
+    @property
+    def shed_total(self) -> int:
+        return self._shed_total
+
+    # ------------------------------------------------------------------
+
+    def _shed(self, why: str) -> None:
+        self._shed_total += 1
+        raise OverloadError(
+            f"request shed: {why} ({self._inflight}/{self.max_inflight} "
+            f"in flight, {self._waiting} waiting)",
+            inflight=self._inflight, capacity=self.max_inflight)
+
+    @contextmanager
+    def admit(self, deadline: Optional[Deadline] = None) -> Iterator[None]:
+        """Hold one in-flight slot for the ``with`` block.
+
+        Raises :class:`OverloadError` (and counts the shed) when the
+        gate is full and either no waiting is allowed, the waiting room
+        is full, no deadline was given, or the deadline expires before
+        a slot frees up.
+        """
+        with self._condition:
+            if self._inflight >= self.max_inflight:
+                if self.max_waiting == 0 or deadline is None:
+                    self._shed("admission gate full")
+                if self._waiting >= self.max_waiting:
+                    self._shed("waiting room full")
+                self._waiting += 1
+                expires = time.monotonic() + deadline.seconds
+                try:
+                    while self._inflight >= self.max_inflight:
+                        remaining = expires - time.monotonic()
+                        if remaining <= 0:
+                            self._shed("deadline expired while waiting "
+                                       "for a slot")
+                        self._condition.wait(remaining)
+                finally:
+                    self._waiting -= 1
+            self._inflight += 1
+            self._admitted_total += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._inflight -= 1
+                self._condition.notify()

@@ -1,0 +1,183 @@
+"""Update-path circuit breaker: stop hammering a failing pipeline.
+
+When the update path fails repeatedly — a poisoned feed, a sick solver,
+a broken dependency — retrying every arriving batch only burns CPU and
+floods logs while the reads it protects were never at risk (they serve
+the last good snapshot). The :class:`CircuitBreaker` encodes the
+standard answer:
+
+* **closed** — updates flow; ``failure_threshold`` *consecutive*
+  failures trip it open;
+* **open** — updates are refused outright for a cooldown period drawn
+  from a :class:`repro.resilience.RetryPolicy` backoff schedule (each
+  re-trip waits longer, seeded jitter keeps runs reproducible);
+* **half-open** — after the cooldown, exactly one probe update is let
+  through; success closes the breaker (and resets the backoff),
+  failure re-opens it with the next, longer cooldown.
+
+The clock is injectable so the full state machine is unit-testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigError
+from repro.resilience.policy import RetryDelays, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.handle import Observability
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states (stable, documented order).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Backoff schedule used when no policy is given: 100 ms doubling to a
+#: 30 s ceiling. ``max_retries`` is irrelevant here — the breaker draws
+#: delays forever, it never "exhausts".
+DEFAULT_COOLDOWN = RetryPolicy(max_retries=1_000_000, base_delay=0.1,
+                               max_delay=30.0)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with backoff cooldowns.
+
+    Args:
+        failure_threshold: consecutive failures that trip closed->open.
+        cooldown: backoff schedule for open periods (``base_delay``
+            after the first trip, doubling per consecutive re-trip).
+        clock: monotonic time source (injectable for tests).
+        obs: optional observability handle — transitions open a
+            ``serve.breaker`` span and move the
+            ``repro_serve_breaker_state`` gauge.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: Optional[RetryPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 obs: Optional["Observability"] = None) -> None:
+        if failure_threshold <= 0:
+            raise ConfigError(
+                f"failure_threshold must be positive, "
+                f"got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown if cooldown is not None \
+            else DEFAULT_COOLDOWN
+        self._clock = clock
+        self._obs = obs
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._delays: RetryDelays = self.cooldown.delays()
+        self._open_until = 0.0
+        self._opened_total = 0
+        self._probe_inflight = False
+        self._set_gauge()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, with open->half-open promotion applied."""
+        with self._lock:
+            self._maybe_promote()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    @property
+    def opened_total(self) -> int:
+        """How many times the breaker has tripped open."""
+        return self._opened_total
+
+    @property
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker will admit its probe (0 when
+        not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self._open_until - self._clock())
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one update attempt proceed right now?
+
+        In half-open state this *consumes* the single probe slot: the
+        first caller gets ``True``, everyone else ``False`` until the
+        probe's outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_promote()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """An allowed update attempt published successfully."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED, "probe succeeded")
+                self._delays = self.cooldown.delays()
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """An allowed update attempt failed (crash or guardrail veto)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip("probe failed")
+            elif self._state == CLOSED and \
+                    self._consecutive_failures >= self.failure_threshold:
+                self._trip(f"{self._consecutive_failures} consecutive "
+                           f"failures")
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+
+    def _maybe_promote(self) -> None:
+        """Open -> half-open once the cooldown has elapsed (lock held)."""
+        if self._state == OPEN and self._clock() >= self._open_until:
+            self._transition(HALF_OPEN, "cooldown elapsed")
+            self._probe_inflight = False
+
+    def _trip(self, why: str) -> None:
+        """-> open with the next backoff cooldown (lock held)."""
+        pause = self._delays.next_delay()
+        self._open_until = self._clock() + pause
+        self._opened_total += 1
+        self._transition(OPEN, f"{why}; cooldown {pause:.3f}s")
+
+    def _transition(self, state: str, why: str) -> None:
+        previous = self._state
+        self._state = state
+        if self._obs is not None:
+            with self._obs.span("serve.breaker", from_state=previous,
+                                to_state=state, reason=why):
+                pass
+        self._set_gauge()
+
+    def _set_gauge(self) -> None:
+        if self._obs is not None:
+            self._obs.metrics.gauge(
+                "repro_serve_breaker_state",
+                "Update-path circuit breaker state "
+                "(0=closed, 1=half_open, 2=open).").set(
+                STATE_CODES[self._state])

@@ -1,0 +1,120 @@
+"""Publish guardrails: what a candidate ranking must prove pre-swap.
+
+The update path never publishes a snapshot it merely *hopes* is good.
+After every applied batch the candidate ranking is checked against a
+:class:`GuardrailPolicy`; any violation vetoes the swap, the engine is
+rolled back to the last good state, and the offending batch is
+quarantined — the previous snapshot keeps serving, stale but correct.
+
+Checks, in order of severity:
+
+* **finiteness** — every score is a finite float (one NaN poisons every
+  downstream comparison);
+* **coverage** — the ranking covers exactly the dataset's articles
+  (a dropped or phantom article means the index and the data disagree);
+* **score mass** — the mean score drifted no more than a relative
+  tolerance from the previous snapshot (a sanity bound on wholesale
+  numeric corruption that stays finite);
+* **top-k churn** — at most a configurable fraction of the previous
+  top-k left the top-k (a single batch rewriting the head of the
+  ranking is almost always a bug, not science).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.model import RankingResult
+    from repro.data.schema import ScholarlyDataset
+    from repro.serve.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class GuardrailPolicy:
+    """Bounds a candidate ranking must respect to be published.
+
+    Attributes:
+        mass_tolerance: maximum relative drift of the mean score vs the
+            previous snapshot (rank-normalized blends keep a near-
+            constant mean, so even a loose bound catches corruption).
+        churn_top_k: size of the head window the churn check watches.
+        max_churn: maximum fraction of the previous top-k allowed to
+            drop out of the new top-k per publish; ``1.0`` disables the
+            check (small corpora legitimately reshuffle).
+    """
+
+    mass_tolerance: float = 0.5
+    churn_top_k: int = 20
+    max_churn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mass_tolerance < 0:
+            raise ConfigError("mass_tolerance must be non-negative")
+        if self.churn_top_k <= 0:
+            raise ConfigError("churn_top_k must be positive")
+        if not 0.0 <= self.max_churn <= 1.0:
+            raise ConfigError(
+                f"max_churn must be in [0, 1], got {self.max_churn}")
+
+
+def validate_candidate(policy: GuardrailPolicy,
+                       dataset: "ScholarlyDataset",
+                       candidate: "RankingResult",
+                       previous: Optional["Snapshot"] = None
+                       ) -> List[str]:
+    """Violations that veto publishing ``candidate`` (empty = publish).
+
+    ``previous`` is the currently-served snapshot; the relative checks
+    (mass drift, churn) are skipped when there is none (bootstrap).
+    """
+    violations: List[str] = []
+    scores = np.asarray(candidate.scores, dtype=np.float64)
+
+    bad = int(np.count_nonzero(~np.isfinite(scores)))
+    if bad:
+        violations.append(
+            f"{bad} non-finite score(s) of {scores.size}")
+        # Every later check would only echo the same corruption.
+        return violations
+
+    node_ids = np.asarray(candidate.node_ids, dtype=np.int64)
+    article_ids = np.fromiter(dataset.articles.keys(), dtype=np.int64,
+                              count=len(dataset.articles))
+    if node_ids.size != article_ids.size \
+            or np.setxor1d(node_ids, article_ids).size:
+        violations.append(
+            f"coverage mismatch: ranking has {node_ids.size} articles, "
+            f"dataset has {article_ids.size}")
+
+    if previous is not None:
+        prev_scores = np.asarray(previous.ranking.scores,
+                                 dtype=np.float64)
+        prev_mean = float(prev_scores.mean()) if prev_scores.size else 0.0
+        mean = float(scores.mean()) if scores.size else 0.0
+        bound = policy.mass_tolerance * max(abs(prev_mean), 1e-12)
+        if abs(mean - prev_mean) > bound:
+            violations.append(
+                f"score mass drifted: mean {mean:.6g} vs previous "
+                f"{prev_mean:.6g} (tolerance {policy.mass_tolerance:g} "
+                f"relative)")
+
+        if policy.max_churn < 1.0:
+            k = min(policy.churn_top_k, len(previous.index),
+                    node_ids.size)
+            if k > 0:
+                prev_top = {article_id for article_id, _
+                            in previous.ranking.top(k)}
+                new_top = {article_id for article_id, _
+                           in candidate.top(k)}
+                churn = len(prev_top - new_top) / k
+                if churn > policy.max_churn:
+                    violations.append(
+                        f"top-{k} churn {churn:.0%} exceeds bound "
+                        f"{policy.max_churn:.0%}")
+    return violations

@@ -1,0 +1,488 @@
+"""`RankingService`: degradation-first serving over a live ranking.
+
+The service decouples the two halves of a live scholarly index:
+
+* **Read path** — many threads issue ``top``/``page``/``rank_of``
+  against the current :class:`~repro.serve.snapshot.Snapshot`. The
+  snapshot reference is swapped atomically, so a read never observes a
+  half-built world; a bounded :class:`~repro.serve.admission.AdmissionGate`
+  sheds excess load with a typed :class:`repro.errors.OverloadError`
+  instead of queueing unboundedly; reads never block on updates.
+* **Update path** — a single updater drives
+  :class:`repro.engine.live.LiveRanker` batches. Every candidate
+  ranking must pass the publish guardrails
+  (:func:`~repro.serve.guardrails.validate_candidate`) before the swap;
+  a vetoed or crashing batch rolls the engine back to the last good
+  state and is quarantined
+  (:class:`repro.data.quarantine.QuarantinedBatch`), while the previous
+  snapshot keeps serving — stale but available. A
+  :class:`~repro.serve.breaker.CircuitBreaker` stops a persistently
+  failing update pipeline from being hammered; deferred batches are
+  tracked as *batches behind* until the breaker's half-open probe
+  recovers.
+
+The degradation ladder, explicitly: **fresh** (updates publishing) →
+**stale** (update path failing/open, last good snapshot serving) →
+**shed** (read capacity exhausted, typed rejections). Each rung is
+observable via :meth:`RankingService.health`.
+
+The update path is an exception firewall by design: it catches *all*
+exceptions from ``LiveRanker.apply`` (including injected test crashes)
+— a poisoned batch must never take the read path down with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, ServeError
+from repro.data.quarantine import QuarantinedBatch
+from repro.query import RankEntry, RankIndex
+from repro.resilience.policy import Deadline
+from repro.serve.admission import AdmissionGate
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.guardrails import GuardrailPolicy, validate_candidate
+from repro.serve.snapshot import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.model import RankingResult
+    from repro.engine.live import LiveRanker
+    from repro.engine.updates import UpdateBatch
+    from repro.obs.handle import Observability
+    from repro.resilience.faults import FaultPlan
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Entries plus the freshness metadata every response carries."""
+
+    entries: List[RankEntry]
+    epoch: int
+    batches_behind: int
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one :meth:`RankingService.ingest` call."""
+
+    #: "published" | "deferred" | "quarantined"
+    status: str
+    epoch: int
+    batches_behind: int
+    published: int
+    quarantined: int
+    breaker_state: str
+    reasons: Tuple[str, ...] = ()
+
+
+@dataclass
+class _PendingBatch:
+    index: int
+    batch: "UpdateBatch"
+    attempts: int = 0
+    reasons: List[str] = field(default_factory=list)
+
+
+class _EngineGuard:
+    """Rollback token for one update attempt.
+
+    ``LiveRanker.apply`` replaces (never mutates) the engine's state
+    arrays, so capturing the references and restoring them on failure
+    is an exact, O(1) rollback — even when the apply died halfway
+    through and left the attributes mutually inconsistent.
+    """
+
+    _ENGINE_ATTRS = ("dataset", "graph", "years", "_edge_weights",
+                     "scores", "_structure_cache")
+
+    def __init__(self, live: "LiveRanker") -> None:
+        self._live = live
+        engine = live._engine
+        self._engine_state = {name: getattr(engine, name)
+                              for name in self._ENGINE_ATTRS}
+        self._result = live._result
+        self._batches_applied = live._batches_applied
+
+    def restore(self) -> None:
+        engine = self._live._engine
+        for name, value in self._engine_state.items():
+            setattr(engine, name, value)
+        self._live._result = self._result
+        self._live._batches_applied = self._batches_applied
+
+
+class RankingService:
+    """Owns the snapshot swap, the admission gate, and the breaker.
+
+    Args:
+        live: the bootstrapped :class:`LiveRanker` to serve and update.
+        guardrails: publish-time validation policy.
+        gate: read-path admission gate (default: 64 in flight, no
+            waiting room).
+        breaker: update-path circuit breaker.
+        obs: optional observability handle (``serve.read`` /
+            ``serve.publish`` / ``serve.breaker`` spans and
+            ``repro_serve_*`` metrics).
+        fault_plan: deterministic chaos hook — consult
+            :class:`repro.resilience.FaultPlan` batch faults at the
+            exact points a real feed fails.
+        max_batch_attempts: apply attempts before a crash-looping batch
+            is quarantined instead of retried.
+        default_deadline: per-request budget used when a read carries
+            none.
+        trace_reads: open a ``serve.read`` span per read. The tracer is
+            a single-threaded context stack, so enable this only for
+            single-threaded use (the publish path is always traced —
+            it has exactly one updater).
+    """
+
+    def __init__(self, live: "LiveRanker", *,
+                 guardrails: Optional[GuardrailPolicy] = None,
+                 gate: Optional[AdmissionGate] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 obs: Optional["Observability"] = None,
+                 fault_plan: Optional["FaultPlan"] = None,
+                 max_batch_attempts: int = 3,
+                 default_deadline: Optional[Deadline] = None,
+                 trace_reads: bool = False) -> None:
+        if max_batch_attempts <= 0:
+            raise ConfigError(
+                f"max_batch_attempts must be positive, "
+                f"got {max_batch_attempts}")
+        self._live = live
+        self._guardrails = guardrails if guardrails is not None \
+            else GuardrailPolicy()
+        self._gate = gate if gate is not None else AdmissionGate()
+        self._breaker = breaker if breaker is not None \
+            else CircuitBreaker(obs=obs)
+        self._obs = obs
+        self._fault_plan = fault_plan
+        self._max_batch_attempts = max_batch_attempts
+        self._default_deadline = default_deadline
+        self._trace_reads = trace_reads
+
+        self._pending: Deque[_PendingBatch] = deque()
+        self._next_batch_index = 0
+        self._quarantined: List[QuarantinedBatch] = []
+        self._publishes_total = 0
+        self._update_failures_total = 0
+        self._stats_lock = threading.Lock()
+
+        bootstrap = live.result
+        violations = validate_candidate(self._guardrails, live.dataset,
+                                        bootstrap, previous=None)
+        if violations:
+            raise ServeError(
+                "bootstrap ranking failed publish guardrails: "
+                + "; ".join(violations))
+        self._snapshot = Snapshot(
+            index=RankIndex(live.dataset, bootstrap.by_id()),
+            ranking=bootstrap, epoch=0,
+            batches_applied=live.batches_applied,
+            published_at=time.time())
+        self._set_stale_gauge()
+
+    # ------------------------------------------------------------------
+    # read path
+
+    def snapshot(self) -> Snapshot:
+        """The current snapshot (no admission control — monitoring use)."""
+        return self._snapshot
+
+    def _count_request(self, outcome: str) -> None:
+        if self._obs is None:
+            return
+        with self._stats_lock:
+            self._obs.metrics.counter(
+                "repro_serve_requests_total",
+                "Read requests by outcome.",
+                labels=("outcome",)).inc(outcome=outcome)
+            if outcome == "shed":
+                self._obs.metrics.counter(
+                    "repro_serve_shed_total",
+                    "Read requests shed by the admission gate.").inc()
+
+    def read_session(self, deadline: Optional[Deadline] = None):
+        """Admission-controlled access to one consistent snapshot.
+
+        ``with service.read_session() as snap:`` holds one in-flight
+        slot for the block and yields an immutable snapshot — every
+        query inside the block sees the same epoch.
+        """
+        return _ReadSession(self, deadline)
+
+    def top(self, k: int = 10, venue_id: Optional[int] = None,
+            author_id: Optional[int] = None,
+            year_range: Optional[Tuple[int, int]] = None,
+            deadline: Optional[Deadline] = None) -> ReadResult:
+        """Best ``k`` (optionally filtered) from the current snapshot."""
+        with self.read_session(deadline) as snap:
+            entries = snap.index.top(k, venue_id=venue_id,
+                                     author_id=author_id,
+                                     year_range=year_range)
+            return self._read_result(snap, entries)
+
+    def page(self, offset: int, limit: int,
+             deadline: Optional[Deadline] = None) -> ReadResult:
+        """Global ranking slice from the current snapshot."""
+        with self.read_session(deadline) as snap:
+            return self._read_result(snap, snap.index.page(offset, limit))
+
+    def rank_of(self, article_id: int,
+                deadline: Optional[Deadline] = None) -> int:
+        """1-based global rank of one article in the current snapshot."""
+        with self.read_session(deadline) as snap:
+            return snap.index.rank_of(article_id)
+
+    def _read_result(self, snap: Snapshot,
+                     entries: List[RankEntry]) -> ReadResult:
+        return ReadResult(entries=entries, epoch=snap.epoch,
+                          batches_behind=len(self._pending))
+
+    # ------------------------------------------------------------------
+    # update path (single updater)
+
+    def ingest(self, batch: "UpdateBatch") -> IngestReport:
+        """Accept one arrival batch and pump the update pipeline.
+
+        The batch is appended to the pending queue, then as many
+        pending batches as the breaker allows are applied, validated,
+        and published. Returns what happened to *this* call's pipeline
+        pass; the batch itself may have been published, deferred
+        (breaker open), or quarantined.
+        """
+        entry = _PendingBatch(index=self._next_batch_index, batch=batch)
+        self._next_batch_index += 1
+        self._pending.append(entry)
+        self._set_stale_gauge()
+        published, quarantined = self.pump()
+        # The queue drains head-first and this batch went in last, so a
+        # non-empty queue still contains it.
+        status = "deferred" if self._pending else "published"
+        reasons: Tuple[str, ...] = ()
+        for record in self._quarantined[-quarantined:] if quarantined \
+                else ():
+            if record.index == entry.index:
+                status = "quarantined"
+                reasons = record.reasons
+        return IngestReport(
+            status=status, epoch=self._snapshot.epoch,
+            batches_behind=len(self._pending), published=published,
+            quarantined=quarantined,
+            breaker_state=self._breaker.state, reasons=reasons)
+
+    def pump(self) -> Tuple[int, int]:
+        """Drain pending batches while the breaker allows.
+
+        Returns ``(published, quarantined)`` counts for this pass.
+        Call it again after a cooldown to let the half-open probe
+        through (``ingest`` pumps automatically).
+        """
+        published = 0
+        quarantined = 0
+        while self._pending and self._breaker.allow():
+            entry = self._pending[0]
+            outcome = self._attempt(entry)
+            if outcome == "published":
+                self._pending.popleft()
+                published += 1
+            elif outcome == "quarantined":
+                self._pending.popleft()
+                quarantined += 1
+            # "failed": the entry stays queued; the loop exits when the
+            # breaker trips, otherwise the next iteration retries.
+        self._set_stale_gauge()
+        return published, quarantined
+
+    def _attempt(self, entry: _PendingBatch) -> str:
+        """One apply+validate+publish attempt for the head batch."""
+        live = self._live
+        guard = _EngineGuard(live)
+        attempt = entry.attempts
+        entry.attempts += 1
+        span = self._obs.span("serve.publish", batch=entry.index,
+                              attempt=attempt) \
+            if self._obs is not None else nullcontext()
+        with span:
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.fire_batch_crash(entry.index,
+                                                      attempt)
+                result, _ = live.apply(entry.batch)
+                fault = self._fault_plan.batch_fault(
+                    entry.index, attempt) \
+                    if self._fault_plan is not None else None
+                if fault is not None and fault.kind == "nan":
+                    poisoned = np.asarray(result.scores,
+                                          dtype=np.float64).copy()
+                    poisoned[:: max(1, len(poisoned) // 7)] = np.nan
+                    result = replace(result, scores=poisoned)
+            except Exception as exc:  # noqa: BLE001 - exception firewall
+                guard.restore()
+                self._record_update_failure()
+                entry.reasons.append(
+                    f"update path raised {type(exc).__name__}: {exc}")
+                self._breaker.record_failure()
+                if entry.attempts >= self._max_batch_attempts:
+                    self._quarantine(entry)
+                    return "quarantined"
+                return "failed"
+
+            violations = validate_candidate(
+                self._guardrails, live.dataset, result,
+                previous=self._snapshot)
+            if violations:
+                guard.restore()
+                self._record_update_failure()
+                entry.reasons.extend(violations)
+                self._breaker.record_failure()
+                # Bad data is deterministic: retrying cannot fix it.
+                self._quarantine(entry)
+                return "quarantined"
+
+            self._publish(result)
+            self._breaker.record_success()
+            return "published"
+
+    def _publish(self, result: "RankingResult") -> None:
+        live = self._live
+        snapshot = Snapshot(
+            index=RankIndex(live.dataset, result.by_id()),
+            ranking=result, epoch=self._snapshot.epoch + 1,
+            batches_applied=live.batches_applied,
+            published_at=time.time())
+        # One reference store: readers see either the old or the new
+        # complete snapshot.
+        self._snapshot = snapshot
+        self._publishes_total += 1
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_serve_publishes_total",
+                "Snapshots published (guardrails passed).").inc()
+
+    def _quarantine(self, entry: _PendingBatch) -> None:
+        record = QuarantinedBatch(
+            index=entry.index, reasons=tuple(entry.reasons),
+            attempts=entry.attempts,
+            num_articles=entry.batch.num_articles,
+            num_citations=entry.batch.num_citations,
+            batch=entry.batch)
+        self._quarantined.append(record)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_serve_quarantined_total",
+                "Update batches quarantined by the publish "
+                "guardrails or crash-loop cap.").inc()
+            self._obs.event("serve.quarantine", batch=entry.index,
+                            reasons="; ".join(entry.reasons))
+
+    def _record_update_failure(self) -> None:
+        self._update_failures_total += 1
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_serve_update_failures_total",
+                "Failed update attempts (crash or guardrail veto).").inc()
+
+    def _set_stale_gauge(self) -> None:
+        if self._obs is not None:
+            self._obs.metrics.gauge(
+                "repro_serve_stale_batches",
+                "Accepted batches not yet reflected in the published "
+                "snapshot.").set(len(self._pending))
+
+    # ------------------------------------------------------------------
+    # health
+
+    @property
+    def quarantined(self) -> List[QuarantinedBatch]:
+        """Quarantined batches, oldest first (triage queue)."""
+        return list(self._quarantined)
+
+    def batches_behind(self) -> int:
+        """Accepted batches the published snapshot does not reflect."""
+        return len(self._pending)
+
+    def health(self) -> Dict[str, object]:
+        """Full health report: the degradation ladder made observable."""
+        snap = self._snapshot
+        breaker_state = self._breaker.state
+        behind = len(self._pending)
+        if breaker_state == "closed" and behind == 0:
+            status = "fresh"
+        else:
+            status = "stale"
+        return {
+            "status": status,
+            "epoch": snap.epoch,
+            "batches_applied": snap.batches_applied,
+            "batches_behind": behind,
+            "published_at": snap.published_at,
+            "breaker": breaker_state,
+            "breaker_opened_total": self._breaker.opened_total,
+            "breaker_cooldown_remaining":
+                self._breaker.cooldown_remaining,
+            "requests_admitted_total": self._gate.admitted_total,
+            "requests_shed_total": self._gate.shed_total,
+            "publishes_total": self._publishes_total,
+            "update_failures_total": self._update_failures_total,
+            "quarantined_total": len(self._quarantined),
+        }
+
+    def readiness(self) -> Dict[str, object]:
+        """Can this process take traffic, and at which rung?
+
+        ``ready`` is true whenever a validated snapshot exists — a
+        stale snapshot still serves (that is the point). ``degraded``
+        flags the stale rung so orchestration can alert without
+        draining traffic.
+        """
+        behind = len(self._pending)
+        breaker_state = self._breaker.state
+        degraded = behind > 0 or breaker_state != "closed"
+        return {
+            "ready": True,
+            "degraded": degraded,
+            "epoch": self._snapshot.epoch,
+            "batches_behind": behind,
+            "breaker": breaker_state,
+        }
+
+
+class _ReadSession:
+    """Context manager pairing admission with one snapshot reference."""
+
+    def __init__(self, service: RankingService,
+                 deadline: Optional[Deadline]) -> None:
+        self._service = service
+        self._deadline = deadline if deadline is not None \
+            else service._default_deadline
+        self._admission = None
+        self._span = None
+
+    def __enter__(self) -> Snapshot:
+        service = self._service
+        try:
+            self._admission = service._gate.admit(self._deadline)
+            self._admission.__enter__()
+        except Exception:
+            service._count_request("shed")
+            raise
+        service._count_request("served")
+        if service._obs is not None and service._trace_reads:
+            self._span = service._obs.span(
+                "serve.read", epoch=service._snapshot.epoch)
+            self._span.__enter__()
+        return service._snapshot
+
+    def __exit__(self, *exc_info) -> None:
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+        if self._admission is not None:
+            self._admission.__exit__(*exc_info)

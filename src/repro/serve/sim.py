@@ -1,0 +1,202 @@
+"""Simulated serving workload: readers vs a (possibly faulty) feed.
+
+:func:`run_simulation` stands up a :class:`RankingService` over a
+dataset, points reader threads at it, and feeds synthetic arrival
+batches — optionally crashing or NaN-poisoning chosen batches through
+the deterministic :class:`repro.resilience.FaultPlan` hooks. After the
+feed, it keeps pumping until the breaker's half-open probe recovers the
+pipeline (or gives up), recording a health-timeline tick per step. This
+is what ``repro serve-sim`` runs and what CI archives as the
+health-timeline artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import OverloadError
+from repro.data.schema import Article
+from repro.engine.live import LiveRanker
+from repro.engine.updates import UpdateBatch
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import RetryPolicy
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.service import RankingService
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.data.schema import ScholarlyDataset
+    from repro.obs.handle import Observability
+
+#: Short breaker cooldowns so a simulation recovers in wall-clock
+#: milliseconds, not the production default's seconds.
+SIM_COOLDOWN = RetryPolicy(max_retries=1_000_000, base_delay=0.01,
+                           max_delay=0.05, jitter=0.0)
+
+
+def synthetic_batch(base_ids: List[int], next_id: int, size: int,
+                    year: int, rng: random.Random) -> UpdateBatch:
+    """``size`` fresh articles (ids from ``next_id``) citing the base.
+
+    Ids are handed out by the caller's monotonic counter, *not* derived
+    from the current dataset: a deferred or quarantined batch must not
+    cause a later batch to reuse its ids.
+    """
+    articles = tuple(
+        Article(id=next_id + offset,
+                title=f"synthetic-arrival-{next_id + offset}",
+                year=year, venue_id=None, author_ids=(),
+                references=tuple(rng.sample(base_ids,
+                                            min(3, len(base_ids)))))
+        for offset in range(size))
+    return UpdateBatch(articles=articles)
+
+
+@dataclass
+class ServeSimulation:
+    """Everything a ``serve-sim`` run observed."""
+
+    timeline: List[Dict[str, object]] = field(default_factory=list)
+    health: Dict[str, object] = field(default_factory=dict)
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
+    reads_total: int = 0
+    reads_shed: int = 0
+    read_failures: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The health timeline as aligned text lines."""
+        lines = ["# tick  phase    status       epoch  behind  breaker"
+                 "    quarantined  shed"]
+        for entry in self.timeline:
+            lines.append(
+                f"{entry['tick']:6d}  {entry['phase']:<7}  "
+                f"{entry['status']:<11}  {entry['epoch']:5d}  "
+                f"{entry['batches_behind']:6d}  "
+                f"{entry['breaker']:<9}  "
+                f"{entry['quarantined_total']:11d}  "
+                f"{entry['shed_total']:4d}")
+        lines.append(
+            f"# reads: {self.reads_total} served, "
+            f"{self.reads_shed} shed; final status "
+            f"{self.health.get('status')!r} at epoch "
+            f"{self.health.get('epoch')}")
+        for record in self.quarantined:
+            lines.append(f"# quarantined batch {record['index']}: "
+                         + "; ".join(record["reasons"]))
+        return "\n".join(lines)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps({
+            "timeline": self.timeline,
+            "health": self.health,
+            "quarantined": self.quarantined,
+            "reads_total": self.reads_total,
+            "reads_shed": self.reads_shed,
+            "read_failures": self.read_failures,
+        }, indent=indent)
+
+
+def run_simulation(dataset: "ScholarlyDataset", *,
+                   batches: int = 6, batch_size: int = 20,
+                   readers: int = 2, top: int = 10,
+                   crash_batch: Optional[int] = None,
+                   poison_batch: Optional[int] = None,
+                   failure_threshold: int = 2,
+                   max_recovery_ticks: int = 40,
+                   seed: int = 0,
+                   obs: Optional["Observability"] = None
+                   ) -> ServeSimulation:
+    """Drive a read/write workload against a fresh service.
+
+    ``crash_batch`` / ``poison_batch`` arm one injected update-path
+    crash / one NaN poisoning at that 0-based batch index. After the
+    feed, the pipeline is pumped until it drains or
+    ``max_recovery_ticks`` elapse — with faults armed this is where the
+    breaker's open -> half-open -> closed recovery shows up in the
+    timeline.
+    """
+    fault_plan = FaultPlan()
+    if crash_batch is not None:
+        fault_plan.crash_batch(crash_batch)
+    if poison_batch is not None:
+        fault_plan.poison_batch(poison_batch)
+
+    live = LiveRanker(dataset, obs=obs)
+    breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                             cooldown=SIM_COOLDOWN, obs=obs)
+    service = RankingService(live, breaker=breaker, obs=obs,
+                             fault_plan=fault_plan,
+                             max_batch_attempts=2)
+    sim = ServeSimulation()
+    base_ids = sorted(dataset.articles)
+    next_id = base_ids[-1] + 1
+    _, year = dataset.year_range()
+
+    stop = threading.Event()
+    counts_lock = threading.Lock()
+
+    def _reader() -> None:
+        while not stop.is_set():
+            try:
+                service.top(top)
+            except OverloadError:
+                with counts_lock:
+                    sim.reads_shed += 1
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                with counts_lock:
+                    sim.read_failures.append(
+                        f"{type(exc).__name__}: {exc}")
+                return
+            else:
+                with counts_lock:
+                    sim.reads_total += 1
+
+    threads = [threading.Thread(target=_reader, daemon=True)
+               for _ in range(readers)]
+    for thread in threads:
+        thread.start()
+
+    def _tick(tick: int, phase: str, status: str) -> None:
+        health = service.health()
+        sim.timeline.append({
+            "tick": tick, "phase": phase, "status": status,
+            "epoch": health["epoch"],
+            "batches_behind": health["batches_behind"],
+            "breaker": health["breaker"],
+            "quarantined_total": health["quarantined_total"],
+            "shed_total": health["requests_shed_total"],
+        })
+
+    try:
+        rng = random.Random(seed)
+        tick = 0
+        for _ in range(batches):
+            batch = synthetic_batch(base_ids, next_id, batch_size,
+                                    year, rng)
+            next_id += batch_size
+            report = service.ingest(batch)
+            _tick(tick, "ingest", report.status)
+            tick += 1
+        recovery = 0
+        while service.batches_behind() and recovery < max_recovery_ticks:
+            remaining = breaker.cooldown_remaining
+            if remaining > 0:
+                time.sleep(remaining)
+            published, quarantined = service.pump()
+            status = "published" if published else (
+                "quarantined" if quarantined else "waiting")
+            _tick(tick, "recover", status)
+            tick += 1
+            recovery += 1
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    sim.health = service.health()
+    sim.quarantined = [record.report() for record in service.quarantined]
+    return sim

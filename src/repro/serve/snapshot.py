@@ -1,0 +1,46 @@
+"""Immutable published snapshots — the unit the read path sees.
+
+A :class:`Snapshot` bundles everything a read needs — the
+:class:`repro.query.RankIndex`, the full :class:`RankingResult` it was
+built from, and freshness metadata — into one immutable value. The
+serving layer swaps the *reference* to the current snapshot atomically
+(one attribute store, no locks on the read side), so a reader either
+sees the old complete world or the new complete world, never a torn
+mix. Snapshots are only ever constructed fully and validated before
+they are published; nothing mutates one after the swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.model import RankingResult
+    from repro.query import RankIndex
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published, validated, immutable view of the ranking.
+
+    Attributes:
+        index: the serving index (top-k, filters, pagination).
+        ranking: the full model result the index was built from.
+        epoch: publish counter — the bootstrap snapshot is epoch 0 and
+            every successful guardrailed swap increments it by one.
+        batches_applied: the live engine's batch count when this
+            snapshot was built (how much history it reflects).
+        published_at: wall-clock publish time (``time.time()``), for
+            staleness-by-age reporting.
+    """
+
+    index: "RankIndex"
+    ranking: "RankingResult"
+    epoch: int
+    batches_applied: int
+    published_at: float
+
+    @property
+    def num_articles(self) -> int:
+        return len(self.index)

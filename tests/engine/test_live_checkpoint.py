@@ -137,3 +137,50 @@ class TestResume:
         live.apply(batches[0])
         resumed = LiveRanker.resume(tmp_path)
         assert resumed.config == config
+
+
+class TestPruneBeforeSave:
+    @pytest.mark.faults
+    def test_crash_mid_save_still_prunes_stale_backlog(self, stream,
+                                                       tmp_path):
+        from repro.resilience import FaultPlan, InjectedCrash
+
+        base, batches = stream
+        # Fabricate the debris of repeated crash-restart cycles: each
+        # crashed predecessor saved a rotation but died before its
+        # post-save prune, leaving a backlog beyond checkpoint_keep.
+        for number in range(1, 6):
+            stale = tmp_path / f"ckpt-{number:08d}"
+            stale.mkdir(parents=True)
+            (stale / "engine.json").write_text("{}")
+        assert len(checkpoint_rotations(tmp_path)) == 5
+
+        live = LiveRanker(base, checkpoint_dir=tmp_path,
+                          checkpoint_keep=2,
+                          fault_plan=FaultPlan().crash_after_files(1))
+        for batch in batches[:2]:
+            live.apply(batch)
+        with pytest.raises(InjectedCrash):
+            live.checkpoint()
+
+        # The save crashed, but the pre-save prune already cleared the
+        # backlog: at most keep survivors plus the torn new rotation.
+        names = [p.name for p in checkpoint_rotations(tmp_path)]
+        assert len(names) <= 3
+        for number in range(1, 4):
+            assert f"ckpt-{number:08d}" not in names
+
+    def test_rotations_never_exceed_keep_after_checkpoint(self, stream,
+                                                          tmp_path):
+        base, batches = stream
+        for number in range(1, 6):
+            stale = tmp_path / f"ckpt-{number:08d}"
+            stale.mkdir(parents=True)
+            (stale / "engine.json").write_text("{}")
+
+        live = LiveRanker(base, checkpoint_dir=tmp_path,
+                          checkpoint_keep=2)
+        for batch in batches[:2]:
+            live.apply(batch)
+        live.checkpoint()
+        assert len(checkpoint_rotations(tmp_path)) == 2

@@ -137,3 +137,39 @@ class TestWithModel:
         _, max_year = small_dataset.year_range()
         recent = index.top(5, year_range=(max_year - 2, max_year))
         assert all(max_year - 2 <= e.year <= max_year for e in recent)
+
+
+class TestPostingLists:
+    def test_posting_lists_are_sorted_int64_arrays(self, index):
+        import numpy as np
+
+        for table in (index._by_venue, index._by_author):
+            for positions in table.values():
+                assert isinstance(positions, np.ndarray)
+                assert positions.dtype == np.int64
+                assert np.all(np.diff(positions) > 0)
+
+    def test_filtered_top_matches_brute_force(self, small_dataset):
+        from repro.core.model import ArticleRanker
+
+        result = ArticleRanker().rank(small_dataset)
+        index = RankIndex(small_dataset, result.by_id())
+        ranked_ids = [e.article_id for e in index.top(len(index))]
+        venue_id = next(iter(small_dataset.venues))
+        author_id = next(iter(small_dataset.authors))
+
+        def brute(predicate, k):
+            return [i for i in ranked_ids
+                    if predicate(small_dataset.articles[i])][:k]
+
+        got = [e.article_id for e in index.top(7, venue_id=venue_id)]
+        assert got == brute(lambda a: a.venue_id == venue_id, 7)
+
+        got = [e.article_id for e in index.top(7, author_id=author_id)]
+        assert got == brute(lambda a: author_id in a.author_ids, 7)
+
+        got = [e.article_id
+               for e in index.top(7, venue_id=venue_id,
+                                  author_id=author_id)]
+        assert got == brute(lambda a: a.venue_id == venue_id
+                            and author_id in a.author_ids, 7)

@@ -99,3 +99,21 @@ class TestFutureRank:
         papers, authors = futurerank(graph, [], 3, np.array([]), 2000)
         assert len(papers) == 0
         assert len(authors) == 3
+
+
+class TestWeightGuard:
+    def test_negative_edge_weights_rejected(self, small_setup):
+        _, years, author_lists = small_setup
+        graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2],
+                                    weights=[-0.5, 1.0])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            futurerank(graph, author_lists, 2, years, 2008)
+
+    def test_non_finite_edge_weights_rejected(self, small_setup):
+        _, years, author_lists = small_setup
+        graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2],
+                                    weights=[1.0, np.nan])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            futurerank(graph, author_lists, 2, years, 2008)

@@ -53,3 +53,17 @@ class TestHits:
         graph = CSRGraph.from_edges([(0, 1), (1, 0), (1, 2)])
         with pytest.raises(ConvergenceError):
             hits(graph, tol=1e-16, max_iter=1, raise_on_divergence=True)
+
+    def test_negative_edge_weights_rejected(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)], nodes=range(3),
+                                    weights=[1.0, -0.5])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            hits(graph)
+
+    def test_non_finite_edge_weights_rejected(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)], nodes=range(3),
+                                    weights=[1.0, np.nan])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            hits(graph)

@@ -93,3 +93,21 @@ class TestPRank:
                              venue_of, len(venue_index))
         assert papers.sum() == pytest.approx(1.0)
         assert (papers > 0).all()
+
+
+class TestWeightGuard:
+    def test_negative_edge_weights_rejected(self, setup):
+        _, author_lists, venue_of = setup
+        graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2],
+                                    weights=[1.0, -1.0])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            prank(graph, author_lists, 2, venue_of, 2)
+
+    def test_non_finite_edge_weights_rejected(self, setup):
+        _, author_lists, venue_of = setup
+        graph = CSRGraph.from_edges([(2, 0), (2, 1)], nodes=[0, 1, 2],
+                                    weights=[np.inf, 1.0])
+        with pytest.raises(ConfigError,
+                           match="finite and non-negative"):
+            prank(graph, author_lists, 2, venue_of, 2)

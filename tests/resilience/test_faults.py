@@ -68,3 +68,46 @@ class TestCheckpointFaults:
         # Production error handling (``except ReproError``) must never
         # swallow an injected crash, just as it cannot catch SIGKILL.
         assert not issubclass(InjectedCrash, ReproError)
+
+
+class TestBatchFaults:
+    def test_crash_batch_fires_on_scripted_batch_only(self):
+        plan = FaultPlan().crash_batch(2)
+        assert plan.batch_fault(2, attempt=0) is not None
+        assert plan.batch_fault(1, attempt=0) is None
+        assert plan.batch_fault(3, attempt=0) is None
+
+    def test_times_lets_later_attempts_through(self):
+        plan = FaultPlan().crash_batch(0, times=2)
+        assert plan.batch_fault(0, attempt=0) is not None
+        assert plan.batch_fault(0, attempt=1) is not None
+        assert plan.batch_fault(0, attempt=2) is None
+
+    def test_fire_batch_crash_raises_injected_crash(self):
+        plan = FaultPlan().crash_batch(1)
+        with pytest.raises(InjectedCrash, match="batch 1"):
+            plan.fire_batch_crash(1, attempt=0)
+
+    def test_fire_is_a_no_op_for_other_batches(self):
+        FaultPlan().crash_batch(1).fire_batch_crash(0)
+
+    def test_poison_batch_is_queried_not_raised(self):
+        # "nan" faults corrupt the candidate ranking downstream; the
+        # crash fire-path must ignore them.
+        plan = FaultPlan().poison_batch(1)
+        fault = plan.batch_fault(1)
+        assert fault is not None
+        assert fault.kind == "nan"
+        plan.fire_batch_crash(1)  # no raise
+
+    def test_crash_and_poison_coexist_on_distinct_batches(self):
+        plan = FaultPlan().poison_batch(1).crash_batch(2)
+        assert plan.batch_fault(1).kind == "nan"
+        assert plan.batch_fault(2).kind == "crash"
+        assert plan.batch_fault(0) is None
+
+    def test_batch_faults_survive_pickling(self):
+        plan = FaultPlan().crash_batch(3, times=2).poison_batch(5)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.batch_fault(3, attempt=1).kind == "crash"
+        assert clone.batch_fault(5).kind == "nan"

@@ -1,0 +1,140 @@
+"""AdmissionGate: bounded admission, typed sheds, deadline waits."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError, OverloadError
+from repro.resilience import Deadline
+from repro.serve import AdmissionGate
+
+pytestmark = pytest.mark.serve
+
+
+class TestValidation:
+    def test_max_inflight_must_be_positive(self):
+        with pytest.raises(ConfigError, match="max_inflight"):
+            AdmissionGate(max_inflight=0)
+
+    def test_max_waiting_must_be_non_negative(self):
+        with pytest.raises(ConfigError, match="max_waiting"):
+            AdmissionGate(max_waiting=-1)
+
+
+class TestAdmission:
+    def test_admit_and_release(self):
+        gate = AdmissionGate(max_inflight=2)
+        with gate.admit():
+            assert gate.inflight == 1
+            with gate.admit():
+                assert gate.inflight == 2
+        assert gate.inflight == 0
+        assert gate.admitted_total == 2
+        assert gate.shed_total == 0
+
+    def test_full_gate_sheds_typed_error(self):
+        gate = AdmissionGate(max_inflight=1)
+        with gate.admit():
+            with pytest.raises(OverloadError) as info:
+                with gate.admit():
+                    pass
+        assert info.value.inflight == 1
+        assert info.value.capacity == 1
+        assert gate.shed_total == 1
+
+    def test_slot_frees_after_exception_in_block(self):
+        gate = AdmissionGate(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with gate.admit():
+                raise RuntimeError("reader failed")
+        with gate.admit():  # slot was released despite the exception
+            assert gate.inflight == 1
+
+    def test_no_waiting_room_sheds_even_with_deadline(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=0)
+        with gate.admit():
+            with pytest.raises(OverloadError, match="full"):
+                with gate.admit(Deadline(seconds=5.0)):
+                    pass
+
+    def test_waiting_without_deadline_sheds(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=4)
+        with gate.admit():
+            with pytest.raises(OverloadError):
+                with gate.admit():
+                    pass
+
+
+class TestWaiting:
+    def test_waiter_admitted_when_slot_frees(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=1)
+        holding = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def holder():
+            with gate.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            try:
+                with gate.admit(Deadline(seconds=5.0)):
+                    outcome["admitted"] = True
+            except OverloadError:
+                outcome["admitted"] = False
+
+        hold_thread = threading.Thread(target=holder)
+        hold_thread.start()
+        assert holding.wait(timeout=5.0)
+        wait_thread = threading.Thread(target=waiter)
+        wait_thread.start()
+        time.sleep(0.05)  # let the waiter actually enter the wait loop
+        release.set()
+        hold_thread.join(timeout=5.0)
+        wait_thread.join(timeout=5.0)
+        assert outcome["admitted"] is True
+        assert gate.shed_total == 0
+
+    def test_deadline_expiry_sheds_waiter(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=1)
+        with gate.admit():
+            start = time.monotonic()
+            with pytest.raises(OverloadError, match="deadline expired"):
+                with gate.admit(Deadline(seconds=0.05)):
+                    pass
+            assert time.monotonic() - start < 2.0
+        assert gate.shed_total == 1
+
+    def test_waiting_room_capacity_sheds_excess(self):
+        gate = AdmissionGate(max_inflight=1, max_waiting=1)
+        entered = threading.Event()
+        release = threading.Event()
+        results = []
+
+        def holder():
+            with gate.admit():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            try:
+                with gate.admit(Deadline(seconds=5.0)):
+                    results.append("admitted")
+            except OverloadError as exc:
+                results.append(str(exc))
+
+        hold_thread = threading.Thread(target=holder)
+        hold_thread.start()
+        assert entered.wait(timeout=5.0)
+        first = threading.Thread(target=waiter)
+        first.start()
+        time.sleep(0.05)  # first waiter occupies the waiting room
+        with pytest.raises(OverloadError, match="waiting room full"):
+            with gate.admit(Deadline(seconds=5.0)):
+                pass
+        release.set()
+        hold_thread.join(timeout=5.0)
+        first.join(timeout=5.0)
+        assert results == ["admitted"]

@@ -1,0 +1,138 @@
+"""CircuitBreaker state machine under a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Observability
+from repro.resilience import RetryPolicy
+from repro.serve import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
+
+pytestmark = pytest.mark.serve
+
+#: Deterministic cooldowns: 0.1, 0.2, 0.4, ... seconds, no jitter.
+COOLDOWN = RetryPolicy(max_retries=1_000, base_delay=0.1, max_delay=30.0,
+                       jitter=0.0)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=2, cooldown=COOLDOWN,
+                          clock=clock)
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.cooldown_remaining == 0.0
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 1
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never reached 2 in a row
+
+
+class TestTrip:
+    def test_threshold_failures_trip_open(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+        assert breaker.cooldown_remaining == pytest.approx(0.1)
+
+
+class TestHalfOpen:
+    def _trip(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+
+    def test_cooldown_elapse_promotes_to_half_open(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(0.11)
+        assert breaker.state == HALF_OPEN
+
+    def test_single_probe_slot(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(0.11)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits for its outcome
+
+    def test_probe_success_closes_and_resets_backoff(self, breaker,
+                                                     clock):
+        self._trip(breaker)
+        clock.advance(0.11)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        # Backoff schedule was reset: the next trip waits base_delay
+        # again, not the doubled follow-up.
+        self._trip(breaker)
+        assert breaker.cooldown_remaining == pytest.approx(0.1)
+
+    def test_probe_failure_reopens_with_longer_cooldown(self, breaker,
+                                                        clock):
+        self._trip(breaker)
+        clock.advance(0.11)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened_total == 2
+        assert breaker.cooldown_remaining == pytest.approx(0.2)
+        # And the probe slot is usable again after the new cooldown.
+        clock.advance(0.21)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestObservability:
+    def test_transitions_recorded(self, clock):
+        obs = Observability("breaker-test")
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=COOLDOWN,
+                                 clock=clock, obs=obs)
+        breaker.record_failure()
+        clock.advance(0.11)
+        assert breaker.state == HALF_OPEN
+        gauge = obs.metrics.gauge("repro_serve_breaker_state")
+        assert gauge.value() == STATE_CODES[HALF_OPEN]
+        spans = [span for span in obs.tracer.export()
+                 if span["name"] == "serve.breaker"]
+        transitions = [(span["attributes"]["from_state"],
+                        span["attributes"]["to_state"])
+                       for span in spans]
+        assert ("closed", "open") in transitions
+        assert ("open", "half_open") in transitions
+
+    def test_state_codes_are_stable(self):
+        assert STATE_CODES == {"closed": 0, "half_open": 1, "open": 2}

@@ -1,0 +1,95 @@
+"""serve-sim: the simulated workload and its CLI front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.serve import run_simulation
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def sim_dataset():
+    config = GeneratorConfig(num_articles=300, num_venues=6,
+                             num_authors=80, start_year=2000,
+                             end_year=2010, seed=11)
+    return generate_dataset(config)
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-sim") / "ds.jsonl"
+    assert main(["generate", str(path), "--articles", "300",
+                 "--venues", "6", "--authors", "80", "--seed", "11"]) == 0
+    return path
+
+
+class TestRunSimulation:
+    def test_fault_free_run_drains_and_stays_fresh(self, sim_dataset):
+        sim = run_simulation(sim_dataset, batches=3, batch_size=10,
+                             readers=1)
+        assert sim.health["status"] == "fresh"
+        assert sim.health["epoch"] == 3
+        assert sim.health["batches_behind"] == 0
+        assert sim.quarantined == []
+        assert sim.read_failures == []
+        ingest_ticks = [t for t in sim.timeline if t["phase"] == "ingest"]
+        assert [t["status"] for t in ingest_ticks] == ["published"] * 3
+
+    def test_poison_and_crash_recover_through_breaker(self, sim_dataset):
+        sim = run_simulation(sim_dataset, batches=4, batch_size=10,
+                             readers=1, poison_batch=1, crash_batch=2,
+                             failure_threshold=2)
+        # The poisoned batch is quarantined with a usable report...
+        assert [record["index"] for record in sim.quarantined] == [1]
+        assert any("non-finite" in reason
+                   for reason in sim.quarantined[0]["reasons"])
+        # ... the breaker opened mid-timeline ...
+        assert any(t["breaker"] == "open" for t in sim.timeline)
+        # ... and the recovery loop drained the backlog: 3 of 4 batches
+        # published (epoch 3), breaker closed, nothing left behind.
+        assert sim.health["epoch"] == 3
+        assert sim.health["batches_behind"] == 0
+        assert sim.health["breaker"] == "closed"
+        assert sim.health["status"] == "fresh"
+        recover_ticks = [t for t in sim.timeline
+                         if t["phase"] == "recover"]
+        assert recover_ticks, "recovery never ticked"
+
+    def test_render_and_json(self, sim_dataset):
+        sim = run_simulation(sim_dataset, batches=2, batch_size=10,
+                             readers=1)
+        text = sim.render()
+        assert text.splitlines()[0].startswith("# tick")
+        assert "final status 'fresh'" in text
+        payload = json.loads(sim.to_json())
+        assert set(payload) == {"timeline", "health", "quarantined",
+                                "reads_total", "reads_shed",
+                                "read_failures"}
+        assert len(payload["timeline"]) == 2
+
+
+class TestCli:
+    def test_serve_sim_prints_timeline(self, dataset_path, capsys):
+        assert main(["serve-sim", str(dataset_path), "--batches", "2",
+                     "--batch-size", "10", "--readers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# serve-sim:" in out
+        assert "# tick" in out
+        assert "ingest" in out
+
+    def test_serve_sim_faulted_run_writes_json_artifact(
+            self, dataset_path, tmp_path, capsys):
+        artifact = tmp_path / "timeline.json"
+        assert main(["serve-sim", str(dataset_path), "--batches", "3",
+                     "--batch-size", "10", "--readers", "1",
+                     "--poison-batch", "1", "--json",
+                     str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined batch 1" in out
+        payload = json.loads(artifact.read_text())
+        assert [r["index"] for r in payload["quarantined"]] == [1]
+        assert payload["health"]["batches_behind"] == 0
