@@ -23,6 +23,10 @@ Commands:
     serve-sim — run a simulated serving workload (reader threads vs a
                 live update feed, optionally with injected crash/NaN
                 faults) and print the health timeline.
+    serve-load — drive concurrent readers against the sharded
+                scatter-gather gateway under publish churn (optionally
+                crash/poisoning one shard) and report sustained QPS,
+                p50/p99 latency, and merge parity.
 """
 
 from __future__ import annotations
@@ -444,10 +448,42 @@ def _command_serve_sim(args: argparse.Namespace) -> int:
           f"articles), {args.batches} batch(es) x {args.batch_size}, "
           f"{args.readers} reader(s)")
     print(sim.render())
+    # The artifact is written even for degraded/failed runs — a missing
+    # timeline in CI must mean the command never ran, not that the
+    # simulated pipeline tripped.
     if args.json:
         Path(args.json).write_text(sim.to_json() + "\n",
                                    encoding="utf-8")
         print(f"wrote {args.json}")
+    if sim.status == "failed":
+        print(f"error: serve-sim run failed: {sim.error}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_serve_load(args: argparse.Namespace) -> int:
+    from repro.serve import run_load
+
+    dataset = _load_any(args.dataset)
+    report = run_load(
+        dataset, num_shards=args.shards, mode=args.mode,
+        batches=args.batches, batch_size=args.batch_size,
+        readers=args.readers, queries=args.queries, top=args.top,
+        crash_shard=args.crash_shard, poison_shard=args.poison_shard,
+        fault_epoch=args.fault_epoch, seed=args.seed)
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n",
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
+    if args.report:
+        report.to_report().save(args.report)
+        print(f"wrote {args.report}")
+    if report.status == "failed":
+        print(f"error: serve-load run failed: {report.error}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -644,6 +680,44 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also save the timeline as JSON to "
                                 "this path")
     serve_sim.set_defaults(handler=_command_serve_sim)
+
+    serve_load = commands.add_parser(
+        "serve-load", help="sustained-QPS load harness against the "
+                           "sharded scatter-gather gateway, with "
+                           "optional one-shard crash/poison faults")
+    serve_load.add_argument("dataset")
+    serve_load.add_argument("--shards", type=int, default=2,
+                            help="partitions of the article id space")
+    serve_load.add_argument("--mode", choices=("inline", "process"),
+                            default="inline",
+                            help="shard deployment: same-process or "
+                                 "one worker process per shard")
+    serve_load.add_argument("--batches", type=int, default=4,
+                            help="synthetic arrival batches to feed "
+                                 "(each one is a full publish + shard "
+                                 "refresh)")
+    serve_load.add_argument("--batch-size", type=int, default=16)
+    serve_load.add_argument("--readers", type=int, default=4,
+                            help="concurrent reader threads")
+    serve_load.add_argument("--queries", type=int, default=50,
+                            help="queries each reader issues")
+    serve_load.add_argument("--top", type=int, default=10,
+                            help="k each reader requests")
+    serve_load.add_argument("--crash-shard", type=int, default=None,
+                            help="crash this shard while it refreshes "
+                                 "at --fault-epoch")
+    serve_load.add_argument("--poison-shard", type=int, default=None,
+                            help="NaN-poison this shard's score slice "
+                                 "at --fault-epoch (guardrail veto)")
+    serve_load.add_argument("--fault-epoch", type=int, default=1,
+                            help="board epoch the shard fault fires at")
+    serve_load.add_argument("--seed", type=int, default=0)
+    serve_load.add_argument("--json", type=str, default=None,
+                            help="also save the full report as JSON")
+    serve_load.add_argument("--report", type=str, default=None,
+                            help="write a RunReport for "
+                                 "benchmarks/compare.py gating")
+    serve_load.set_defaults(handler=_command_serve_load)
     return parser
 
 

@@ -169,6 +169,158 @@ def map_views(segment: "SharedMemory",
     }
 
 
+# ----------------------------------------------------------------------
+# serving score board: the cross-process publish/read protocol that the
+# sharded serving tier (repro.serve.shard / repro.serve.gateway) runs on.
+
+
+class ScoreBoardWriter:
+    """Publish side of the shared-memory serving score board.
+
+    The board holds the full ranked id/score state behind the same
+    seqlock-epoch discipline the parallel engine's frontier uses:
+
+    * ``ids`` — append-only ``int64[capacity]`` article ids (the corpus
+      only ever grows under arrival batches);
+    * ``scores`` — double-buffered ``float64[2, capacity]``; epoch ``e``
+      is written into buffer ``e % 2``, which is then left untouched
+      until epoch ``e + 2``;
+    * ``count`` — ``int64[2]`` articles valid per buffer;
+    * ``epoch`` — ``int64[1]``, bumped *after* the buffer is fully
+      written, so a reader seeing a stable epoch across its copy has
+      proven the copy torn-free.
+
+    Single-writer by contract (the gateway's publish path); any number
+    of reader processes attach via :class:`ScoreBoardReader` with the
+    picklable :attr:`layout`. The creator owns the segment: call
+    :meth:`close` (idempotent) when serving ends.
+    """
+
+    def __init__(self, capacity: int, prefix: str = "repro-serve") -> None:
+        if capacity <= 0:
+            raise ValueError(
+                f"score board capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._segment, self.layout = pack_arrays(
+            {"epoch": np.full(1, -1, dtype=np.int64),
+             "count": np.zeros(2, dtype=np.int64),
+             "ids": np.zeros(self.capacity, dtype=np.int64),
+             "scores": np.zeros((2, self.capacity), dtype=np.float64)},
+            prefix=prefix)
+        views = map_views(self._segment, self.layout)
+        self._epoch = views["epoch"]
+        self._count = views["count"]
+        self._ids = views["ids"]
+        self._scores = views["scores"]
+        self._ids_written = 0
+        self._closed = False
+
+    @property
+    def epoch(self) -> int:
+        """The last published epoch (-1 before the first publish)."""
+        return int(self._epoch[0])
+
+    def publish(self, ids: np.ndarray, scores: np.ndarray,
+                epoch: int) -> None:
+        """Publish one ``(ids, scores)`` state as ``epoch``.
+
+        ``ids`` must extend the previously published ids (append-only:
+        articles are never removed), ``epoch`` must be exactly the last
+        published epoch plus one, and the state must fit the board's
+        capacity — violations raise ``ValueError`` before any shared
+        write happens, so a rejected publish can never tear the board.
+        """
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        scores = np.ascontiguousarray(scores, dtype=np.float64)
+        if ids.shape != scores.shape or ids.ndim != 1:
+            raise ValueError("ids and scores must be aligned 1-d arrays")
+        if ids.size > self.capacity:
+            raise ValueError(
+                f"score board capacity exceeded: {ids.size} articles "
+                f"> capacity {self.capacity}")
+        if epoch != int(self._epoch[0]) + 1:
+            raise ValueError(
+                f"epochs must be published consecutively: board is at "
+                f"{int(self._epoch[0])}, got {epoch}")
+        if ids.size < self._ids_written or not np.array_equal(
+                ids[:self._ids_written], self._ids[:self._ids_written]):
+            raise ValueError(
+                "ids must extend the previously published ids "
+                "(the board's id prefix is append-only)")
+        # Only the tail of ``ids`` is new; the stable prefix is never
+        # rewritten, so concurrent readers of older epochs see no
+        # mutation at all.
+        self._ids[self._ids_written:ids.size] = ids[self._ids_written:]
+        self._ids_written = ids.size
+        buffer = epoch % 2
+        self._scores[buffer, :ids.size] = scores
+        self._count[buffer] = ids.size
+        # The epoch bump is the commit point: everything above must be
+        # fully written before readers can observe the new epoch.
+        self._epoch[0] = epoch
+
+    def close(self) -> None:
+        """Tear the segment down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._epoch = self._count = self._ids = self._scores = None
+            destroy_segment(self._segment)
+
+
+class ScoreBoardReader:
+    """Reader side of the serving score board (any process).
+
+    Attach with the writer's picklable layout; :meth:`read` returns a
+    torn-free ``(epoch, ids, scores)`` copy via the seqlock check.
+    """
+
+    #: Consistency-check retries before a read gives up.
+    MAX_RETRIES = 64
+
+    def __init__(self, layout: SegmentLayout) -> None:
+        self._segment, views = attach_arrays(layout)
+        self._epoch = views["epoch"]
+        self._count = views["count"]
+        self._ids = views["ids"]
+        self._scores = views["scores"]
+
+    def epoch(self) -> int:
+        """The currently published epoch (cheap shared read)."""
+        return int(self._epoch[0])
+
+    def read(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """One consistent published state, newest available.
+
+        Seqlock read: buffer ``epoch % 2`` of epoch ``e`` stays
+        untouched until epoch ``e + 2`` commits, so observing an epoch
+        advance of less than two across the copy proves the copy is
+        torn-free. Raises :class:`StaleFrontierError` after
+        ``MAX_RETRIES`` racing publishes (pathological churn) and
+        ``ValueError`` before the first publish.
+        """
+        for _ in range(self.MAX_RETRIES):
+            before = int(self._epoch[0])
+            if before < 0:
+                raise ValueError("score board has no published epoch yet")
+            buffer = before % 2
+            count = int(self._count[buffer])
+            ids = np.array(self._ids[:count])
+            scores = np.array(self._scores[buffer, :count])
+            if int(self._epoch[0]) - before < 2:
+                return before, ids, scores
+        raise StaleFrontierError(
+            f"score board read raced {self.MAX_RETRIES} consecutive "
+            f"publishes")
+
+    def close(self) -> None:
+        """Drop this attachment (the writer still owns the segment)."""
+        self._epoch = self._count = self._ids = self._scores = None
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover - exported views
+            pass
+
+
 @contextmanager
 def _registration_suppressed():
     """Attach without telling the resource tracker (Python < 3.13).

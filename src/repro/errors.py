@@ -85,5 +85,18 @@ class OverloadError(ServeError):
         self.capacity = capacity
 
 
+class ShardUnavailableError(ServeError):
+    """A serving shard could not answer (dead worker, hung pipe).
+
+    The gateway treats this per shard: the query is answered from the
+    remaining shards and the failure is surfaced through ``health()``
+    instead of failing the whole request. Carries the shard id.
+    """
+
+    def __init__(self, message: str, shard: int = -1) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 class PartitionError(ReproError):
     """A graph partition is invalid (uncovered nodes, overlap, bad count)."""

@@ -68,6 +68,10 @@ class RankIndex:
         self._rank_of: Dict[int, int] = {
             int(article_id): position
             for position, article_id in enumerate(self._ids)}
+        # Sort keys for binary search in global order (-score, id):
+        # used by the sharded gateway to turn a shard-local hit into a
+        # global rank without shipping whole rankings.
+        self._neg_scores = -self._scores
 
         venue_lists: Dict[int, List[int]] = {}
         author_lists: Dict[int, List[int]] = {}
@@ -109,6 +113,23 @@ class RankIndex:
         """Fraction of the corpus this article outranks (0..1]."""
         rank = self.rank_of(article_id)
         return 1.0 - (rank - 1) / len(self._ids)
+
+    def count_ranked_above(self, score: float, article_id: int) -> int:
+        """Articles strictly ahead of ``(score, article_id)`` globally.
+
+        "Ahead" uses the index's total order: higher score first, ties
+        broken by ascending article id. The probe article need not be
+        in this index — shards use this to compute an article's global
+        rank as ``1 + sum(count_ranked_above(...) per shard)``.
+        O(log n) via binary search on the sorted arrays.
+        """
+        lo = int(np.searchsorted(self._neg_scores, -score, side="left"))
+        hi = int(np.searchsorted(self._neg_scores, -score, side="right"))
+        # Everything before `lo` has a strictly higher score; within the
+        # tie run [lo, hi) ids ascend, so ids below the probe's are
+        # ahead of it.
+        return lo + int(np.searchsorted(self._ids[lo:hi], article_id,
+                                        side="left"))
 
     # ------------------------------------------------------------------
     # retrieval

@@ -24,6 +24,7 @@ from repro.resilience.faults import (
     BatchFault,
     FaultPlan,
     InjectedCrash,
+    ShardFault,
     WorkerFault,
 )
 from repro.resilience.policy import Deadline, RetryDelays, RetryPolicy
@@ -35,6 +36,7 @@ __all__ = [
     "InjectedCrash",
     "RetryDelays",
     "RetryPolicy",
+    "ShardFault",
     "WORKER_CRASH_EXIT_CODE",
     "WorkerFault",
 ]

@@ -77,6 +77,32 @@ class BatchFault:
     times: int = 1
 
 
+@dataclass(frozen=True)
+class ShardFault:
+    """One scripted serving-shard failure (the sharded tier's faults).
+
+    ``kind``:
+
+    * ``"crash"`` — the shard worker dies while refreshing at the given
+      epoch (hard process exit in process mode, so the gateway observes
+      a dead pipe exactly like a real OOM kill);
+    * ``"poison"`` — the shard's slice of the published scores arrives
+      NaN-poisoned, which the per-shard refresh guardrails must veto
+      while the last good shard snapshot keeps serving.
+
+    Keyed by ``(shard, epoch, attempt)``: a fault with ``times=t``
+    fires on refresh attempts ``0..t-1`` for that epoch and lets
+    attempt ``t`` through — the gateway passes the attempt number with
+    each (re-)dispatch, so a respawned shard process (fresh plan copy)
+    still knows the failure already happened.
+    """
+
+    kind: str  # "crash" | "poison"
+    shard: int
+    epoch: int
+    times: int = 1
+
+
 @dataclass
 class FaultPlan:
     """A deterministic, picklable script of injected failures."""
@@ -86,6 +112,7 @@ class FaultPlan:
     file_truncations: Dict[str, int] = field(default_factory=dict)
     crash_after: Optional[int] = None
     batch_faults: List[BatchFault] = field(default_factory=list)
+    shard_faults: List[ShardFault] = field(default_factory=list)
     _files_written: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -144,6 +171,23 @@ class FaultPlan:
                                             int(times)))
         return self
 
+    def crash_shard(self, shard: int, epoch: int,
+                    times: int = 1) -> "FaultPlan":
+        """Kill serving shard ``shard`` while it refreshes to ``epoch``
+        (first ``times`` attempts)."""
+        self.shard_faults.append(ShardFault("crash", int(shard),
+                                            int(epoch), int(times)))
+        return self
+
+    def poison_shard(self, shard: int, epoch: int,
+                     times: int = 1) -> "FaultPlan":
+        """NaN-poison shard ``shard``'s score slice at ``epoch`` (first
+        ``times`` refresh attempts) — the per-shard guardrails, not the
+        read, must stop it."""
+        self.shard_faults.append(ShardFault("poison", int(shard),
+                                            int(epoch), int(times)))
+        return self
+
     # ------------------------------------------------------------------
     # query / fire side (called from engines and the checkpoint writer)
 
@@ -186,6 +230,28 @@ class FaultPlan:
             raise InjectedCrash(
                 f"injected update-path crash applying batch {batch} "
                 f"(attempt {attempt})")
+
+    def shard_fault(self, shard: int, epoch: int,
+                    attempt: int = 0) -> Optional[ShardFault]:
+        """The scripted fault for this shard refresh attempt, if it
+        should still fire."""
+        for fault in self.shard_faults:
+            if (fault.shard == shard and fault.epoch == epoch
+                    and attempt < fault.times):
+                return fault
+        return None
+
+    def fire_shard_crash(self, shard: int, epoch: int,
+                         attempt: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if a ``"crash"`` shard fault is
+        scripted for this refresh attempt. Shard worker processes turn
+        the exception into a hard ``os._exit`` so the gateway sees a
+        dead pipe, exactly like a real worker death."""
+        fault = self.shard_fault(shard, epoch, attempt)
+        if fault is not None and fault.kind == "crash":
+            raise InjectedCrash(
+                f"injected shard crash: shard {shard} refreshing to "
+                f"epoch {epoch} (attempt {attempt})")
 
     def on_file_written(self, name: str) -> None:
         """Checkpoint-writer hook, called after each file write."""

@@ -5,15 +5,26 @@ misbehaves: reads land on an atomically-swapped, guardrail-validated
 :class:`Snapshot`; a bounded :class:`AdmissionGate` sheds excess load
 with typed errors; a :class:`CircuitBreaker` stops a failing update
 pipeline from being hammered while the last good snapshot keeps
-serving. See ``docs/OPERATIONS.md`` ("Serving under failure") for the
-operational story.
+serving. The sharded tier (:class:`ShardedGateway` over per-shard
+:class:`ShardServer` workers on the shared-memory score board) scales
+the same ladder across processes: each shard degrades alone, and the
+scatter-gather merge reproduces the single-process order
+bit-identically. See ``docs/OPERATIONS.md`` ("Serving under failure"
+and "Sharded serving") for the operational story.
 """
 
 from repro.serve.admission import AdmissionGate
 from repro.serve.breaker import (CLOSED, HALF_OPEN, OPEN, STATE_CODES,
                                  CircuitBreaker)
-from repro.serve.guardrails import GuardrailPolicy, validate_candidate
+from repro.serve.gateway import GatewayReadResult, ShardedGateway
+from repro.serve.guardrails import (GuardrailPolicy, validate_candidate,
+                                    validate_shard_slice)
+from repro.serve.load import LoadReport, run_load
+from repro.serve.merge import merge_page_entries, merge_top_entries
 from repro.serve.service import IngestReport, RankingService, ReadResult
+from repro.serve.shard import (InlineShardHandle, ProcessShardHandle,
+                               ShardConfig, ShardServer, ShardSnapshot,
+                               ShardSpec, shard_of)
 from repro.serve.sim import ServeSimulation, run_simulation
 from repro.serve.snapshot import Snapshot
 
@@ -24,12 +35,26 @@ __all__ = [
     "HALF_OPEN",
     "OPEN",
     "STATE_CODES",
+    "GatewayReadResult",
     "GuardrailPolicy",
     "validate_candidate",
+    "validate_shard_slice",
     "IngestReport",
+    "InlineShardHandle",
+    "LoadReport",
+    "merge_page_entries",
+    "merge_top_entries",
+    "ProcessShardHandle",
     "RankingService",
     "ReadResult",
-    "ServeSimulation",
+    "run_load",
     "run_simulation",
+    "ServeSimulation",
+    "ShardConfig",
+    "ShardedGateway",
+    "ShardServer",
+    "ShardSnapshot",
+    "ShardSpec",
+    "shard_of",
     "Snapshot",
 ]

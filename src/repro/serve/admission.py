@@ -89,13 +89,27 @@ class AdmissionGate:
                 self._waiting += 1
                 expires = time.monotonic() + deadline.seconds
                 try:
+                    # Spurious wakeups (and wakeups that lost the race
+                    # for the freed slot) re-test the predicate and
+                    # re-wait with a recomputed remaining budget; a
+                    # waiter is only admitted while holding the lock
+                    # with the predicate actually false.
                     while self._inflight >= self.max_inflight:
                         remaining = expires - time.monotonic()
                         if remaining <= 0:
                             self._shed("deadline expired while waiting "
                                        "for a slot")
                         self._condition.wait(remaining)
+                except BaseException:
+                    # This waiter may have consumed the release notify
+                    # and then bailed (deadline, cancellation). Pass
+                    # the wakeup on so a co-waiter with budget left is
+                    # not stranded until the *next* release.
+                    self._condition.notify()
+                    raise
                 finally:
+                    # Every exit path — admission, timeout shed,
+                    # exception — leaves the waiting room exactly once.
                     self._waiting -= 1
             self._inflight += 1
             self._admitted_total += 1

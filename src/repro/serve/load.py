@@ -1,0 +1,264 @@
+"""`repro serve-load`: sustained QPS against the sharded gateway.
+
+Where ``serve-sim`` tells the single-process degradation story as a
+health timeline, ``serve-load`` measures the *sharded* tier under
+publish churn: reader threads hammer scatter-gather queries while the
+feed ingests arrival batches (every publish rewrites the score board
+and refreshes every shard), optionally with one shard crash/poisoned
+through :class:`repro.resilience.FaultPlan`. It reports sustained QPS
+and p50/p99 tail latency, the degradation observed while the fault was
+live, and — the hard-gated part — merge parity: after the run settles,
+the gateway's merged top-k must be **bit-identical** (ids, scores, tie
+order) to the single-process :class:`RankingService` on the same
+snapshot. The :meth:`LoadReport.to_report` RunReport is what CI diffs
+against ``benchmarks/baselines/serve_load_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import OverloadError, ServeError
+from repro.engine.live import LiveRanker
+from repro.resilience.faults import FaultPlan
+from repro.serve.gateway import ShardedGateway
+from repro.serve.sim import SIM_COOLDOWN, synthetic_batch
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.data.schema import ScholarlyDataset
+    from repro.obs.handle import Observability
+    from repro.obs.report import RunReport
+
+
+def _percentile(sorted_values: List[float], quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = int(quantile * (len(sorted_values) - 1))
+    return sorted_values[position]
+
+
+@dataclass
+class LoadReport:
+    """Everything one ``serve-load`` run measured."""
+
+    num_shards: int = 0
+    mode: str = "inline"
+    readers: int = 0
+    batches: int = 0
+    queries_total: int = 0
+    queries_failed: int = 0
+    queries_partial: int = 0
+    reads_shed: int = 0
+    wall_s: float = 0.0
+    qps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    avg_latency_ms: float = 0.0
+    board_epoch: int = -1
+    merge_mismatches: int = 0
+    shards_missing: int = 0
+    degraded_during: List[int] = field(default_factory=list)
+    health: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+
+    def render(self) -> str:
+        lines = [
+            f"# serve-load: {self.num_shards} shard(s) [{self.mode}], "
+            f"{self.readers} reader(s), {self.batches} batch(es)",
+            f"queries      {self.queries_total} "
+            f"({self.queries_partial} partial, "
+            f"{self.queries_failed} failed, {self.reads_shed} shed)",
+            f"throughput   {self.qps:.0f} qps over {self.wall_s:.2f}s",
+            f"latency      p50 {self.p50_ms:.3f} ms, "
+            f"p99 {self.p99_ms:.3f} ms, "
+            f"avg {self.avg_latency_ms:.3f} ms",
+            f"board epoch  {self.board_epoch}",
+            f"parity       {self.merge_mismatches} merged-entry "
+            f"mismatch(es) vs single-process service",
+            f"degraded     shards {self.degraded_during or '[]'} during "
+            f"faults; {self.shards_missing} still missing after repair",
+            f"final health {self.health.get('status')!r}",
+        ]
+        if self.status != "ok":
+            lines.append(f"# run {self.status}"
+                         + (f": {self.error}" if self.error else ""))
+        return "\n".join(lines)
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = dict(self.__dict__)
+        return json.dumps(payload, indent=indent, default=str)
+
+    def to_report(self, name: str = "serve_load_smoke") -> "RunReport":
+        """A ``RunReport`` for ``benchmarks/compare.py`` gating.
+
+        Correctness metrics (``merge_mismatches``, ``queries_failed``,
+        ``shards_missing``, ``num_shards``) are deterministic — CI
+        hard-gates them; the latency metrics are wall-clock noise on
+        shared runners and stay soft.
+        """
+        from repro.obs.report import RunReport
+
+        report = RunReport(name)
+        report.record_metric("num_shards", self.num_shards)
+        report.record_metric("merge_mismatches", self.merge_mismatches)
+        report.record_metric("queries_failed", self.queries_failed)
+        report.record_metric("shards_missing", self.shards_missing)
+        report.record_metric("board_epoch", self.board_epoch)
+        report.record_metric("queries_total", self.queries_total)
+        report.record_metric("p50_ms", round(self.p50_ms, 3))
+        report.record_metric("p99_ms", round(self.p99_ms, 3))
+        report.record_metric("avg_latency_ms",
+                             round(self.avg_latency_ms, 3))
+        report.record_metric("status", self.status)
+        return report
+
+
+def _parity_mismatches(gateway: ShardedGateway, k: int) -> int:
+    """Merged-vs-single-process mismatch count (bit-exact compare)."""
+    snapshot = gateway.service.snapshot()
+    mismatches = 0
+    probes = [
+        (gateway.top_sync(k).entries, snapshot.index.top(k)),
+    ]
+    # One filtered probe too: filtered scatter-gather must renumber
+    # filtered-list ranks exactly like the single index.
+    years = sorted({entry.year for entry in snapshot.index.top(k)})
+    if years:
+        year_range = (years[0], years[len(years) // 2])
+        probes.append((
+            gateway.top_sync(k, year_range=year_range).entries,
+            snapshot.index.top(k, year_range=year_range)))
+    for merged, expected in probes:
+        for got, want in zip_longest(merged, expected):
+            if got is None or want is None or got != want:
+                mismatches += 1
+    return mismatches
+
+
+def run_load(dataset: "ScholarlyDataset", *,
+             num_shards: int = 2, mode: str = "inline",
+             batches: int = 4, batch_size: int = 16,
+             readers: int = 4, queries: int = 50, top: int = 10,
+             crash_shard: Optional[int] = None,
+             poison_shard: Optional[int] = None,
+             fault_epoch: int = 1,
+             auto_respawn: bool = False,
+             seed: int = 0,
+             obs: Optional["Observability"] = None) -> LoadReport:
+    """Drive concurrent readers against publish churn over K shards.
+
+    ``crash_shard`` / ``poison_shard`` arm one injected shard fault at
+    board epoch ``fault_epoch`` — with ``auto_respawn`` off (the
+    default here) the degradation stays *visible* in ``health()`` until
+    the post-run :meth:`ShardedGateway.repair`, which is exactly what
+    the acceptance check wants to see.
+    """
+    import random
+
+    fault_plan: Optional[FaultPlan] = None
+    if crash_shard is not None or poison_shard is not None:
+        fault_plan = FaultPlan(seed=seed)
+        if crash_shard is not None:
+            fault_plan.crash_shard(crash_shard, fault_epoch)
+        if poison_shard is not None:
+            fault_plan.poison_shard(poison_shard, fault_epoch)
+
+    report = LoadReport(num_shards=num_shards, mode=mode,
+                        readers=readers, batches=batches)
+    live = LiveRanker(dataset, obs=obs)
+    gateway = ShardedGateway(
+        live, num_shards, mode=mode, obs=obs, fault_plan=fault_plan,
+        auto_respawn=auto_respawn, shard_cooldown=SIM_COOLDOWN,
+        max_inflight=max(64, 4 * readers))
+    latencies: List[float] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def _reader(worker: int) -> None:
+        rng = random.Random(seed * 1000 + worker)
+        low, high = dataset.year_range()
+        for query in range(queries):
+            if stop.is_set():
+                break
+            started = time.perf_counter()
+            try:
+                if query % 3 == 2:
+                    result = gateway.top_sync(
+                        top, year_range=(low, rng.randint(low, high)))
+                elif query % 3 == 1:
+                    result = gateway.page_sync(offset=top, limit=top)
+                else:
+                    result = gateway.top_sync(top)
+            except OverloadError:
+                with lock:
+                    report.reads_shed += 1
+                continue
+            except ServeError:
+                with lock:
+                    report.queries_failed += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                report.queries_total += 1
+                if not result.complete:
+                    report.queries_partial += 1
+
+    threads = [threading.Thread(target=_reader, args=(worker,),
+                                daemon=True)
+               for worker in range(readers)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+
+    try:
+        rng = random.Random(seed)
+        base_ids = sorted(dataset.articles)
+        next_id = base_ids[-1] + 1
+        _, year = dataset.year_range()
+        for _ in range(batches):
+            batch = synthetic_batch(base_ids, next_id, batch_size,
+                                    year, rng)
+            next_id += batch_size
+            gateway.ingest(batch)
+    except Exception as exc:  # noqa: BLE001 - artifact must survive
+        report.status = "failed"
+        report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if report.status != "ok":
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        stop.set()
+        report.wall_s = time.perf_counter() - started
+
+    try:
+        # Degradation while the fault is live, *before* repair.
+        during = gateway.health()
+        report.degraded_during = list(during["degraded_shards"])
+        gateway.repair()
+        gateway.pump()
+        report.board_epoch = gateway.board_epoch
+        report.health = gateway.health()
+        report.shards_missing = len(report.health["degraded_shards"])
+        report.merge_mismatches = _parity_mismatches(gateway, top)
+        if latencies:
+            latencies.sort()
+            report.qps = len(latencies) / max(report.wall_s, 1e-9)
+            report.p50_ms = _percentile(latencies, 0.50) * 1e3
+            report.p99_ms = _percentile(latencies, 0.99) * 1e3
+            report.avg_latency_ms = \
+                sum(latencies) / len(latencies) * 1e3
+    except Exception as exc:  # noqa: BLE001 - artifact must survive
+        if report.status == "ok":
+            report.status = "failed"
+            report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        gateway.close()
+    return report

@@ -66,6 +66,12 @@ class ServeSimulation:
     reads_total: int = 0
     reads_shed: int = 0
     read_failures: List[str] = field(default_factory=list)
+    #: "ok" | "degraded" (run ended with batches still behind, e.g. a
+    #: tripped breaker) | "failed" (the run raised mid-tick). The
+    #: timeline up to that point is always preserved so the artifact is
+    #: never silently missing.
+    status: str = "ok"
+    error: Optional[str] = None
 
     def render(self) -> str:
         """The health timeline as aligned text lines."""
@@ -84,6 +90,9 @@ class ServeSimulation:
             f"{self.reads_shed} shed; final status "
             f"{self.health.get('status')!r} at epoch "
             f"{self.health.get('epoch')}")
+        if self.status != "ok":
+            lines.append(f"# run {self.status}"
+                         + (f": {self.error}" if self.error else ""))
         for record in self.quarantined:
             lines.append(f"# quarantined batch {record['index']}: "
                          + "; ".join(record["reasons"]))
@@ -91,6 +100,8 @@ class ServeSimulation:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps({
+            "status": self.status,
+            "error": self.error,
             "timeline": self.timeline,
             "health": self.health,
             "quarantined": self.quarantined,
@@ -192,6 +203,16 @@ def run_simulation(dataset: "ScholarlyDataset", *,
             _tick(tick, "recover", status)
             tick += 1
             recovery += 1
+        if service.batches_behind():
+            # The run ended still behind (e.g. the breaker stayed
+            # tripped past the recovery budget) — degraded, not lost.
+            sim.status = "degraded"
+    except Exception as exc:  # noqa: BLE001 - artifact must survive
+        # A mid-tick crash must not lose the timeline recorded so far:
+        # CI archives it either way (mirrors `repro profile`'s
+        # status-failed RunReport).
+        sim.status = "failed"
+        sim.error = f"{type(exc).__name__}: {exc}"
     finally:
         stop.set()
         for thread in threads:

@@ -107,6 +107,102 @@ class TestWaiting:
             assert time.monotonic() - start < 2.0
         assert gate.shed_total == 1
 
+    def test_spurious_wakeup_re_waits_instead_of_admitting(self):
+        """A notify without a freed slot must not admit the waiter."""
+        gate = AdmissionGate(max_inflight=1, max_waiting=1)
+        holding = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def holder():
+            with gate.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        def waiter():
+            try:
+                with gate.admit(Deadline(seconds=5.0)):
+                    outcome["admitted_while_full"] = gate.inflight > 1
+            except OverloadError:
+                outcome["admitted_while_full"] = None
+
+        hold_thread = threading.Thread(target=holder)
+        hold_thread.start()
+        assert holding.wait(timeout=5.0)
+        wait_thread = threading.Thread(target=waiter)
+        wait_thread.start()
+        time.sleep(0.05)
+        # Spurious wakeup: the gate is still full, so the waiter must
+        # re-test the predicate and go back to waiting.
+        for _ in range(3):
+            with gate._condition:
+                gate._condition.notify()
+            time.sleep(0.02)
+        assert "admitted_while_full" not in outcome
+        assert gate._waiting == 1
+        release.set()
+        hold_thread.join(timeout=5.0)
+        wait_thread.join(timeout=5.0)
+        assert outcome["admitted_while_full"] is False
+        assert gate.shed_total == 0
+
+    def test_timed_out_waiter_hands_wakeup_to_co_waiter(self):
+        """A shed waiter must not strand a co-waiter with budget left.
+
+        The short-deadline waiter can consume the release notify and
+        then shed on its expired deadline; the handoff re-notify keeps
+        the long-deadline waiter from waiting for a release that
+        already happened.
+        """
+        gate = AdmissionGate(max_inflight=1, max_waiting=2)
+        holding = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def holder():
+            with gate.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        def waiter(name, seconds):
+            try:
+                with gate.admit(Deadline(seconds=seconds)):
+                    outcome[name] = "admitted"
+            except OverloadError:
+                outcome[name] = "shed"
+
+        hold_thread = threading.Thread(target=holder)
+        hold_thread.start()
+        assert holding.wait(timeout=5.0)
+        short = threading.Thread(target=waiter, args=("short", 0.15))
+        long_ = threading.Thread(target=waiter, args=("long", 10.0))
+        short.start()
+        long_.start()
+        time.sleep(0.05)  # both inside the wait loop
+        release.set()  # release races with short's deadline expiry
+        hold_thread.join(timeout=5.0)
+        short.join(timeout=5.0)
+        long_.join(timeout=5.0)
+        # Whatever the race outcome for "short", "long" always wins a
+        # slot — it must never hang until its own 10s deadline.
+        assert outcome["long"] == "admitted"
+        assert gate._waiting == 0
+        assert gate.inflight == 0
+
+    def test_repeated_sheds_leave_waiting_count_at_zero(self):
+        """Timeout sheds must decrement the waiting count every time."""
+        gate = AdmissionGate(max_inflight=1, max_waiting=3)
+        with gate.admit():
+            for _ in range(3):
+                with pytest.raises(OverloadError):
+                    with gate.admit(Deadline(seconds=0.01)):
+                        pass
+        assert gate._waiting == 0
+        assert gate.shed_total == 3
+        # The room did not leak: a fresh waiter still fits.
+        with gate.admit(Deadline(seconds=0.5)):
+            assert gate.inflight == 1
+
     def test_waiting_room_capacity_sheds_excess(self):
         gate = AdmissionGate(max_inflight=1, max_waiting=1)
         entered = threading.Event()

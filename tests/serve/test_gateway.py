@@ -1,0 +1,228 @@
+"""ShardedGateway: cross-process parity and per-shard degradation.
+
+The acceptance suite for the sharded tier: K-shard scatter-gather
+results must be **bit-identical** (ids, scores, tie order, ranks) to
+the single-process :class:`RankingService` on the same snapshot —
+including filtered queries — and a crash/poisoned shard must degrade
+alone (last good shard snapshot serving, reported in ``health()``)
+while every other shard stays fresh.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ConfigError, NodeNotFoundError, ServeError
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.engine.live import LiveRanker
+from repro.resilience import (WORKER_CRASH_EXIT_CODE, FaultPlan,
+                              RetryPolicy)
+from repro.serve import ShardedGateway
+from repro.serve.sim import synthetic_batch
+
+pytestmark = pytest.mark.serve
+
+#: Instant shard-breaker recovery so tests never sleep.
+FAST = RetryPolicy(max_retries=1_000, base_delay=0.0, max_delay=0.0,
+                   jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def gateway_dataset():
+    config = GeneratorConfig(num_articles=180, num_venues=6,
+                             num_authors=50, start_year=2000,
+                             end_year=2010, seed=13)
+    return generate_dataset(config)
+
+
+def make_gateway(dataset, num_shards=3, **kwargs):
+    kwargs.setdefault("mode", "inline")
+    kwargs.setdefault("shard_cooldown", FAST)
+    return ShardedGateway(LiveRanker(dataset), num_shards, **kwargs)
+
+
+def feed(gateway, dataset, batches, batch_size=12, seed=0):
+    rng = random.Random(seed)
+    base_ids = sorted(dataset.articles)
+    next_id = base_ids[-1] + 1
+    _, year = dataset.year_range()
+    for _ in range(batches):
+        batch = synthetic_batch(base_ids, next_id, batch_size, year, rng)
+        next_id += batch_size
+        gateway.ingest(batch)
+
+
+class TestValidation:
+    def test_num_shards_must_be_positive(self, gateway_dataset):
+        with pytest.raises(ConfigError, match="num_shards"):
+            make_gateway(gateway_dataset, num_shards=0)
+
+    def test_mode_is_checked(self, gateway_dataset):
+        with pytest.raises(ConfigError, match="mode"):
+            make_gateway(gateway_dataset, mode="thread")
+
+
+class TestParity:
+    """Gateway merges must be bit-identical to the single index."""
+
+    def test_top_k_bit_identical_after_churn(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            feed(gateway, gateway_dataset, batches=2)
+            index = gateway.service.snapshot().index
+            for k in (1, 10, 50):
+                result = gateway.top_sync(k)
+                assert result.complete
+                # Dataclass equality compares floats exactly: ids,
+                # scores, tie order, and ranks all bit-identical.
+                assert result.entries == index.top(k)
+
+    def test_filtered_queries_bit_identical(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            feed(gateway, gateway_dataset, batches=1)
+            index = gateway.service.snapshot().index
+            venue = next(iter(gateway_dataset.venues))
+            author = next(iter(gateway_dataset.authors))
+            assert gateway.top_sync(10, venue_id=venue).entries \
+                == index.top(10, venue_id=venue)
+            assert gateway.top_sync(10, author_id=author).entries \
+                == index.top(10, author_id=author)
+            assert gateway.top_sync(
+                10, year_range=(2003, 2008)).entries \
+                == index.top(10, year_range=(2003, 2008))
+
+    def test_page_bit_identical(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            index = gateway.service.snapshot().index
+            assert gateway.page_sync(0, 10).entries == index.page(0, 10)
+            assert gateway.page_sync(25, 10).entries \
+                == index.page(25, 10)
+
+    def test_rank_of_matches_single_process(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            index = gateway.service.snapshot().index
+            for article_id in list(gateway_dataset.articles)[:25]:
+                assert gateway.rank_of(article_id) \
+                    == index.rank_of(article_id)
+
+    def test_rank_of_unknown_article_raises(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            with pytest.raises(NodeNotFoundError):
+                gateway.rank_of(10_000_000)
+
+    def test_async_scatter_gather_parity(self, gateway_dataset):
+        with make_gateway(gateway_dataset) as gateway:
+            index = gateway.service.snapshot().index
+
+            async def queries():
+                top, page = await asyncio.gather(
+                    gateway.top(10), gateway.page(5, 5))
+                return top, page
+
+            top, page = asyncio.run(queries())
+            assert top.entries == index.top(10)
+            assert page.entries == index.page(5, 5)
+
+    def test_single_shard_degenerate_case(self, gateway_dataset):
+        with make_gateway(gateway_dataset, num_shards=1) as gateway:
+            index = gateway.service.snapshot().index
+            assert gateway.top_sync(20).entries == index.top(20)
+
+
+class TestProcessMode:
+    def test_cross_process_parity_and_health(self, gateway_dataset):
+        with make_gateway(gateway_dataset, num_shards=2,
+                          mode="process",
+                          call_timeout=60.0) as gateway:
+            feed(gateway, gateway_dataset, batches=2)
+            index = gateway.service.snapshot().index
+            result = gateway.top_sync(25)
+            assert result.complete
+            assert result.entries == index.top(25)
+            health = gateway.health()
+            assert health["status"] == "fresh"
+            assert [s["status"] for s in health["shards"]] \
+                == ["fresh", "fresh"]
+
+
+class TestChaos:
+    pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+    def test_poisoned_shard_degrades_alone_and_recovers(
+            self, gateway_dataset):
+        plan = FaultPlan().poison_shard(1, epoch=1)
+        with make_gateway(gateway_dataset, num_shards=3,
+                          fault_plan=plan,
+                          auto_respawn=False) as gateway:
+            before = gateway.top_sync(10)
+            feed(gateway, gateway_dataset, batches=1)
+            health = gateway.health()
+            assert health["status"] == "degraded"
+            assert health["degraded_shards"] == [1]
+            statuses = {s["shard"]: s["status"]
+                        for s in health["shards"]}
+            assert statuses[1] == "lagging"
+            assert statuses[0] == statuses[2] == "fresh"
+            # The lagging shard still answers from its last good
+            # snapshot: queries stay complete, freshness floor drops.
+            during = gateway.top_sync(10)
+            assert during.complete
+            assert during.epoch == before.epoch
+            # repair() re-attempts past the fault's times budget.
+            gateway.repair()
+            health = gateway.health()
+            assert health["status"] == "fresh"
+            assert gateway.top_sync(10).entries \
+                == gateway.service.snapshot().index.top(10)
+
+    def test_crashed_worker_process_detected_and_respawned(
+            self, gateway_dataset):
+        plan = FaultPlan().crash_shard(0, epoch=1)
+        with make_gateway(gateway_dataset, num_shards=2,
+                          mode="process", fault_plan=plan,
+                          auto_respawn=False,
+                          call_timeout=60.0) as gateway:
+            feed(gateway, gateway_dataset, batches=1)
+            health = gateway.health()
+            assert health["status"] == "degraded"
+            assert health["degraded_shards"] == [0]
+            # The worker died with the recognizable chaos exit code.
+            assert gateway._handles[0].exit_code \
+                == WORKER_CRASH_EXIT_CODE
+            # Queries degrade per-shard: answered from the survivor.
+            result = gateway.top_sync(10)
+            assert not result.complete
+            assert result.degraded == (0,)
+            assert result.shards_answered == 1
+            gateway.repair()
+            health = gateway.health()
+            assert health["status"] == "fresh"
+            assert health["respawns_total"] == 1
+            assert gateway.top_sync(10).entries \
+                == gateway.service.snapshot().index.top(10)
+
+    def test_auto_respawn_recovers_within_the_publish(
+            self, gateway_dataset):
+        plan = FaultPlan().crash_shard(1, epoch=1)
+        with make_gateway(gateway_dataset, num_shards=2,
+                          mode="process", fault_plan=plan,
+                          auto_respawn=True,
+                          call_timeout=60.0) as gateway:
+            feed(gateway, gateway_dataset, batches=1)
+            health = gateway.health()
+            assert health["status"] == "fresh"
+            assert health["respawns_total"] == 1
+            assert gateway.top_sync(10).entries \
+                == gateway.service.snapshot().index.top(10)
+
+    def test_all_shards_down_raises_typed_error(self, gateway_dataset):
+        plan = FaultPlan()
+        plan.crash_shard(0, epoch=0, times=10)
+        plan.crash_shard(1, epoch=0, times=10)
+        with make_gateway(gateway_dataset, num_shards=2,
+                          fault_plan=plan,
+                          auto_respawn=False) as gateway:
+            with pytest.raises(ServeError, match="no shard answered"):
+                gateway.top_sync(5)
+            readiness = gateway.readiness()
+            assert readiness["ready"] is False

@@ -9,7 +9,8 @@ from dataclasses import replace
 from repro.errors import ConfigError
 from repro.core.model import ArticleRanker
 from repro.query import RankIndex
-from repro.serve import GuardrailPolicy, Snapshot, validate_candidate
+from repro.serve import (GuardrailPolicy, Snapshot, validate_candidate,
+                         validate_shard_slice)
 
 pytestmark = pytest.mark.serve
 
@@ -35,6 +36,10 @@ class TestPolicyValidation:
     def test_max_churn_range(self):
         with pytest.raises(ConfigError, match="max_churn"):
             GuardrailPolicy(max_churn=1.5)
+
+    def test_negative_mass_floor_rejected(self):
+        with pytest.raises(ConfigError, match="mass_floor"):
+            GuardrailPolicy(mass_floor=-1e-9)
 
 
 class TestChecks:
@@ -116,3 +121,61 @@ class TestChecks:
                                  max_churn=1.0)
         assert validate_candidate(policy, dataset, inverted,
                                   previous=snapshot) == []
+
+
+class TestMassDrift:
+    """The total-mass drift check: relative bound + absolute floor."""
+
+    def test_near_zero_mass_passes_via_absolute_floor(self):
+        """A tiny graph's mass wobble is numerically irrelevant: the
+        relative bound alone would veto (0 expected mass → 0 bound),
+        the absolute floor lets it through."""
+        prev = np.zeros(3)
+        new = np.full(3, 1e-8)
+        assert validate_shard_slice(
+            GuardrailPolicy(), np.arange(3), np.arange(3), new,
+            previous_scores=prev) == []
+
+    def test_large_graph_relative_drift_vetoed(self):
+        prev = np.full(1000, 1.0)
+        new = np.full(1000, 1.6)  # +60% mass, tolerance is 50%
+        violations = validate_shard_slice(
+            GuardrailPolicy(), np.arange(1000), np.arange(1000), new,
+            previous_scores=prev)
+        assert any("score mass" in v for v in violations)
+
+    def test_growth_scales_expected_mass(self):
+        """Doubling the corpus with same-mass articles is growth, not
+        drift — the expected mass scales with the size ratio."""
+        prev = np.full(5, 0.2)
+        new_ids = np.arange(10)
+        new = np.full(10, 0.2)
+        assert validate_shard_slice(
+            GuardrailPolicy(mass_tolerance=0.01), new_ids, new_ids,
+            new, previous_scores=prev) == []
+
+
+class TestShardSlice:
+    def test_clean_slice_passes(self):
+        ids = np.array([0, 2, 4])
+        assert validate_shard_slice(GuardrailPolicy(), ids, ids,
+                                    np.array([0.1, 0.2, 0.3])) == []
+
+    def test_nan_slice_vetoed_first(self):
+        ids = np.array([0, 2])
+        violations = validate_shard_slice(
+            GuardrailPolicy(), ids, ids, np.array([0.1, np.nan]))
+        assert len(violations) == 1
+        assert "non-finite" in violations[0]
+
+    def test_misaligned_slice_vetoed(self):
+        violations = validate_shard_slice(
+            GuardrailPolicy(), np.array([0, 2]), np.array([0, 2]),
+            np.array([0.1]))
+        assert any("misaligned" in v for v in violations)
+
+    def test_coverage_against_owned_ids(self):
+        violations = validate_shard_slice(
+            GuardrailPolicy(), np.array([0, 2, 4]), np.array([0, 2]),
+            np.array([0.1, 0.2]))
+        assert any("coverage" in v for v in violations)

@@ -1,0 +1,62 @@
+"""Scatter-gather merge: global order and rank renumbering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.query import RankEntry
+from repro.serve import merge_page_entries, merge_top_entries
+
+pytestmark = pytest.mark.serve
+
+
+def entry(article_id, score, rank=1):
+    return RankEntry(rank=rank, article_id=article_id, score=score,
+                     year=2000, title=f"a{article_id}")
+
+
+class TestMergeTop:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigError, match="k"):
+            merge_top_entries([[]], 0)
+
+    def test_merges_by_score_descending(self):
+        left = [entry(0, 0.9), entry(2, 0.5)]
+        right = [entry(1, 0.7), entry(3, 0.1)]
+        merged = merge_top_entries([left, right], 4)
+        assert [e.article_id for e in merged] == [0, 1, 2, 3]
+        assert [e.rank for e in merged] == [1, 2, 3, 4]
+
+    def test_ties_break_by_ascending_article_id_across_shards(self):
+        """The single-process lexsort order, reproduced by the merge."""
+        left = [entry(5, 0.5), entry(7, 0.5)]
+        right = [entry(2, 0.5), entry(6, 0.5)]
+        merged = merge_top_entries([left, right], 4)
+        assert [e.article_id for e in merged] == [2, 5, 6, 7]
+
+    def test_truncates_to_k(self):
+        left = [entry(0, 0.9), entry(2, 0.5)]
+        right = [entry(1, 0.7)]
+        assert [e.article_id
+                for e in merge_top_entries([left, right], 2)] == [0, 1]
+
+    def test_empty_shards_tolerated(self):
+        assert merge_top_entries([[], [entry(1, 0.5)], []], 3) \
+            == [entry(1, 0.5, rank=1)]
+
+
+class TestMergePage:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="offset"):
+            merge_page_entries([[]], -1, 5)
+        with pytest.raises(ConfigError, match="offset"):
+            merge_page_entries([[]], 0, 0)
+
+    def test_slice_with_global_ranks(self):
+        left = [entry(0, 0.9), entry(2, 0.5)]
+        right = [entry(1, 0.7), entry(3, 0.1)]
+        page = merge_page_entries([left, right], offset=1, limit=2)
+        assert [e.article_id for e in page] == [1, 2]
+        assert [e.rank for e in page] == [2, 3]
+
+    def test_offset_past_end_is_empty(self):
+        assert merge_page_entries([[entry(0, 0.9)]], 5, 2) == []

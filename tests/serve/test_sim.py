@@ -66,9 +66,11 @@ class TestRunSimulation:
         assert text.splitlines()[0].startswith("# tick")
         assert "final status 'fresh'" in text
         payload = json.loads(sim.to_json())
-        assert set(payload) == {"timeline", "health", "quarantined",
-                                "reads_total", "reads_shed",
-                                "read_failures"}
+        assert set(payload) == {"status", "error", "timeline", "health",
+                                "quarantined", "reads_total",
+                                "reads_shed", "read_failures"}
+        assert payload["status"] == "ok"
+        assert payload["error"] is None
         assert len(payload["timeline"]) == 2
 
 
