@@ -27,6 +27,9 @@ Commands:
                 scatter-gather gateway under publish churn (optionally
                 crash/poisoning one shard) and report sustained QPS,
                 p50/p99 latency, and merge parity.
+    ingest-sim — run the streaming-ingest chaos harness (journal,
+                dedup, backpressure, crash-resume) against a synthetic
+                feed and report the delivery-contract verdict.
 """
 
 from __future__ import annotations
@@ -487,6 +490,43 @@ def _command_serve_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest_sim(args: argparse.Namespace) -> int:
+    from repro.ingest import run_ingest_sim
+
+    dataset = _load_any(args.dataset) if args.dataset else None
+    sim = run_ingest_sim(
+        dataset, records=args.records, seed=args.seed,
+        duplicate_every=args.duplicate_every,
+        mangle_every=args.mangle_every, cite_every=args.cite_every,
+        stall_record=args.stall_record, fail_record=args.fail_record,
+        flaky_record=args.flaky_record,
+        poison_record=args.poison_record, crash_batch=args.crash_batch,
+        truncate_journal=args.truncate_journal,
+        min_batch=args.min_batch, max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        checkpoint_batches=args.checkpoint_batches)
+    print(sim.render())
+    # Written even for failed/violated runs: a missing artifact in CI
+    # must mean the command never ran, not that the contract broke.
+    if args.json:
+        Path(args.json).write_text(sim.to_json() + "\n",
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
+    if args.report:
+        sim.to_report().save(args.report)
+        print(f"wrote {args.report}")
+    if sim.status == "failed":
+        print(f"error: ingest-sim run failed: {sim.error}",
+              file=sys.stderr)
+        return 1
+    if not sim.contract_held:
+        print("error: ingest delivery contract violated "
+              "(loss, duplicate application, or ranking divergence)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     with DatasetStore(args.db) as store:
         if args.dataset is None:
@@ -718,6 +758,59 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write a RunReport for "
                                  "benchmarks/compare.py gating")
     serve_load.set_defaults(handler=_command_serve_load)
+
+    ingest_sim = commands.add_parser(
+        "ingest-sim", help="streaming-ingest chaos harness: journal, "
+                           "dedup, backpressure, crash-resume; "
+                           "verifies the delivery contract")
+    ingest_sim.add_argument("dataset", nargs="?", default=None,
+                            help="base corpus (default: a small "
+                                 "generated one)")
+    ingest_sim.add_argument("--records", type=int, default=80,
+                            help="feed records to stream")
+    ingest_sim.add_argument("--seed", type=int, default=0)
+    ingest_sim.add_argument("--duplicate-every", type=int, default=0,
+                            help="every n-th record re-delivers an "
+                                 "earlier one (duplicate storm)")
+    ingest_sim.add_argument("--mangle-every", type=int, default=0,
+                            help="every n-th record is structurally "
+                                 "broken (quarantine path)")
+    ingest_sim.add_argument("--cite-every", type=int, default=0,
+                            help="every n-th record is a late "
+                                 "citation between existing articles")
+    ingest_sim.add_argument("--stall-record", type=int, default=None,
+                            help="stall the source before this record")
+    ingest_sim.add_argument("--fail-record", type=int, default=None,
+                            help="one transient source error at this "
+                                 "record (retry must absorb it)")
+    ingest_sim.add_argument("--flaky-record", type=int, default=None,
+                            help="parser crashes once on this record "
+                                 "(retry must absorb it)")
+    ingest_sim.add_argument("--poison-record", type=int, default=None,
+                            help="parser crashes on every attempt at "
+                                 "this record (must be quarantined)")
+    ingest_sim.add_argument("--crash-batch", type=int, default=None,
+                            help="hard-kill the worker applying this "
+                                 "batch ordinal, then resume from the "
+                                 "journal")
+    ingest_sim.add_argument("--truncate-journal", action="store_true",
+                            help="tear the journal's active tail "
+                                 "before the resume")
+    ingest_sim.add_argument("--min-batch", type=int, default=8)
+    ingest_sim.add_argument("--max-batch", type=int, default=32)
+    ingest_sim.add_argument("--max-queue", type=int, default=48,
+                            help="coalescer queue bound (backpressure "
+                                 "kicks in at 75%% of this)")
+    ingest_sim.add_argument("--checkpoint-batches", type=int,
+                            default=1,
+                            help="checkpoint + cursor commit cadence, "
+                                 "in applied batches")
+    ingest_sim.add_argument("--json", type=str, default=None,
+                            help="also save the verdict as JSON")
+    ingest_sim.add_argument("--report", type=str, default=None,
+                            help="write a RunReport for "
+                                 "benchmarks/compare.py gating")
+    ingest_sim.set_defaults(handler=_command_ingest_sim)
     return parser
 
 

@@ -39,15 +39,33 @@ class ParseReport:
     records_ok: int = 0
     quarantined: int = 0
     samples: List[str] = field(default_factory=list)
+    #: Source location per kept sample (``path:line``, ``record N`` of
+    #: a stream, or ``"?"``), aligned index-for-index with ``samples``
+    #: — on a multi-GB dump "bad year" alone is not actionable, the
+    #: offending line is.
+    locations: List[str] = field(default_factory=list)
 
     def record_ok(self) -> None:
         self.records_ok += 1
 
-    def record_error(self, error: Exception) -> None:
-        """Account one malformed record (first few kept verbatim)."""
+    def record_error(self, error: Exception,
+                     location: Optional[str] = None) -> None:
+        """Account one malformed record (first few kept verbatim).
+
+        ``location`` names where the record came from (``"record 42"``
+        of a stream, ``"dump.txt:317"``); when omitted it is derived
+        from the error's own ``path``/``line`` attributes
+        (:class:`repro.errors.ParseError` carries them), falling back
+        to ``"?"``.
+        """
         self.quarantined += 1
         if len(self.samples) < MAX_SAMPLES:
+            if location is None:
+                path = getattr(error, "path", "")
+                line = getattr(error, "line", 0)
+                location = f"{path}:{line}" if path else "?"
             self.samples.append(str(error))
+            self.locations.append(location)
 
     @property
     def total(self) -> int:
@@ -58,12 +76,22 @@ class ParseReport:
         return self.quarantined == 0
 
     def summary(self) -> str:
-        """One human line, plus one line per kept sample."""
+        """One human line, plus one located line per kept sample."""
         head = (f"parsed {self.records_ok} record(s), "
                 f"quarantined {self.quarantined}")
         if not self.samples:
             return head
-        shown = "\n".join(f"  - {sample}" for sample in self.samples)
+        located = []
+        for index, sample in enumerate(self.samples):
+            where = self.locations[index] \
+                if index < len(self.locations) else "?"
+            # ParseError messages already lead with "path:line: ";
+            # repeating the location would just be noise.
+            if where != "?" and not sample.startswith(where):
+                located.append(f"  - [{where}] {sample}")
+            else:
+                located.append(f"  - {sample}")
+        shown = "\n".join(located)
         suffix = "" if self.quarantined <= len(self.samples) \
             else f"\n  ... and {self.quarantined - len(self.samples)} more"
         return f"{head}\n{shown}{suffix}"

@@ -38,7 +38,11 @@ from repro.core.twpr import (
     time_weight_edges,
     time_weighted_pagerank,
 )
-from repro.engine.updates import UpdateBatch, apply_update
+from repro.engine.updates import (
+    UpdateBatch,
+    apply_update,
+    validate_update_batch,
+)
 from repro.graph.csr import CSRGraph
 
 
@@ -142,6 +146,11 @@ class IncrementalEngine:
         CSR is built by *appending* rows to the old one in O(batch) time —
         no O(n + m) rebuild. Out-of-order ids fall back to a full rebuild.
         """
+        # Malformed batches (duplicate ids, unknown citation endpoints)
+        # are rejected with a typed ConfigError *before* any state
+        # changes, instead of surfacing as deep engine errors halfway
+        # through an apply.
+        validate_update_batch(batch, self.dataset)
         obs = self.obs
         span = obs.span("incremental.apply",
                         articles=len(batch.articles),

@@ -134,6 +134,16 @@ class LiveRanker:
         return self._result
 
     @property
+    def checkpoint_dir(self) -> Optional[Path]:
+        """Where rotations go, or ``None`` when checkpointing is off.
+
+        Callers that layer their own durability on top (the ingest
+        pipeline commits its journal cursor only after a rotation
+        lands) use this to decide whether checkpoints exist at all.
+        """
+        return self._checkpoint_dir
+
+    @property
     def batches_applied(self) -> int:
         """Update batches ingested since bootstrap (or since the batch
         count of the rotation this session resumed from)."""

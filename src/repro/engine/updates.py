@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import DatasetError
+from repro.errors import ConfigError, DatasetError
 from repro.data.schema import Article, Author, ScholarlyDataset, Venue
 
 
@@ -41,6 +41,49 @@ class UpdateBatch:
     def num_citations(self) -> int:
         return sum(len(a.references) for a in self.articles) \
             + len(self.citations)
+
+
+def validate_update_batch(batch: UpdateBatch,
+                          dataset: ScholarlyDataset) -> None:
+    """Reject structurally malformed batches with a typed error.
+
+    Checks the two mistakes a feed actually makes — the same article
+    delivered twice inside one batch, and citation pairs whose
+    endpoints exist neither in the batch nor in the dataset — and
+    raises :class:`repro.errors.ConfigError` naming every violation,
+    instead of letting the batch surface as a
+    :class:`~repro.errors.DatasetError` (or worse, an index error)
+    deep inside the engine. Dangling ``Article.references`` stay legal:
+    the schema tolerates them and graph builders drop them, exactly as
+    with parsed dumps.
+    """
+    problems: List[str] = []
+    seen: set = set()
+    duplicates: set = set()
+    for article in batch.articles:
+        if article.id in seen:
+            duplicates.add(article.id)
+        seen.add(article.id)
+    if duplicates:
+        listed = ", ".join(str(d) for d in sorted(duplicates)[:5])
+        problems.append(
+            f"{len(duplicates)} article id(s) appear more than once "
+            f"within the batch ({listed}{', ...' if len(duplicates) > 5 else ''})")
+    known = dataset.articles
+    missing: set = set()
+    for citing, cited in batch.citations:
+        for endpoint in (citing, cited):
+            if endpoint not in known and endpoint not in seen:
+                missing.add(endpoint)
+    if missing:
+        listed = ", ".join(str(m) for m in sorted(missing)[:5])
+        problems.append(
+            f"{len(missing)} citation endpoint(s) exist neither in the "
+            f"batch nor in the dataset ({listed}"
+            f"{', ...' if len(missing) > 5 else ''})")
+    if problems:
+        raise ConfigError("malformed update batch: "
+                          + "; ".join(problems))
 
 
 def apply_update(dataset: ScholarlyDataset,

@@ -100,3 +100,21 @@ class ShardUnavailableError(ServeError):
 
 class PartitionError(ReproError):
     """A graph partition is invalid (uncovered nodes, overlap, bad count)."""
+
+
+class IngestError(ReproError):
+    """The streaming ingestion pipeline could not make progress."""
+
+
+class SourceError(IngestError):
+    """A record source failed transiently (flaky fetch, timeout).
+
+    The ingest pipeline retries these under its
+    :class:`repro.resilience.RetryPolicy`; only an exhausted retry
+    budget surfaces the error to the caller. Carries the source
+    position so operators can resume or skip deliberately.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position

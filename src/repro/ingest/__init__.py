@@ -1,0 +1,64 @@
+"""Streaming ingestion: a raw record feed -> right-sized UpdateBatches.
+
+The serving layer (:mod:`repro.serve`) assumes batches arrive from
+somewhere; this package is the somewhere. It turns a continuous,
+unreliable feed of raw article/citation records into validated
+:class:`~repro.engine.updates.UpdateBatch` objects applied to a
+:class:`~repro.engine.live.LiveRanker`, with the delivery contract a
+production index needs:
+
+* **at-least-once** — every record is journaled
+  (:class:`~repro.ingest.journal.IngestJournal`, CRC-stamped JSONL
+  segments with an atomically committed offset cursor) before it is
+  processed, so a crashed worker replays what it had not finished;
+* **exactly-once application** — the authoritative corpus check plus a
+  bounded :class:`~repro.ingest.dedup.Deduplicator` make replays and
+  duplicate storms idempotent;
+* **bounded memory** — the
+  :class:`~repro.ingest.coalescer.Coalescer`'s queue is capped and its
+  typed backpressure signals (pause/shed) throttle the pull loop, with
+  batch size scaling with engine lag so backlogs drain;
+* **verified freshness under chaos** —
+  :func:`~repro.ingest.sim.run_ingest_sim` (the ``repro ingest-sim``
+  command) injects stalls, transient errors, parser crashes, poison
+  records, duplicate storms, a mid-batch worker kill, and a torn
+  journal tail, then proves zero loss, zero duplicate application, and
+  a final ranking bit-identical to the fault-free single-batch run.
+
+See ``docs/OPERATIONS.md`` ("Streaming ingestion") for the operational
+picture: journal layout, offset semantics, backpressure knobs, and
+quarantine triage.
+"""
+
+from repro.ingest.coalescer import Backpressure, Coalescer
+from repro.ingest.dedup import Deduplicator
+from repro.ingest.journal import IngestJournal, JournalRecord
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.sim import (
+    IngestSimReport,
+    fault_free_reference,
+    run_ingest_sim,
+)
+from repro.ingest.source import (
+    JsonlSource,
+    ParsedItem,
+    SyntheticSource,
+    parse_record,
+)
+
+__all__ = [
+    "Backpressure",
+    "Coalescer",
+    "Deduplicator",
+    "IngestJournal",
+    "IngestPipeline",
+    "IngestReport",
+    "IngestSimReport",
+    "JournalRecord",
+    "JsonlSource",
+    "ParsedItem",
+    "SyntheticSource",
+    "fault_free_reference",
+    "parse_record",
+    "run_ingest_sim",
+]

@@ -1,0 +1,71 @@
+"""Bounded idempotence filter for the ingest pipeline.
+
+At-least-once delivery means duplicates *will* arrive: a replayed
+journal tail after a crash, a duplicate storm from a misbehaving feed,
+the same record pulled twice across a resume. The pipeline's first line
+of defence is authoritative — an article id already in the engine's
+dataset is skipped no matter what — but that check cannot distinguish
+"same record again" from "different record, colliding id", and it
+cannot see records still queued. The :class:`Deduplicator` covers that
+window: a bounded, LRU-evicting map of recently seen keys to content
+fingerprints.
+
+Bounded is the point. The seen-set must not grow with the stream (the
+stream is infinite); eviction is safe because anything evicted has long
+since been applied — the authoritative dataset check catches its
+duplicates from then on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+from repro.errors import ConfigError
+
+#: Verdicts of :meth:`Deduplicator.check`.
+NEW = "new"
+DUPLICATE = "duplicate"
+CONFLICT = "conflict"
+
+
+class Deduplicator:
+    """LRU map of seen keys -> content fingerprints, bounded size."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"dedup capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._seen: "OrderedDict[Hashable, int]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def check(self, key: Hashable, fingerprint: int) -> str:
+        """Classify one arrival without admitting it.
+
+        ``"new"`` — never seen (or evicted long ago); ``"duplicate"``
+        — same key, same content (a re-delivery: skip silently);
+        ``"conflict"`` — same key, *different* content (two distinct
+        records claiming one identity: quarantine, first write wins).
+        A hit refreshes the key's LRU position.
+        """
+        known = self._seen.get(key)
+        if known is None:
+            return NEW
+        self._seen.move_to_end(key)
+        return DUPLICATE if known == fingerprint else CONFLICT
+
+    def admit(self, key: Hashable, fingerprint: int) -> None:
+        """Remember one admitted record, evicting the oldest if full."""
+        self._seen[key] = fingerprint
+        self._seen.move_to_end(key)
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+            self.evictions += 1
+
+    def snapshot(self) -> Tuple[int, int]:
+        """``(entries, evictions)`` for reports and metrics."""
+        return len(self._seen), self.evictions

@@ -1,0 +1,334 @@
+"""The ingest journal: an append-only, CRC-stamped record log.
+
+At-least-once delivery needs a durable record of what the pipeline has
+accepted: a worker that dies mid-batch must be able to replay exactly
+the records it had pulled but not yet committed. The journal is the
+standard write-ahead shape, specialised to JSONL so segments stay
+greppable during an incident:
+
+* **Segments** — ``segment-<seq>.jsonl`` files of at most
+  ``segment_records`` records each. The active segment is written as
+  ``segment-<seq>.open`` and sealed with an atomic ``os.replace`` when
+  full, so rotation can never leave a half-renamed file; a crash leaves
+  at most one ``.open`` tail segment.
+* **Records** — one JSON object per line:
+  ``{"o": offset, "c": crc32(payload), "r": payload}``. The CRC is
+  computed over the canonical (sorted-keys, compact) JSON encoding of
+  the payload, so a torn or bit-flipped line is detected on replay, not
+  silently applied.
+* **Cursor** — ``CURSOR.json``, rewritten atomically, holding the
+  *committed offset*: the number of records durably reflected in the
+  downstream engine's checkpoint. Replay starts there.
+
+Recovery semantics: on open, the active (``.open``) segment's tail is
+scanned and any torn suffix — a half-written last line from a crash or
+an injected truncation — is dropped and accounted in
+:attr:`IngestJournal.torn_records_dropped`. Sealed segments are never
+repaired: a bad line inside one is corruption, not a torn write, and
+replay raises :class:`repro.errors.StorageError` (tamper-evident, same
+contract as checkpoints).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import StorageError
+
+PathLike = Union[str, Path]
+
+CURSOR_FILE = "CURSOR.json"
+_SEALED_PATTERN = re.compile(r"^segment-(\d{8})\.jsonl$")
+_OPEN_PATTERN = re.compile(r"^segment-(\d{8})\.open$")
+
+
+def payload_crc(payload: Dict[str, object]) -> int:
+    """CRC32 of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled record: its global offset and the raw payload."""
+
+    offset: int
+    payload: Dict[str, object]
+
+
+def _decode_line(line: str) -> Optional[JournalRecord]:
+    """Parse and CRC-check one journal line; ``None`` when torn/bad."""
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(entry, dict):
+        return None
+    offset = entry.get("o")
+    crc = entry.get("c")
+    payload = entry.get("r")
+    if not isinstance(offset, int) or not isinstance(crc, int) \
+            or not isinstance(payload, dict):
+        return None
+    if payload_crc(payload) != crc:
+        return None
+    return JournalRecord(offset=offset, payload=payload)
+
+
+class IngestJournal:
+    """Append-only JSONL journal with CRC records and a commit cursor."""
+
+    def __init__(self, directory: PathLike,
+                 segment_records: int = 1024) -> None:
+        """Open (or create) the journal under ``directory``.
+
+        Existing segments are picked up; a torn tail on the active
+        segment is dropped (see module docstring). ``segment_records``
+        bounds records per segment — rotation keeps individual files
+        small enough to triage and lets old, fully committed segments
+        be archived independently.
+        """
+        if segment_records < 1:
+            raise StorageError(
+                f"segment_records must be >= 1, got {segment_records}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_records = segment_records
+        self.torn_records_dropped = 0
+        self._handle = None
+
+        sealed = self._sealed_segments()
+        open_segments = sorted(
+            (path for path in self.directory.iterdir()
+             if _OPEN_PATTERN.match(path.name)),
+            key=lambda p: p.name)
+        if len(open_segments) > 1:
+            raise StorageError(
+                f"journal {self.directory} has {len(open_segments)} "
+                f".open segments; at most one active segment can exist")
+
+        last_offset = -1
+        for path in sealed:
+            last = self._last_offset_sealed(path)
+            if last is not None:
+                last_offset = max(last_offset, last)
+        if open_segments:
+            active = open_segments[0]
+            if sealed and active.name <= sealed[-1].name.replace(
+                    ".jsonl", ".open"):
+                raise StorageError(
+                    f"active segment {active.name} is older than "
+                    f"sealed {sealed[-1].name}")
+            kept, dropped = self._recover_tail(active)
+            self.torn_records_dropped += dropped
+            self._active_path = active
+            self._active_count = len(kept)
+            self._active_seq = int(_OPEN_PATTERN.match(
+                active.name).group(1))
+            if kept:
+                last_offset = max(last_offset, kept[-1].offset)
+        else:
+            self._active_seq = (
+                int(_SEALED_PATTERN.match(sealed[-1].name).group(1)) + 1
+                if sealed else 0)
+            self._active_path = self.directory / \
+                f"segment-{self._active_seq:08d}.open"
+            self._active_count = 0
+        self.next_offset = last_offset + 1
+        self.cursor_extra: Dict[str, object] = {}
+        self._committed = self._load_cursor()
+
+    # ------------------------------------------------------------------
+    # write side
+
+    def append(self, payload: Dict[str, object]) -> int:
+        """Append one record; returns the offset it was assigned."""
+        offset = self.next_offset
+        entry = {"o": offset, "c": payload_crc(payload), "r": payload}
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        if self._handle is None:
+            self._handle = open(self._active_path, "a",
+                                encoding="utf-8")
+        self._handle.write(line)
+        self.next_offset = offset + 1
+        self._active_count += 1
+        if self._active_count >= self.segment_records:
+            self._rotate()
+        return offset
+
+    def flush(self, sync: bool = False) -> None:
+        """Push buffered appends to the OS (and to disk with ``sync``)."""
+        if self._handle is not None:
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+
+    def commit(self, committed: int,
+               extra: Optional[Dict[str, object]] = None) -> None:
+        """Persist the committed offset (records durably applied).
+
+        ``committed`` is exclusive: ``commit(10)`` means offsets
+        ``0..9`` are reflected in durable downstream state and replay
+        may start at 10. Written atomically (tmp + rename); never moves
+        backwards. ``extra`` rides along in the cursor file — the
+        pipeline stores the engine batch count and its incarnation
+        there so resume can tell whether the checkpoint it recovered is
+        at least as new as the cursor.
+        """
+        if committed < 0:
+            raise StorageError(
+                f"committed offset must be >= 0, got {committed}")
+        if committed < self._committed:
+            raise StorageError(
+                f"commit cursor cannot move backwards "
+                f"({self._committed} -> {committed})")
+        self.flush(sync=True)
+        payload = {"format_version": 1, "committed": committed,
+                   "extra": dict(extra) if extra else {}}
+        staging = self.directory / f".{CURSOR_FILE}.tmp"
+        staging.write_text(json.dumps(payload, indent=2),
+                           encoding="utf-8")
+        os.replace(staging, self.directory / CURSOR_FILE)
+        self._committed = committed
+        self.cursor_extra = dict(extra) if extra else {}
+
+    @property
+    def committed(self) -> int:
+        """Offset replay starts from (exclusive end of committed work)."""
+        return self._committed
+
+    def close(self) -> None:
+        """Flush and release the active segment (it stays appendable)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "IngestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def replay(self, start: Optional[int] = None
+               ) -> Iterator[JournalRecord]:
+        """Yield journaled records with ``offset >= start`` in order.
+
+        ``start`` defaults to the committed offset. CRCs are verified
+        as records stream; a bad line in a *sealed* segment raises
+        :class:`StorageError` (corruption is never skipped silently),
+        while a torn tail on the active segment ends the replay — those
+        bytes were never acknowledged.
+        """
+        self.flush()
+        if start is None:
+            start = self._committed
+        for path in self._sealed_segments():
+            for number, line in self._lines(path):
+                record = _decode_line(line)
+                if record is None:
+                    raise StorageError(
+                        f"corrupt record in sealed journal segment "
+                        f"{path.name}:{number}")
+                if record.offset >= start:
+                    yield record
+        if self._active_path.exists():
+            for number, line in self._lines(self._active_path):
+                record = _decode_line(line)
+                if record is None:
+                    break  # torn tail: unacknowledged, not corruption
+                if record.offset >= start:
+                    yield record
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _sealed_segments(self) -> List[Path]:
+        return sorted(path for path in self.directory.iterdir()
+                      if _SEALED_PATTERN.match(path.name))
+
+    @staticmethod
+    def _lines(path: Path) -> Iterator[Tuple[int, str]]:
+        with open(path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                if line.strip():
+                    yield number, line
+
+    def _last_offset_sealed(self, path: Path) -> Optional[int]:
+        last = None
+        for number, line in self._lines(path):
+            record = _decode_line(line)
+            if record is None:
+                raise StorageError(
+                    f"corrupt record in sealed journal segment "
+                    f"{path.name}:{number}")
+            last = record.offset
+        return last
+
+    def _recover_tail(self, path: Path
+                      ) -> Tuple[List[JournalRecord], int]:
+        """Drop any torn suffix of the active segment, keeping the
+        valid prefix in place; returns (kept records, dropped count)."""
+        kept: List[JournalRecord] = []
+        good_bytes = 0
+        dropped = 0
+        with open(path, "rb") as handle:
+            for raw in handle:
+                record = _decode_line(raw.decode("utf-8",
+                                                 errors="replace"))
+                if record is None or not raw.endswith(b"\n"):
+                    dropped += 1
+                    # Everything after the first torn line is past the
+                    # tear: count it and stop trusting the file.
+                    for _ in handle:
+                        dropped += 1
+                    break
+                kept.append(record)
+                good_bytes += len(raw)
+        if dropped:
+            with open(path, "rb+") as handle:
+                handle.truncate(good_bytes)
+        return kept, dropped
+
+    def _rotate(self) -> None:
+        """Seal the full active segment and start the next (atomic)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        sealed = self.directory / f"segment-{self._active_seq:08d}.jsonl"
+        os.replace(self._active_path, sealed)
+        self._active_seq += 1
+        self._active_path = self.directory / \
+            f"segment-{self._active_seq:08d}.open"
+        self._active_count = 0
+
+    def _load_cursor(self) -> int:
+        path = self.directory / CURSOR_FILE
+        if not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            committed = int(payload["committed"])
+            extra = payload.get("extra", {})
+            self.cursor_extra = extra if isinstance(extra, dict) else {}
+        except (json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            raise StorageError(
+                f"journal cursor {path} is unreadable ({exc})") from exc
+        if committed < 0:
+            raise StorageError(
+                f"journal cursor {path} holds negative offset "
+                f"{committed}")
+        return committed

@@ -23,6 +23,7 @@ from repro.resilience.faults import (
     WORKER_CRASH_EXIT_CODE,
     BatchFault,
     FaultPlan,
+    IngestFault,
     InjectedCrash,
     ShardFault,
     WorkerFault,
@@ -33,6 +34,7 @@ __all__ = [
     "BatchFault",
     "Deadline",
     "FaultPlan",
+    "IngestFault",
     "InjectedCrash",
     "RetryDelays",
     "RetryPolicy",

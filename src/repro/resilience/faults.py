@@ -103,6 +103,40 @@ class ShardFault:
     times: int = 1
 
 
+@dataclass(frozen=True)
+class IngestFault:
+    """One scripted streaming-ingestion failure.
+
+    ``kind``:
+
+    * ``"stall"`` — the record source sleeps ``seconds`` before
+      delivering record ``key`` (a slow upstream, a network hiccup);
+    * ``"error"`` — the source raises a transient
+      :class:`repro.errors.SourceError` delivering record ``key``
+      (the pipeline's retry policy must absorb it);
+    * ``"parse"`` — the parser crashes on record ``key`` (an
+      :class:`InjectedCrash`, not a :class:`~repro.errors.ParseError`:
+      a flaky native parser, not bad data — the pipeline retries up
+      to its attempt budget, then routes the record to quarantine as
+      poison);
+    * ``"crash"`` — the ingest worker hard-dies while applying batch
+      ``key`` (the exception escapes the pipeline, exactly like a
+      process death mid-batch; resume must replay from the journal).
+
+    Keyed by ``(key, attempt)`` like every other fault family: a fault
+    with ``times=t`` fires on attempts ``0..t-1`` and lets attempt
+    ``t`` through. For ``"crash"`` the attempt number is the pipeline
+    *incarnation* (how many times it has resumed), so a resumed
+    pipeline — holding the same plan — knows the crash already
+    happened.
+    """
+
+    kind: str  # "stall" | "error" | "parse" | "crash"
+    key: int
+    times: int = 1
+    seconds: float = 0.0
+
+
 @dataclass
 class FaultPlan:
     """A deterministic, picklable script of injected failures."""
@@ -113,6 +147,7 @@ class FaultPlan:
     crash_after: Optional[int] = None
     batch_faults: List[BatchFault] = field(default_factory=list)
     shard_faults: List[ShardFault] = field(default_factory=list)
+    ingest_faults: List[IngestFault] = field(default_factory=list)
     _files_written: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -188,6 +223,36 @@ class FaultPlan:
                                             int(epoch), int(times)))
         return self
 
+    def stall_source(self, record: int, seconds: float,
+                     times: int = 1) -> "FaultPlan":
+        """Stall the record source for ``seconds`` before delivering
+        record ``record`` (first ``times`` attempts)."""
+        self.ingest_faults.append(IngestFault(
+            "stall", int(record), int(times), float(seconds)))
+        return self
+
+    def fail_source(self, record: int, times: int = 1) -> "FaultPlan":
+        """Make the source raise a transient ``SourceError`` delivering
+        record ``record`` (first ``times`` attempts)."""
+        self.ingest_faults.append(IngestFault("error", int(record),
+                                              int(times)))
+        return self
+
+    def crash_parser(self, record: int, times: int = 1) -> "FaultPlan":
+        """Crash the parser on record ``record`` (first ``times``
+        attempts). With ``times`` at or beyond the pipeline's parse
+        attempt budget the record becomes poison and is quarantined."""
+        self.ingest_faults.append(IngestFault("parse", int(record),
+                                              int(times)))
+        return self
+
+    def crash_ingest(self, batch: int, times: int = 1) -> "FaultPlan":
+        """Hard-kill the ingest worker while it applies batch ``batch``
+        (first ``times`` incarnations)."""
+        self.ingest_faults.append(IngestFault("crash", int(batch),
+                                              int(times)))
+        return self
+
     # ------------------------------------------------------------------
     # query / fire side (called from engines and the checkpoint writer)
 
@@ -252,6 +317,49 @@ class FaultPlan:
             raise InjectedCrash(
                 f"injected shard crash: shard {shard} refreshing to "
                 f"epoch {epoch} (attempt {attempt})")
+
+    def ingest_fault(self, kind: str, key: int,
+                     attempt: int = 0) -> Optional[IngestFault]:
+        """The scripted ingest fault of ``kind`` for this attempt, if
+        it should still fire."""
+        for fault in self.ingest_faults:
+            if (fault.kind == kind and fault.key == key
+                    and attempt < fault.times):
+                return fault
+        return None
+
+    def fire_source_fault(self, record: int, attempt: int = 0) -> None:
+        """Execute the scripted source fault delivering ``record``:
+        sleep through a ``"stall"``, raise a transient
+        :class:`repro.errors.SourceError` on an ``"error"``."""
+        stall = self.ingest_fault("stall", record, attempt)
+        if stall is not None:
+            time.sleep(stall.seconds)
+        if self.ingest_fault("error", record, attempt) is not None:
+            from repro.errors import SourceError
+
+            raise SourceError(
+                f"injected transient source failure delivering record "
+                f"{record} (attempt {attempt})", position=record)
+
+    def fire_parse_crash(self, record: int, attempt: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if a ``"parse"`` fault is
+        scripted for this record attempt (a flaky parser, retryable)."""
+        if self.ingest_fault("parse", record, attempt) is not None:
+            raise InjectedCrash(
+                f"injected parser crash on record {record} "
+                f"(attempt {attempt})")
+
+    def fire_ingest_crash(self, batch: int, incarnation: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if a ``"crash"`` fault is
+        scripted for this batch and pipeline incarnation. The pipeline
+        does *not* catch it — the exception escapes like a real process
+        death, and the resumed pipeline (incarnation + 1) lets the
+        batch through."""
+        if self.ingest_fault("crash", batch, incarnation) is not None:
+            raise InjectedCrash(
+                f"injected ingest-worker crash applying batch {batch} "
+                f"(incarnation {incarnation})")
 
     def on_file_written(self, name: str) -> None:
         """Checkpoint-writer hook, called after each file write."""

@@ -51,6 +51,35 @@ class TestParseReport:
         report.record_ok()
         assert "\n" not in report.summary()
 
+    def test_explicit_location_kept_and_rendered(self):
+        report = ParseReport()
+        report.record_error(ValueError("bad year"),
+                            location="record 42")
+        assert report.locations == ["record 42"]
+        assert "[record 42] bad year" in report.summary()
+
+    def test_location_derived_from_parse_error(self):
+        report = ParseReport()
+        report.record_error(ParseError("bad row", "dump.txt", 317))
+        assert report.locations == ["dump.txt:317"]
+
+    def test_unknown_location_falls_back(self):
+        report = ParseReport()
+        report.record_error(ValueError("mystery"))
+        assert report.locations == ["?"]
+        # No "[?]" noise in the rendered summary.
+        assert "[?]" not in report.summary()
+        assert "mystery" in report.summary()
+
+    def test_locations_stay_aligned_with_samples(self):
+        report = ParseReport()
+        for index in range(MAX_SAMPLES + 2):
+            report.record_error(ValueError(f"bad {index}"),
+                                location=f"record {index}")
+        assert len(report.locations) == len(report.samples) \
+            == MAX_SAMPLES
+        assert report.locations[-1] == f"record {MAX_SAMPLES - 1}"
+
 
 class TestOnErrorValidation:
     @pytest.mark.parametrize("parse", ["aminer", "mag"])

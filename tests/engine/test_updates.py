@@ -2,14 +2,55 @@
 
 import pytest
 
-from repro.errors import DatasetError
+from repro.errors import ConfigError, DatasetError
 from repro.data.schema import Article
 from repro.engine.updates import (
     UpdateBatch,
     apply_update,
     fraction_update,
+    validate_update_batch,
     yearly_updates,
 )
+
+
+class TestValidateUpdateBatch:
+    def test_clean_batch_passes(self, tiny_dataset):
+        batch = UpdateBatch(
+            articles=(Article(id=10, title="new", year=2012),),
+            citations=((10, 0), (4, 10)))
+        validate_update_batch(batch, tiny_dataset)  # does not raise
+
+    def test_duplicate_ids_within_batch_rejected(self, tiny_dataset):
+        batch = UpdateBatch(articles=(
+            Article(id=10, title="a", year=2012),
+            Article(id=10, title="b", year=2013),))
+        with pytest.raises(ConfigError, match="more than once"):
+            validate_update_batch(batch, tiny_dataset)
+
+    def test_dangling_citation_endpoint_rejected(self, tiny_dataset):
+        batch = UpdateBatch(articles=(), citations=((0, 999),))
+        with pytest.raises(ConfigError, match="999"):
+            validate_update_batch(batch, tiny_dataset)
+
+    def test_all_problems_reported_together(self, tiny_dataset):
+        batch = UpdateBatch(
+            articles=(Article(id=10, title="a", year=2012),
+                      Article(id=10, title="b", year=2013)),
+            citations=((888, 999),))
+        with pytest.raises(ConfigError) as excinfo:
+            validate_update_batch(batch, tiny_dataset)
+        message = str(excinfo.value)
+        assert "more than once" in message
+        assert "endpoint" in message
+
+    def test_incremental_engine_guards_malformed_batch(self,
+                                                       tiny_dataset):
+        from repro.engine.incremental import IncrementalEngine
+
+        engine = IncrementalEngine(tiny_dataset)
+        batch = UpdateBatch(articles=(), citations=((0, 999),))
+        with pytest.raises(ConfigError):
+            engine.apply(batch)
 
 
 class TestApplyUpdate:

@@ -1,0 +1,1 @@
+"""Streaming-ingestion suite (journal, dedup, backpressure, chaos)."""

@@ -1,0 +1,127 @@
+"""IngestJournal: CRC records, rotation, cursor, torn-tail recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.ingest import IngestJournal
+from repro.ingest.journal import payload_crc
+
+pytestmark = pytest.mark.ingest
+
+
+def _payloads(n):
+    return [{"kind": "article", "id": i, "year": 2020, "refs": []}
+            for i in range(n)]
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(5):
+                journal.append(payload)
+            records = list(journal.replay(0))
+        assert [r.offset for r in records] == [0, 1, 2, 3, 4]
+        assert records[3].payload["id"] == 3
+
+    def test_offsets_survive_reopen(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(3):
+                journal.append(payload)
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.next_offset == 3
+            assert journal.append({"kind": "cite", "citing": 1,
+                                   "cited": 0}) == 3
+
+    def test_segment_rotation_is_atomic_rename(self, tmp_path):
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            for payload in _payloads(5):
+                journal.append(payload)
+            journal.flush()
+            sealed = sorted(p.name for p
+                            in (tmp_path / "j").glob("*.jsonl"))
+            active = list((tmp_path / "j").glob("*.open"))
+            assert sealed == ["segment-00000000.jsonl",
+                              "segment-00000001.jsonl"]
+            assert len(active) == 1
+            assert [r.offset for r in journal.replay(0)] == list(range(5))
+
+    def test_replay_starts_at_committed_by_default(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(6):
+                journal.append(payload)
+            journal.commit(4)
+            assert [r.offset for r in journal.replay()] == [4, 5]
+
+
+class TestCursor:
+    def test_commit_persists_and_reloads(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(4):
+                journal.append(payload)
+            journal.commit(3, extra={"batches_applied": 2})
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.committed == 3
+            assert journal.cursor_extra["batches_applied"] == 2
+
+    def test_cursor_never_moves_backwards(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            journal.append(_payloads(1)[0])
+            journal.commit(1)
+            with pytest.raises(StorageError):
+                journal.commit(0)
+
+    def test_corrupt_cursor_is_fatal(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            journal.append(_payloads(1)[0])
+            journal.commit(1)
+        (tmp_path / "j" / "CURSOR.json").write_text("{broken",
+                                                    encoding="utf-8")
+        with pytest.raises(StorageError):
+            IngestJournal(tmp_path / "j")
+
+
+class TestRecovery:
+    def test_torn_tail_dropped_and_truncated(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(4):
+                journal.append(payload)
+        active = next((tmp_path / "j").glob("*.open"))
+        raw = active.read_bytes()
+        active.write_bytes(raw[:-7])  # torn mid-line write
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.torn_records_dropped == 1
+            assert journal.next_offset == 3  # offset 3 re-deliverable
+            assert [r.offset for r in journal.replay(0)] == [0, 1, 2]
+
+    def test_bitflip_in_tail_detected_by_crc(self, tmp_path):
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(3):
+                journal.append(payload)
+        active = next((tmp_path / "j").glob("*.open"))
+        lines = active.read_text(encoding="utf-8").splitlines()
+        entry = json.loads(lines[-1])
+        entry["r"]["id"] = 999  # payload flipped, CRC stale
+        lines[-1] = json.dumps(entry, separators=(",", ":"))
+        active.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.torn_records_dropped == 1
+            assert journal.next_offset == 2
+
+    def test_sealed_segment_corruption_is_fatal(self, tmp_path):
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            for payload in _payloads(4):
+                journal.append(payload)
+        sealed = tmp_path / "j" / "segment-00000000.jsonl"
+        sealed.write_text(sealed.read_text(encoding="utf-8")
+                          .replace('"id":0', '"id":9'),
+                          encoding="utf-8")
+        with pytest.raises(StorageError):
+            IngestJournal(tmp_path / "j")
+
+    def test_crc_is_canonical(self):
+        assert payload_crc({"a": 1, "b": 2}) == \
+            payload_crc({"b": 2, "a": 1})
