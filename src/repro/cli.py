@@ -30,6 +30,14 @@ Commands:
     ingest-sim — run the streaming-ingest chaos harness (journal,
                 dedup, backpressure, crash-resume) against a synthetic
                 feed and report the delivery-contract verdict.
+    watch     — live health/SLO/freshness table from a small inline
+                gateway sim, or offline triage of an incident bundle
+                (``--bundle``).
+
+``profile`` and ``trace`` also accept ``--bundle PATH`` to render the
+metrics / span tree frozen inside an incident bundle instead of running
+anything; ``metrics --serve PORT`` exposes the registry over HTTP in
+Prometheus text format.
 """
 
 from __future__ import annotations
@@ -263,9 +271,89 @@ def _profile_parallel(args: argparse.Namespace, dataset) -> int:
     return 0
 
 
+def _load_bundle(path: str):
+    from repro.obs import IncidentBundle
+
+    try:
+        return IncidentBundle.load(path)
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"cannot load incident bundle {path}: {exc}") from exc
+
+
+def _statuses_from_dicts(payloads):
+    """Rebuild ``SLOStatus`` objects from their bundle ``as_dict`` form."""
+    from repro.obs import SLOStatus
+
+    statuses = []
+    for payload in payloads:
+        statuses.append(SLOStatus(
+            name=str(payload.get("name", "?")),
+            kind=str(payload.get("kind", "?")),
+            objective=float(payload.get("objective", 0.0)),
+            breaching=bool(payload.get("breaching", False)),
+            burn_rates={float(window): float(rate) for window, rate
+                        in (payload.get("burn_rates") or {}).items()},
+            events=int(payload.get("events", 0)),
+            value=float(payload.get("value", 0.0)),
+            detail=str(payload.get("detail", ""))))
+    return statuses
+
+
+def _freshness_line(snapshot) -> str:
+    """One-line arrival→served summary from a registry snapshot."""
+    from repro.obs.metrics import FRESHNESS_METRIC
+
+    instrument = snapshot.get(FRESHNESS_METRIC)
+    if not instrument:
+        return ""
+    parts = []
+    for entry in instrument.get("values", []):
+        stage = entry.get("labels", {}).get("stage", "?")
+        count = entry.get("count", 0)
+        mean = entry.get("sum", 0.0) / count if count else 0.0
+        parts.append(f"{stage}: n={count} mean={mean * 1e3:.2f}ms")
+    return "freshness: " + "  ".join(sorted(parts)) if parts else ""
+
+
+def _render_bundle_profile(path: str) -> int:
+    from repro.obs import render_slo_table
+
+    bundle = _load_bundle(path)
+    print(bundle.render())
+    if bundle.slo:
+        print()
+        print(render_slo_table(_statuses_from_dicts(bundle.slo)))
+    if bundle.metrics:
+        print(f"\n# metrics ({len(bundle.metrics)} instruments)")
+        for name in sorted(bundle.metrics):
+            snap = bundle.metrics[name]
+            kind = snap.get("kind")
+            if kind == "histogram":
+                total = sum(v.get("count", 0)
+                            for v in snap.get("values", []))
+                total_sum = sum(v.get("sum", 0.0)
+                                for v in snap.get("values", []))
+                mean = total_sum / total if total else 0.0
+                print(f"{name}: histogram count={total} "
+                      f"mean={mean:.6g}")
+            else:
+                total = sum(v.get("value", 0.0)
+                            for v in snap.get("values", []))
+                print(f"{name}: {kind} {total:g}")
+        line = _freshness_line(bundle.metrics)
+        if line:
+            print(line)
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, SolverTelemetry, StageTimings
 
+    if args.bundle:
+        return _render_bundle_profile(args.bundle)
+    if not args.dataset:
+        raise ReproError("profile needs a dataset (or --bundle PATH)")
     dataset = _load_any(args.dataset)
     if args.engine == "parallel":
         return _profile_parallel(args, dataset)
@@ -324,6 +412,13 @@ def _command_profile(args: argparse.Namespace) -> int:
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.obs import Observability, render_trace
 
+    if args.bundle:
+        bundle = _load_bundle(args.bundle)
+        print(render_trace(
+            bundle.spans, title=f"incident: {bundle.trigger}"))
+        return 0
+    if not args.dataset:
+        raise ReproError("trace needs a dataset (or --bundle PATH)")
     dataset = _load_any(args.dataset)
     with Observability(f"trace-{dataset.name}") as obs:
         if args.engine == "model":
@@ -365,6 +460,13 @@ def _command_metrics(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text, end="")
+    if args.serve is not None:
+        from repro.obs import MetricsServer
+
+        server = MetricsServer(obs.metrics, port=args.serve)
+        print(f"serving {server.url} (Ctrl-C to stop)",
+              file=sys.stderr)
+        server.serve_forever()
     return 0
 
 
@@ -474,7 +576,8 @@ def _command_serve_load(args: argparse.Namespace) -> int:
         batches=args.batches, batch_size=args.batch_size,
         readers=args.readers, queries=args.queries, top=args.top,
         crash_shard=args.crash_shard, poison_shard=args.poison_shard,
-        fault_epoch=args.fault_epoch, seed=args.seed)
+        fault_epoch=args.fault_epoch, seed=args.seed,
+        bundle_dir=Path(args.bundle_dir) if args.bundle_dir else None)
     print(report.render())
     if args.json:
         Path(args.json).write_text(report.to_json() + "\n",
@@ -504,7 +607,8 @@ def _command_ingest_sim(args: argparse.Namespace) -> int:
         truncate_journal=args.truncate_journal,
         min_batch=args.min_batch, max_batch=args.max_batch,
         max_queue=args.max_queue,
-        checkpoint_batches=args.checkpoint_batches)
+        checkpoint_batches=args.checkpoint_batches,
+        bundle_dir=Path(args.bundle_dir) if args.bundle_dir else None)
     print(sim.render())
     # Written even for failed/violated runs: a missing artifact in CI
     # must mean the command never ran, not that the contract broke.
@@ -524,6 +628,67 @@ def _command_ingest_sim(args: argparse.Namespace) -> int:
               "(loss, duplicate application, or ranking divergence)",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.obs import (FlightRecorder, Observability, SLOMonitor,
+                           render_slo_table)
+
+    if args.bundle:
+        # Offline triage: everything comes from the frozen bundle.
+        bundle = _load_bundle(args.bundle)
+        print(bundle.render())
+        if bundle.slo:
+            print()
+            print(render_slo_table(_statuses_from_dicts(bundle.slo)))
+        line = _freshness_line(bundle.metrics)
+        if line:
+            print(line)
+        return 0
+
+    if not args.dataset:
+        raise ReproError("watch needs a dataset (or --bundle PATH)")
+
+    import random
+    from dataclasses import replace as dc_replace
+
+    from repro.engine.live import LiveRanker
+    from repro.engine.updates import BatchProvenance
+    from repro.serve import ShardedGateway
+
+    dataset = _load_any(args.dataset)
+    recorder = FlightRecorder(bundle_dir=args.bundle_dir)
+    obs = Observability(f"watch-{dataset.name}", recorder=recorder)
+    live = LiveRanker(dataset, obs=obs)
+    rng = random.Random(args.seed)
+    iterations = 1 if args.once else args.iterations
+    with ShardedGateway(live, args.shards, mode="inline",
+                        obs=obs) as gateway:
+        monitor = SLOMonitor(obs.metrics, recorder=recorder)
+        for tick in range(iterations):
+            batch = _synthetic_batch(live.dataset, args.batch_size, rng)
+            now = time.time()
+            batch = dc_replace(batch, provenance=BatchProvenance(
+                arrivals=(now,) * batch.num_articles))
+            gateway.ingest(batch)
+            for _ in range(args.queries):
+                gateway.top_sync(args.top)
+            health = gateway.health()
+            recorder.record_health(health)
+            statuses = monitor.tick()
+            print(f"# watch tick {tick + 1}/{iterations}: "
+                  f"status={health['status']} "
+                  f"board_epoch={health['board_epoch']} "
+                  f"degraded={list(health['degraded_shards'])}")
+            print(render_slo_table(statuses))
+            line = _freshness_line(obs.metrics.snapshot())
+            if line:
+                print(line)
+            if tick + 1 < iterations and args.interval > 0:
+                time.sleep(args.interval)
+    for path in recorder.saved_paths:
+        print(f"wrote {path}")
     return 0
 
 
@@ -617,7 +782,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile = commands.add_parser(
         "profile", help="rank with telemetry on; print the stage and "
                         "iteration breakdown")
-    profile.add_argument("dataset")
+    profile.add_argument("dataset", nargs="?", default=None)
+    profile.add_argument("--bundle", type=str, default=None,
+                         help="render the metrics frozen in an incident "
+                              "bundle instead of running a ranking")
     profile.add_argument("--method", default="auto",
                          choices=["auto", "power", "gauss_seidel",
                                   "levels"],
@@ -643,7 +811,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser(
         "trace", help="run a ranking under span tracing and print the "
                       "span tree (critical path starred)")
-    trace.add_argument("dataset")
+    trace.add_argument("dataset", nargs="?", default=None)
+    trace.add_argument("--bundle", type=str, default=None,
+                       help="render the span tree frozen in an incident "
+                            "bundle instead of running a ranking")
     trace.add_argument("--engine", default="model",
                        choices=["model", "parallel"],
                        help="what to trace: the full ranking model or "
@@ -674,8 +845,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Prometheus text exposition or JSON")
     metrics.add_argument("--output", type=str, default=None,
                          help="write to this path instead of stdout")
+    metrics.add_argument("--serve", type=int, default=None,
+                         metavar="PORT",
+                         help="after the run, serve the registry over "
+                              "HTTP in Prometheus text format "
+                              "(0 = ephemeral port)")
     _add_ranker_arguments(metrics)
     metrics.set_defaults(handler=_command_metrics)
+
+    watch = commands.add_parser(
+        "watch", help="live health/SLO/freshness table from a small "
+                      "inline gateway sim, or offline triage of an "
+                      "incident bundle")
+    watch.add_argument("dataset", nargs="?", default=None,
+                       help="base corpus for the live sim")
+    watch.add_argument("--bundle", type=str, default=None,
+                       help="render a saved incident bundle instead of "
+                            "running anything")
+    watch.add_argument("--once", action="store_true",
+                       help="exactly one tick (CI smoke)")
+    watch.add_argument("--iterations", type=int, default=5,
+                       help="ticks to run (ignored with --once)")
+    watch.add_argument("--interval", type=float, default=0.0,
+                       help="seconds to sleep between ticks")
+    watch.add_argument("--shards", type=int, default=2)
+    watch.add_argument("--batch-size", type=int, default=12,
+                       help="synthetic arrival batch size per tick")
+    watch.add_argument("--queries", type=int, default=10,
+                       help="reads issued per tick")
+    watch.add_argument("--top", type=int, default=10)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--bundle-dir", type=str, default=None,
+                       help="auto-save incident bundles here")
+    watch.set_defaults(handler=_command_watch)
 
     store = commands.add_parser(
         "store", help="persist datasets in a SQLite store")
@@ -752,6 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_load.add_argument("--fault-epoch", type=int, default=1,
                             help="board epoch the shard fault fires at")
     serve_load.add_argument("--seed", type=int, default=0)
+    serve_load.add_argument("--bundle-dir", type=str, default=None,
+                            help="write incident bundles (SLO breach "
+                                 "during an injected fault) here")
     serve_load.add_argument("--json", type=str, default=None,
                             help="also save the full report as JSON")
     serve_load.add_argument("--report", type=str, default=None,
@@ -805,6 +1010,9 @@ def build_parser() -> argparse.ArgumentParser:
                             default=1,
                             help="checkpoint + cursor commit cadence, "
                                  "in applied batches")
+    ingest_sim.add_argument("--bundle-dir", type=str, default=None,
+                            help="write incident bundles (worker "
+                                 "crash capture) here")
     ingest_sim.add_argument("--json", type=str, default=None,
                             help="also save the verdict as JSON")
     ingest_sim.add_argument("--report", type=str, default=None,

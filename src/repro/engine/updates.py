@@ -9,11 +9,39 @@ stream of batches — the workload of experiments E6/E7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError, DatasetError
 from repro.data.schema import Article, Author, ScholarlyDataset, Venue
+
+
+@dataclass(frozen=True)
+class BatchProvenance:
+    """Where a batch came from and when its records arrived.
+
+    Stamped by the ingest coalescer when it cuts a batch, so every
+    layer downstream — engine apply, snapshot publish, shard refresh —
+    can tie its work back to the journal offsets it covers and measure
+    wall-clock arrival→served freshness without threading extra
+    side-channels. Purely observational: nothing in the math reads it.
+
+    * ``first_offset`` / ``last_offset`` — the contiguous journal
+      offset range the batch covers (``-1`` when unknown);
+    * ``arrivals`` — per-record wall-clock arrival stamps
+      (``time.time()`` at pull), in cut order;
+    * ``trace_id`` — the trace the batch travels under (empty when the
+      pipeline runs without observability).
+    """
+
+    first_offset: int = -1
+    last_offset: int = -1
+    arrivals: Tuple[float, ...] = ()
+    trace_id: str = ""
+
+    @property
+    def oldest_arrival(self) -> float:
+        return min(self.arrivals) if self.arrivals else 0.0
 
 
 @dataclass(frozen=True)
@@ -26,12 +54,19 @@ class UpdateBatch:
       plus any venues/authors they introduce;
     * ``citations`` — ``(citing, cited)`` pairs added between *existing*
       articles (late reference resolution, errata, lazy indexing).
+
+    ``provenance`` optionally records where the batch came from (see
+    :class:`BatchProvenance`); it never affects how the batch applies.
     """
 
     articles: Tuple[Article, ...]
     venues: Tuple[Venue, ...] = ()
     authors: Tuple[Author, ...] = ()
     citations: Tuple[Tuple[int, int], ...] = ()
+    #: excluded from equality: two batches with the same content are
+    #: the same batch no matter which journal window delivered them.
+    provenance: Optional[BatchProvenance] = field(default=None,
+                                                 compare=False)
 
     @property
     def num_articles(self) -> int:

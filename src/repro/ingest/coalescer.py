@@ -29,7 +29,7 @@ from collections import deque
 
 from repro.errors import ConfigError, IngestError
 from repro.data.schema import Article
-from repro.engine.updates import UpdateBatch
+from repro.engine.updates import BatchProvenance, UpdateBatch
 from repro.ingest.source import ParsedItem
 
 
@@ -61,7 +61,7 @@ class Coalescer:
         self.max_batch = max_batch
         self.high_watermark = high_watermark
         self.peak = 0
-        self._items: Deque[Tuple[ParsedItem, float]] = deque()
+        self._items: Deque[Tuple[ParsedItem, float, float]] = deque()
         # Admission-time lookups: articles still queued (id -> item) and
         # citation pairs still queued.
         self._queued_articles: Dict[int, ParsedItem] = {}
@@ -116,18 +116,21 @@ class Coalescer:
     # ------------------------------------------------------------------
     # mutation
 
-    def offer(self, item: ParsedItem, arrived_at: float = 0.0) -> None:
+    def offer(self, item: ParsedItem, arrived_at: float = 0.0,
+              arrived_wall: float = 0.0) -> None:
         """Enqueue one admitted item (pipeline has already deduped it).
 
-        ``arrived_at`` is the pull-time wall clock, carried through to
-        the cut so the pipeline can measure arrival-to-visible
-        freshness.
+        ``arrived_at`` is the pull-time *record clock* (deterministic,
+        used for arrival-to-visible freshness in records);
+        ``arrived_wall`` is the pull-time wall clock, stamped onto the
+        cut batch's :class:`~repro.engine.updates.BatchProvenance` so
+        downstream layers can measure arrival-to-served seconds.
         """
         if len(self._items) >= self.max_queue:
             raise IngestError(
                 f"coalescer queue is full ({self.max_queue} items); "
                 f"cut a batch before offering more")
-        self._items.append((item, arrived_at))
+        self._items.append((item, arrived_at, arrived_wall))
         self.peak = max(self.peak, len(self._items))
         if item.kind == "article":
             self._queued_articles[item.article.id] = item
@@ -143,6 +146,12 @@ class Coalescer:
         (the commit cursor may advance past it once the batch is
         durably applied). Cutting a *prefix* is what keeps commit
         coverage contiguous — items never jump the queue.
+
+        The batch is stamped with a
+        :class:`~repro.engine.updates.BatchProvenance` covering the
+        journal offset range it drains and the per-record wall-clock
+        arrival stamps, so every downstream layer can tie its work back
+        to the feed without extra side-channels.
         """
         if not self._items:
             raise IngestError("cannot cut a batch from an empty queue")
@@ -152,10 +161,13 @@ class Coalescer:
         articles: List[Article] = []
         citations: List[Tuple[int, int]] = []
         arrivals: List[float] = []
+        walls: List[float] = []
+        first_offset = self._items[0][0].offset
         last_offset = -1
         for _ in range(size):
-            item, arrived_at = self._items.popleft()
+            item, arrived_at, arrived_wall = self._items.popleft()
             arrivals.append(arrived_at)
+            walls.append(arrived_wall)
             last_offset = item.offset
             if item.kind == "article":
                 articles.append(item.article)
@@ -163,6 +175,10 @@ class Coalescer:
             else:
                 citations.append(item.citation)
                 self._queued_pairs.discard(item.citation)
+        provenance = BatchProvenance(first_offset=first_offset,
+                                     last_offset=last_offset,
+                                     arrivals=tuple(walls))
         return (UpdateBatch(articles=tuple(articles),
-                            citations=tuple(citations)),
+                            citations=tuple(citations),
+                            provenance=provenance),
                 last_offset, arrivals)

@@ -39,9 +39,9 @@ is idempotent — and the cursor holds until coverage catches back up.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
 
 from repro.errors import IngestError, ParseError, SourceError
 from repro.data.quarantine import ParseReport
@@ -132,7 +132,9 @@ class IngestPipeline:
                  parse_attempts: int = 2, checkpoint_batches: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
                  incarnation: int = 0,
-                 obs: Optional["Observability"] = None) -> None:
+                 obs: Optional["Observability"] = None,
+                 sink=None,
+                 wall_clock: Callable[[], float] = time.time) -> None:
         """Wire the stages together.
 
         ``checkpoint_batches`` sets the durability cadence: a rotation
@@ -143,6 +145,16 @@ class IngestPipeline:
         slow). ``incarnation`` counts resumes; ``"crash"`` ingest
         faults are keyed by it so a resumed pipeline holding the same
         plan does not crash again.
+
+        ``sink`` optionally routes cut batches through a serving tier —
+        any object with ``ingest(batch) -> IngestReport`` wrapping the
+        *same* ``live`` ranker (a
+        :class:`~repro.serve.service.RankingService` or
+        :class:`~repro.serve.gateway.ShardedGateway`). Admission still
+        checks ``live.dataset``, which the sink mutates through the
+        shared ranker, so dedup stays authoritative. ``wall_clock`` is
+        the arrival/served stamp source (injectable for deterministic
+        freshness tests).
         """
         if parse_attempts < 1:
             raise IngestError(
@@ -164,6 +176,8 @@ class IngestPipeline:
         self.fault_plan = fault_plan
         self.incarnation = incarnation
         self.obs = obs
+        self.sink = sink
+        self.wall_clock = wall_clock
         self.report = IngestReport(
             torn_records_dropped=journal.torn_records_dropped)
         self._handled_through = 0  # offsets < this are fully handled
@@ -386,7 +400,8 @@ class IngestPipeline:
                 f"content"), item.offset)
             return
         self.dedup.admit(("a", article.id), item.fingerprint)
-        self.coalescer.offer(item, arrived_at=self._arrival_stamp())
+        self.coalescer.offer(item, arrived_at=self._arrival_stamp(),
+                             arrived_wall=self.wall_clock())
 
     def _admit_citation(self, item: ParsedItem) -> None:
         citing, cited = item.citation
@@ -420,7 +435,8 @@ class IngestPipeline:
             self._skip_duplicate("window")
             return
         self.dedup.admit(("c", citing, cited), item.fingerprint)
-        self.coalescer.offer(item, arrived_at=self._arrival_stamp())
+        self.coalescer.offer(item, arrived_at=self._arrival_stamp(),
+                             arrived_wall=self.wall_clock())
 
     def _arrival_stamp(self) -> float:
         """Arrival index in records — the deterministic freshness clock."""
@@ -447,18 +463,30 @@ class IngestPipeline:
         from repro.obs.handle import maybe_span
 
         batch, last_offset, arrivals = self.coalescer.cut()
+        if self.obs is not None and batch.provenance is not None:
+            # Stamp the trace id so downstream layers (snapshot
+            # publish, shard refresh) can tie their spans back to this
+            # ingest run without a side-channel.
+            batch = replace(batch, provenance=replace(
+                batch.provenance, trace_id=self.obs.tracer.trace_id))
         if self.fault_plan is not None:
             # Fires *after* the cut, *before* the apply: the classic
             # mid-batch death — items are out of the queue, not yet in
             # the engine, and only the journal can bring them back.
             self.fault_plan.fire_ingest_crash(
                 self.live.batches_applied, self.incarnation)
+        outcome = None
         with maybe_span(self.obs, "ingest.batch",
                         articles=batch.num_articles,
                         citations=len(batch.citations),
                         last_offset=last_offset):
-            validate_update_batch(batch, self.live.dataset)
-            self.live.apply(batch)
+            if self.sink is not None:
+                # The serving tier validates, applies (to the shared
+                # ranker) and publishes; its guardrails own rejection.
+                outcome = self.sink.ingest(batch)
+            else:
+                validate_update_batch(batch, self.live.dataset)
+                self.live.apply(batch)
         self.report.batches_applied += 1
         self.report.articles_applied += batch.num_articles
         self.report.citations_applied += len(batch.citations)
@@ -480,10 +508,42 @@ class IngestPipeline:
                 buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
             for arrived_at in arrivals:
                 hist.observe(now - arrived_at)
+            self._observe_freshness(batch, outcome)
         self._batches_since_checkpoint += 1
         if self._durable and (self._batches_since_checkpoint
                               >= self.checkpoint_batches):
             self._commit()
+
+    def _observe_freshness(self, batch, outcome) -> None:
+        """Wall-clock arrival→visible seconds, staged by how far the
+        batch actually travelled.
+
+        ``stage="applied"`` for the sink-less path (visible to direct
+        readers of the ranker); ``stage="served"`` when a serving sink
+        *published* the batch. A deferred or quarantined sink outcome
+        records nothing — those records are not visible yet, and the
+        publish-side histogram picks them up when they are.
+        """
+        from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
+                                       FRESHNESS_METRIC)
+
+        provenance = batch.provenance
+        if provenance is None or not provenance.arrivals:
+            return
+        if self.sink is None:
+            stage = "applied"
+        elif getattr(outcome, "status", "") == "published":
+            stage = "served"
+        else:
+            return
+        freshness = self.obs.metrics.histogram(
+            FRESHNESS_METRIC, FRESHNESS_HELP,
+            buckets=FRESHNESS_BUCKETS, labels=("stage",))
+        now_wall = self.wall_clock()
+        for arrived_wall in provenance.arrivals:
+            if arrived_wall > 0.0:
+                freshness.observe(max(0.0, now_wall - arrived_wall),
+                                  stage=stage)
 
     def _commit(self, force: bool = False) -> None:
         """Checkpoint the ranker, then advance the journal cursor.

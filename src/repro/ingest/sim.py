@@ -47,6 +47,8 @@ from repro.ingest.coalescer import Coalescer
 from repro.ingest.journal import IngestJournal
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.source import SyntheticSource, parse_record
+from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
+                               FRESHNESS_METRIC)
 from repro.resilience.faults import FaultPlan, InjectedCrash
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -204,7 +206,8 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
                    max_queue: int = 48, checkpoint_batches: int = 1,
                    parse_attempts: int = 2,
                    workdir: Optional[Path] = None,
-                   obs: Optional["Observability"] = None
+                   obs: Optional["Observability"] = None,
+                   bundle_dir: Optional[Path] = None
                    ) -> IngestSimReport:
     """Run the chaos feed and grade it against the fault-free run.
 
@@ -216,6 +219,12 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
     with ``truncate_journal`` the journal's active tail additionally
     loses its last line first (a torn write the recovery scan must
     absorb).
+
+    When no ``obs`` handle is passed the sim builds its own with a
+    :class:`~repro.obs.recorder.FlightRecorder` attached, so a worker
+    crash freezes an incident bundle (written under ``bundle_dir``
+    when given) and the report carries arrival→applied freshness
+    numbers from the shared freshness histogram.
     """
     if dataset is None:
         from repro.data.generator import GeneratorConfig, \
@@ -248,6 +257,14 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
     if crash_batch is not None:
         plan.crash_ingest(crash_batch)
 
+    if obs is None:
+        from repro.obs import FlightRecorder, Observability
+
+        obs = Observability(
+            "ingest-sim",
+            recorder=FlightRecorder(bundle_dir=bundle_dir))
+    recorder = getattr(obs, "recorder", None)
+
     sim = IngestSimReport()
     try:
         live = LiveRanker(dataset, checkpoint_dir=checkpoint_dir)
@@ -265,6 +282,8 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
             final = pipeline
         except InjectedCrash:
             sim.crashed = True
+            if recorder is not None:
+                recorder.capture("ingest.crash")
             pipeline.report.peak_queue = pipeline.coalescer.peak
             pipeline.report.committed_offset = journal.committed
             sim.pipeline = pipeline.report
@@ -346,6 +365,16 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
                 sum(r.freshness_sum_records for r in runs)
                 / max(1, sum(r.freshness_samples for r in runs)), 3),
         }
+        fresh = obs.metrics.histogram(
+            FRESHNESS_METRIC, FRESHNESS_HELP,
+            buckets=FRESHNESS_BUCKETS, labels=("stage",))
+        served_n = fresh.count(stage="applied")
+        sim.metrics["freshness_served_count"] = served_n
+        sim.metrics["freshness_served_mean_ms"] = round(
+            fresh.sum(stage="applied") / served_n * 1000.0, 3) \
+            if served_n else 0.0
+        sim.metrics["incident_bundles"] = \
+            len(recorder.captures) if recorder is not None else 0
     except Exception as exc:  # noqa: BLE001 - the report must survive
         sim.status = "failed"
         sim.error = f"{type(exc).__name__}: {exc}"

@@ -22,6 +22,12 @@ observability on or off.
   sink with size-based rotation.
 * :mod:`repro.obs.handle` — :class:`Observability`, the single handle
   threaded where ``SolverTelemetry`` already goes.
+* :mod:`repro.obs.slo` — declarative :class:`SLOSpec`\\ s evaluated by
+  an :class:`SLOMonitor` with multi-window burn-rate alerting.
+* :mod:`repro.obs.recorder` — :class:`FlightRecorder` ring buffers
+  frozen into :class:`IncidentBundle`\\ s on breach/trip.
+* :mod:`repro.obs.expose` — :class:`MetricsServer`, Prometheus text
+  exposition over stdlib HTTP (``repro metrics --serve``).
 * :mod:`repro.obs.report` — :class:`RunReport`: one run serialized to
   JSON (format v2) with host/python/git/time provenance.
 
@@ -31,6 +37,7 @@ serialized schemas.
 
 from repro.obs.convergence import ConvergencePoint, ConvergenceStream
 from repro.obs.events import EventLog
+from repro.obs.expose import MetricsServer
 from repro.obs.handle import Observability, maybe_span, resolve_telemetry
 from repro.obs.metrics import (
     Counter,
@@ -38,7 +45,15 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.recorder import FlightRecorder, IncidentBundle
 from repro.obs.report import REPORT_FORMAT_VERSION, RunReport, run_metadata
+from repro.obs.slo import (
+    SLOMonitor,
+    SLOSpec,
+    SLOStatus,
+    default_slos,
+    render_slo_table,
+)
 from repro.obs.telemetry import (
     BatchRecord,
     RecoveryRecord,
@@ -61,13 +76,19 @@ __all__ = [
     "ConvergenceStream",
     "Counter",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "IncidentBundle",
     "MetricsRegistry",
+    "MetricsServer",
     "Observability",
     "REPORT_FORMAT_VERSION",
     "RecoveryRecord",
     "RunReport",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
     "SolverTelemetry",
     "Span",
     "SpanEvent",
@@ -77,7 +98,9 @@ __all__ = [
     "Timer",
     "Tracer",
     "critical_path",
+    "default_slos",
     "maybe_span",
+    "render_slo_table",
     "render_trace",
     "resolve_telemetry",
     "run_metadata",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -40,23 +41,34 @@ class EventLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8", buffering=1)
         self.emitted = 0
+        # Serializes write + rotate: a rotation swaps the handle out
+        # from under concurrent emitters, and two writers interleaving
+        # inside one line would corrupt the JSONL stream.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def emit(self, kind: str, **fields) -> Dict[str, object]:
-        """Write one event line; returns the record written."""
-        if self._handle is None:
-            raise ValueError("event log is closed")
+        """Write one event line; returns the record written.
+
+        Thread-safe: concurrent emitters serialize on an internal
+        lock, so rotation never strands a writer on a closed handle
+        and lines never interleave.
+        """
         record: Dict[str, object] = {"ts": time.time(), "kind": str(kind)}
         record.update(fields)
         line = json.dumps(record, sort_keys=False, default=str)
-        if self._handle.tell() + len(line) + 1 > self.max_bytes:
-            self._rotate()
-        self._handle.write(line + "\n")
-        self.emitted += 1
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("event log is closed")
+            if self._handle.tell() + len(line) + 1 > self.max_bytes:
+                self._rotate()
+            self._handle.write(line + "\n")
+            self.emitted += 1
         return record
 
     def _rotate(self) -> None:
+        # Caller holds self._lock.
         self._handle.close()
         if self.backups == 0:
             self.path.unlink(missing_ok=True)
@@ -79,9 +91,10 @@ class EventLog:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "EventLog":
         return self

@@ -1,0 +1,108 @@
+"""Prometheus text exposition over stdlib HTTP.
+
+:class:`MetricsServer` wraps a :class:`~repro.obs.metrics
+.MetricsRegistry` in a tiny ``http.server`` endpoint — ``GET /metrics``
+returns :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`
+exactly as a real scraper expects it, ``GET /healthz`` returns ``ok``.
+No dependencies, no background machinery beyond one daemon thread, so
+``repro metrics --serve`` can stand in for a real exporter in demos,
+load tests and CI smoke runs.
+
+The registry is read at scrape time (instruments are process-local and
+append-only), so whatever the run records between scrapes is visible at
+the next one. Port ``0`` binds an ephemeral port — the actual address
+is on :attr:`MetricsServer.port` — which is what the tests use.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # injected via the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") in ("", "/metrics"):
+            body = self.registry.to_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.rstrip("/") == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_response(404)
+            self.end_headers()
+
+    def log_message(self, format: str, *args) -> None:
+        # Scrape traffic is periodic noise; stay silent.
+        pass
+
+
+class MetricsServer:
+    """Serve a registry's Prometheus exposition on ``host:port``."""
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,),
+                       {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (Ctrl-C to stop)."""
+        try:
+            self._server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

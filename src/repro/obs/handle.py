@@ -1,9 +1,9 @@
 """The single opt-in observability handle threaded through the system.
 
-:class:`Observability` bundles the four recorders — span tracer,
-metrics registry, solver telemetry, optional JSONL event log — behind
-one object that rides the same keyword path ``SolverTelemetry`` always
-has. Engines accept ``obs=None`` (default: zero overhead, zero
+:class:`Observability` bundles the recorders — span tracer, metrics
+registry, solver telemetry, optional JSONL event log, optional flight
+recorder — behind one object that rides the same keyword path
+``SolverTelemetry`` always has. Engines accept ``obs=None`` (default: zero overhead, zero
 behaviour change) and guard every record with ``if obs is not None``;
 the math never reads anything back, so fixed points are bit-identical
 with observability on or off.
@@ -25,18 +25,20 @@ from typing import ContextManager, Optional
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.telemetry import SolverTelemetry
 from repro.obs.trace import Tracer
 
 
 class Observability:
-    """Tracer + metrics + telemetry (+ optional event log), one handle."""
+    """Tracer + metrics + telemetry (+ optional sinks), one handle."""
 
     def __init__(self, name: str = "run",
                  telemetry: Optional[SolverTelemetry] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 events: Optional[EventLog] = None) -> None:
+                 events: Optional[EventLog] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.name = name
         self.telemetry = telemetry if telemetry is not None \
             else SolverTelemetry()
@@ -44,6 +46,9 @@ class Observability:
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
         self.events = events
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind(self)
 
     # ------------------------------------------------------------------
 
@@ -52,10 +57,14 @@ class Observability:
         return self.tracer.span(name, **attributes)
 
     def event(self, kind: str, **fields) -> None:
-        """Record one event on the current span *and* the event log."""
+        """Record one event on the span, event log and flight recorder."""
         self.tracer.event(kind, **fields)
+        record: dict = {"kind": str(kind)}
+        record.update(fields)
         if self.events is not None:
-            self.events.emit(kind, **fields)
+            record = self.events.emit(kind, **fields)
+        if self.recorder is not None:
+            self.recorder.record_event(record)
 
     def report(self, name: Optional[str] = None):
         """Bundle everything recorded so far into a v2 ``RunReport``."""

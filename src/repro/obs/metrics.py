@@ -32,6 +32,18 @@ _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 
+#: Buckets (seconds) for the arrival→served freshness histogram. Every
+#: layer that observes ``repro_freshness_served_seconds`` must use
+#: these — the registry is get-or-create, so the first caller's
+#: buckets win and mismatched call sites would silently diverge.
+FRESHNESS_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0)
+
+#: The shared freshness histogram's name/help, for the same reason.
+FRESHNESS_METRIC = "repro_freshness_served_seconds"
+FRESHNESS_HELP = ("Wall-clock seconds from record arrival to the "
+                  "apply/publish/refresh that made it visible, by stage.")
+
 
 def _format_value(value: float) -> str:
     if math.isinf(value):
@@ -39,6 +51,18 @@ def _format_value(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format requires escaping inside ``label="value"`` — an unescaped
+    quote or newline silently corrupts the whole scrape.
+    """
+    return (value.replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
 
 
 class _Instrument:
@@ -71,7 +95,9 @@ class _Instrument:
             pairs.append(extra)
         if not pairs:
             return ""
-        inner = ",".join(f'{label}="{value}"' for label, value in pairs)
+        inner = ",".join(
+            f'{label}="{_escape_label_value(value)}"'
+            for label, value in pairs)
         return "{" + inner + "}"
 
 
@@ -158,6 +184,17 @@ class Histogram(_Instrument):
         self._totals: Dict[Tuple[str, ...], int] = {}
 
     def observe(self, value: float, **label_values) -> None:
+        """Record one observation.
+
+        Bucket assignment is deterministic at the edges: bounds are
+        *inclusive upper* bounds (Prometheus ``le`` semantics), so an
+        observation exactly equal to a bucket bound always lands in
+        that bucket — ``observe(0.1)`` with a ``0.1`` bucket counts in
+        ``le="0.1"``, never the next one up. NaN compares false
+        against every bound, so it deterministically lands in the
+        implicit ``+Inf`` overflow bucket (as does ``+Inf`` itself;
+        ``-Inf`` sorts below everything and lands in the first bucket).
+        """
         key = self._key(label_values)
         counts = self._counts.setdefault(
             key, [0] * (len(self.buckets) + 1))

@@ -1,0 +1,235 @@
+"""Flight recorder: bounded recent history, dumped on incident.
+
+Post-hoc debugging of a serving incident usually fails for one reason:
+by the time someone looks, the interesting state is gone — the spans
+rotated out, the health rung recovered, the metrics counters only say
+*how many*, not *when*. A flight recorder fixes that the way aircraft
+do: continuously record the last N of everything into cheap ring
+buffers, and when something trips — an SLO breach, a circuit-breaker
+open, an injected crash — freeze the rings into one self-contained
+:class:`IncidentBundle` that renders offline.
+
+The recorder is passive plumbing:
+
+* :meth:`FlightRecorder.record_event` — every
+  :meth:`repro.obs.Observability.event` lands here too (the handle
+  forwards when a recorder is attached);
+* :meth:`FlightRecorder.record_health` — periodic
+  ``ShardedGateway.health()`` / ``RankingService.health()`` dicts,
+  forming the health *timeline* a single snapshot can't show;
+* :meth:`FlightRecorder.capture` — freeze everything (recent events,
+  health timeline, current metrics, the span tail from the bound
+  tracer, optional SLO statuses and quarantine reports) into a bundle,
+  optionally auto-saved as ``incident-NNN.json``.
+
+``capture_on`` lists event kinds that trigger a capture automatically
+(default: breaker trips and quarantines), so the bundle exists even
+when nobody was polling an :class:`~repro.obs.slo.SLOMonitor`.
+
+Bundles are plain JSON: ``repro trace --bundle x.json`` renders the
+span tree, ``repro watch --bundle x.json`` the health/SLO tables —
+triage without access to the box that had the incident.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Event kinds that trigger an automatic capture when seen.
+DEFAULT_CAPTURE_ON = ("serve.breaker_trip", "serve.quarantine")
+
+
+@dataclass
+class IncidentBundle:
+    """One frozen, self-contained incident record (plain JSON on disk)."""
+
+    trigger: str
+    captured_at: float = 0.0
+    #: recent event records, oldest first.
+    events: List[Dict[str, object]] = field(default_factory=list)
+    #: ``(ts, health-dict)`` pairs, oldest first.
+    health_timeline: List[Dict[str, object]] = field(default_factory=list)
+    #: the metrics registry snapshot at capture time.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: span-tree tail (``Span.as_dict`` payloads).
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    #: SLO statuses at capture time (``SLOStatus.as_dict`` payloads).
+    slo: List[Dict[str, object]] = field(default_factory=list)
+    #: quarantine reports (``QuarantinedBatch``-shaped dicts).
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
+    #: environment fingerprint (``run_metadata()``).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.incident/1",
+            "trigger": self.trigger,
+            "captured_at": self.captured_at,
+            "events": self.events,
+            "health_timeline": self.health_timeline,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "slo": self.slo,
+            "quarantined": self.quarantined,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "IncidentBundle":
+        return cls(
+            trigger=str(payload.get("trigger", "unknown")),
+            captured_at=float(payload.get("captured_at", 0.0)),
+            events=list(payload.get("events", [])),
+            health_timeline=list(payload.get("health_timeline", [])),
+            metrics=dict(payload.get("metrics", {})),
+            spans=list(payload.get("spans", [])),
+            slo=list(payload.get("slo", [])),
+            quarantined=list(payload.get("quarantined", [])),
+            meta=dict(payload.get("meta", {})))
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2,
+                                   default=str) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "IncidentBundle":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Triage summary: trigger, breaching SLOs, health, last events."""
+        lines = [f"# incident: {self.trigger}",
+                 f"captured_at: {self.captured_at:.3f}  "
+                 f"spans: {len(self.spans)}  events: {len(self.events)}  "
+                 f"quarantined: {len(self.quarantined)}"]
+        breaching = [s for s in self.slo if s.get("breaching")]
+        if self.slo:
+            lines.append(f"slo: {len(breaching)}/{len(self.slo)} breaching")
+            for status in breaching:
+                burns = ", ".join(
+                    f"{window}s={rate}" for window, rate
+                    in sorted(status.get("burn_rates", {}).items(),
+                              key=lambda kv: float(kv[0])))
+                lines.append(f"  BREACH {status.get('name')} "
+                             f"({status.get('kind')}) burn: {burns}")
+        if self.health_timeline:
+            latest = self.health_timeline[-1]
+            lines.append(f"health ({len(self.health_timeline)} samples, "
+                         f"latest):")
+            lines.append("  " + json.dumps(latest.get("health", latest),
+                                           default=str))
+        if self.quarantined:
+            lines.append("quarantined:")
+            for entry in self.quarantined[-5:]:
+                lines.append("  " + json.dumps(entry, default=str))
+        if self.events:
+            lines.append(f"last events ({min(10, len(self.events))} of "
+                         f"{len(self.events)}):")
+            for record in self.events[-10:]:
+                lines.append("  " + json.dumps(record, default=str))
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Bounded rings of recent events/health/metrics; frozen on demand.
+
+    Attach via ``Observability(recorder=...)`` — the handle binds
+    itself, so :meth:`capture` can pull the span tail and metrics
+    without extra wiring. All buffers are bounded deques: recording is
+    O(1) and the recorder never grows with run length.
+
+    Args:
+        max_events / max_health / max_spans: ring sizes.
+        bundle_dir: when set, every capture auto-saves as
+            ``incident-NNN.json`` (deterministic names, so CI can
+            collect them as artifacts).
+        capture_on: event kinds that trigger an automatic capture.
+    """
+
+    def __init__(self, max_events: int = 256, max_health: int = 128,
+                 max_spans: int = 512,
+                 bundle_dir: Optional[PathLike] = None,
+                 capture_on: Sequence[str] = DEFAULT_CAPTURE_ON) -> None:
+        self._events: Deque[Dict[str, object]] = deque(maxlen=max_events)
+        self._health: Deque[Dict[str, object]] = deque(maxlen=max_health)
+        self.max_spans = int(max_spans)
+        self.bundle_dir = Path(bundle_dir) if bundle_dir is not None \
+            else None
+        self.capture_on = frozenset(capture_on)
+        self.captures: List[IncidentBundle] = []
+        self.saved_paths: List[Path] = []
+        self._obs = None
+        self._capturing = False
+
+    # ------------------------------------------------------------------
+    # recording (cheap, called from hot-ish paths)
+
+    def bind(self, obs) -> None:
+        """Called by :class:`~repro.obs.handle.Observability` on attach."""
+        self._obs = obs
+
+    def record_event(self, record: Dict[str, object]) -> None:
+        """Ring-buffer one event; auto-capture if its kind is armed."""
+        self._events.append(dict(record))
+        kind = str(record.get("kind", ""))
+        if kind in self.capture_on and not self._capturing:
+            self.capture(trigger=f"event:{kind}")
+
+    def record_health(self, health: Dict[str, object],
+                      ts: Optional[float] = None) -> None:
+        """Append one health sample to the timeline."""
+        self._health.append({
+            "ts": time.time() if ts is None else float(ts),
+            "health": dict(health)})
+
+    # ------------------------------------------------------------------
+    # capture
+
+    def capture(self, trigger: str,
+                slo_statuses: Optional[Sequence[Dict[str, object]]] = None,
+                quarantined: Optional[Sequence[Dict[str, object]]] = None,
+                ) -> IncidentBundle:
+        """Freeze the rings (plus bound tracer/metrics) into a bundle."""
+        from repro.obs.report import run_metadata
+
+        # An armed event emitted *during* capture (e.g. while pulling
+        # health) must not recurse into a second capture.
+        self._capturing = True
+        try:
+            bundle = IncidentBundle(trigger=trigger,
+                                    captured_at=time.time(),
+                                    events=list(self._events),
+                                    health_timeline=list(self._health),
+                                    meta=run_metadata())
+            if self._obs is not None:
+                bundle.metrics = self._obs.metrics.snapshot()
+                spans = self._obs.tracer.export()
+                bundle.spans = spans[-self.max_spans:]
+            if slo_statuses is not None:
+                bundle.slo = [dict(s) for s in slo_statuses]
+            if quarantined is not None:
+                bundle.quarantined = [dict(q) for q in quarantined]
+            self.captures.append(bundle)
+            if self.bundle_dir is not None:
+                path = self.bundle_dir \
+                    / f"incident-{len(self.captures):03d}.json"
+                self.saved_paths.append(bundle.save(path))
+            return bundle
+        finally:
+            self._capturing = False
+
+    def __len__(self) -> int:
+        return len(self.captures)

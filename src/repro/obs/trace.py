@@ -210,7 +210,14 @@ class Tracer:
 # rendering
 
 def _tree(spans: Sequence[Span]):
-    """``(roots, children_by_id)`` with children in start order."""
+    """``(roots, children_by_id)`` with children in start order.
+
+    A span whose parent never finished — a worker that crashed
+    mid-span, a trace exported while still open — is *orphaned*: it
+    names a parent id that is not in the span set. Orphans are
+    promoted to roots so the tree always renders; :func:`render_trace`
+    flags them instead of crashing on the missing edge.
+    """
     by_id = {span.span_id: span for span in spans}
     children: Dict[str, List[Span]] = {}
     roots: List[Span] = []
@@ -270,6 +277,7 @@ def render_trace(spans: Sequence[Union[Span, Dict[str, object]]],
         return f"# {title}\n(no spans recorded)"
     roots, children = _tree(spans)
     on_path = critical_path(spans)
+    known = {span.span_id for span in spans}
     lines = [f"# {title} (trace {spans[0].trace_id}, "
              f"{len(spans)} spans, * = critical path)"]
 
@@ -282,6 +290,8 @@ def render_trace(spans: Sequence[Union[Span, Dict[str, object]]],
     def _walk(span: Span, depth: int) -> None:
         mark = "*" if span.span_id in on_path else " "
         flag = "" if span.status == "ok" else f"  [{span.status}]"
+        if span.parent_id is not None and span.parent_id not in known:
+            flag += "  (orphaned)"
         label = "  " * depth + span.name
         lines.append(f"{mark} {label:<36} {span.duration * 1e3:10.2f} ms"
                      f"{flag}{_attrs(span)}")

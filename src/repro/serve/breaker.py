@@ -164,6 +164,13 @@ class CircuitBreaker:
         self._open_until = self._clock() + pause
         self._opened_total += 1
         self._transition(OPEN, f"{why}; cooldown {pause:.3f}s")
+        if self._obs is not None:
+            # A trip is an incident signal: the event lands on the
+            # span, the event log, and (when a flight recorder is
+            # attached) triggers an automatic incident capture.
+            self._obs.event("serve.breaker_trip", reason=why,
+                            cooldown=pause,
+                            opened_total=self._opened_total)
 
     def _transition(self, state: str, why: str) -> None:
         previous = self._state

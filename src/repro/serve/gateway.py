@@ -33,7 +33,9 @@ from __future__ import annotations
 import asyncio
 import functools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
                     Tuple, Union)
@@ -97,6 +99,11 @@ class ShardedGateway:
         call_timeout: per-shard pipe call budget in seconds.
         auto_respawn: respawn a dead shard during refresh (reads never
             respawn — they degrade; :meth:`repair` does the rest).
+        trace_reads: open a ``gateway.read`` span per *sync* read
+            (``top_sync``/``page_sync``). The tracer is a
+            single-threaded context stack, so enable this only for
+            single-threaded use; the publish/refresh path is always
+            traced (it has exactly one updater).
     """
 
     def __init__(self, live: "LiveRanker", num_shards: int = 2, *,
@@ -113,6 +120,7 @@ class ShardedGateway:
                  max_refresh_attempts: int = 3,
                  max_batch_attempts: int = 3,
                  default_deadline: Optional[Deadline] = None,
+                 trace_reads: bool = False,
                  **service_kwargs: object) -> None:
         if num_shards <= 0:
             raise ConfigError(
@@ -129,6 +137,7 @@ class ShardedGateway:
         self._auto_respawn = auto_respawn
         self._max_refresh_attempts = max_refresh_attempts
         self._default_deadline = default_deadline
+        self._trace_reads = trace_reads
         self._stats_lock = threading.Lock()
         self._closed = False
 
@@ -271,8 +280,23 @@ class ShardedGateway:
 
     def _refresh_shard(self, shard: int) -> Dict[str, object]:
         """Delta-sync metadata and refresh one shard to the board
-        epoch, respawning a dead worker up to the attempt budget."""
+        epoch, respawning a dead worker up to the attempt budget.
+
+        Runs only on the single updater thread, so the ``gateway.
+        refresh`` span (nested under ``gateway.publish`` during a
+        scatter, a root during :meth:`repair`) is safe to open."""
+        from repro.obs.handle import maybe_span
+
         epoch = self._board_epoch
+        with maybe_span(self._obs, "gateway.refresh", shard=shard,
+                        epoch=epoch) as span:
+            report = self._refresh_shard_attempts(shard, epoch)
+            if span is not None and hasattr(span, "attributes"):
+                span.attributes["status"] = report.get("status")
+            return report
+
+    def _refresh_shard_attempts(self, shard: int,
+                                epoch: int) -> Dict[str, object]:
         key = (shard, epoch)
         while True:
             attempt = self._refresh_attempts.get(key, 0)
@@ -396,18 +420,42 @@ class ShardedGateway:
             answers, degraded,
             lambda entries: merge_top_entries(entries, k))
 
+    def _timed_read(self, op: str, fn: Callable[[], GatewayReadResult]
+                    ) -> GatewayReadResult:
+        """One sync scatter-gather read with latency accounting and,
+        when ``trace_reads`` is on, a ``gateway.read`` span."""
+        if self._obs is None:
+            return fn()
+        span = self._obs.span("gateway.read", op=op,
+                              board_epoch=self._board_epoch) \
+            if self._trace_reads else nullcontext()
+        started = time.perf_counter()
+        try:
+            with span:
+                return fn()
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._stats_lock:
+                self._obs.metrics.histogram(
+                    "repro_gateway_read_latency_seconds",
+                    "Wall-clock duration of sync scatter-gather "
+                    "reads.").observe(elapsed)
+
     def top_sync(self, k: int = 10, venue_id: Optional[int] = None,
                  author_id: Optional[int] = None,
                  year_range: Optional[Tuple[int, int]] = None,
                  deadline: Optional[Deadline] = None
                  ) -> GatewayReadResult:
         """Blocking :meth:`top` (serial scatter; CLI and tests)."""
-        answers, degraded = self._scatter(
-            "top", k=k, venue_id=venue_id, author_id=author_id,
-            year_range=year_range, **self._read_kwargs(deadline))
-        return self._merge_read(
-            answers, degraded,
-            lambda entries: merge_top_entries(entries, k))
+        def _run() -> GatewayReadResult:
+            answers, degraded = self._scatter(
+                "top", k=k, venue_id=venue_id, author_id=author_id,
+                year_range=year_range, **self._read_kwargs(deadline))
+            return self._merge_read(
+                answers, degraded,
+                lambda entries: merge_top_entries(entries, k))
+
+        return self._timed_read("top", _run)
 
     async def page(self, offset: int, limit: int,
                    deadline: Optional[Deadline] = None
@@ -422,11 +470,15 @@ class ShardedGateway:
     def page_sync(self, offset: int, limit: int,
                   deadline: Optional[Deadline] = None
                   ) -> GatewayReadResult:
-        answers, degraded = self._scatter(
-            "top", k=offset + limit, **self._read_kwargs(deadline))
-        return self._merge_read(
-            answers, degraded,
-            lambda entries: merge_page_entries(entries, offset, limit))
+        def _run() -> GatewayReadResult:
+            answers, degraded = self._scatter(
+                "top", k=offset + limit, **self._read_kwargs(deadline))
+            return self._merge_read(
+                answers, degraded,
+                lambda entries: merge_page_entries(entries, offset,
+                                                   limit))
+
+        return self._timed_read("page", _run)
 
     def rank_of(self, article_id: int,
                 deadline: Optional[Deadline] = None) -> int:

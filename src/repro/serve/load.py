@@ -19,12 +19,16 @@ from __future__ import annotations
 import json
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import zip_longest
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import OverloadError, ServeError
 from repro.engine.live import LiveRanker
+from repro.engine.updates import BatchProvenance
+from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
+                               FRESHNESS_METRIC)
 from repro.resilience.faults import FaultPlan
 from repro.serve.gateway import ShardedGateway
 from repro.serve.sim import SIM_COOLDOWN, synthetic_batch
@@ -64,6 +68,10 @@ class LoadReport:
     shards_missing: int = 0
     degraded_during: List[int] = field(default_factory=list)
     health: Dict[str, object] = field(default_factory=dict)
+    freshness_served_count: int = 0
+    freshness_served_mean_ms: float = 0.0
+    incident_bundles: int = 0
+    slo_breaches: List[str] = field(default_factory=list)
     status: str = "ok"
     error: Optional[str] = None
 
@@ -83,6 +91,12 @@ class LoadReport:
             f"mismatch(es) vs single-process service",
             f"degraded     shards {self.degraded_during or '[]'} during "
             f"faults; {self.shards_missing} still missing after repair",
+            f"freshness    {self.freshness_served_count} publish(es), "
+            f"mean {self.freshness_served_mean_ms:.3f} ms "
+            f"arrival→published",
+            f"incidents    {self.incident_bundles} bundle(s)"
+            + (f", SLO breaches {self.slo_breaches}"
+               if self.slo_breaches else ""),
             f"final health {self.health.get('status')!r}",
         ]
         if self.status != "ok":
@@ -115,6 +129,11 @@ class LoadReport:
         report.record_metric("p99_ms", round(self.p99_ms, 3))
         report.record_metric("avg_latency_ms",
                              round(self.avg_latency_ms, 3))
+        report.record_metric("freshness_served_count",
+                             self.freshness_served_count)
+        report.record_metric("freshness_served_mean_ms",
+                             round(self.freshness_served_mean_ms, 3))
+        report.record_metric("incident_bundles", self.incident_bundles)
         report.record_metric("status", self.status)
         return report
 
@@ -150,7 +169,8 @@ def run_load(dataset: "ScholarlyDataset", *,
              fault_epoch: int = 1,
              auto_respawn: bool = False,
              seed: int = 0,
-             obs: Optional["Observability"] = None) -> LoadReport:
+             obs: Optional["Observability"] = None,
+             bundle_dir: Optional[Path] = None) -> LoadReport:
     """Drive concurrent readers against publish churn over K shards.
 
     ``crash_shard`` / ``poison_shard`` arm one injected shard fault at
@@ -158,8 +178,24 @@ def run_load(dataset: "ScholarlyDataset", *,
     default here) the degradation stays *visible* in ``health()`` until
     the post-run :meth:`ShardedGateway.repair`, which is exactly what
     the acceptance check wants to see.
+
+    When no ``obs`` handle is passed the load run builds its own with
+    a flight recorder attached: each synthetic batch is stamped with a
+    :class:`~repro.engine.updates.BatchProvenance` arrival wall-clock,
+    the report carries arrival→published freshness from the shared
+    freshness histogram, and one :class:`~repro.obs.slo.SLOMonitor`
+    tick while an injected shard fault is still visible captures an
+    incident bundle (written under ``bundle_dir`` when given).
     """
     import random
+
+    from repro.obs import FlightRecorder, Observability, SLOMonitor
+
+    recorder = getattr(obs, "recorder", None)
+    if obs is None:
+        recorder = FlightRecorder(bundle_dir=bundle_dir)
+        obs = Observability("serve-load", recorder=recorder)
+    monitor = SLOMonitor(obs.metrics, recorder=recorder)
 
     fault_plan: Optional[FaultPlan] = None
     if crash_shard is not None or poison_shard is not None:
@@ -225,6 +261,10 @@ def run_load(dataset: "ScholarlyDataset", *,
         for _ in range(batches):
             batch = synthetic_batch(base_ids, next_id, batch_size,
                                     year, rng)
+            # Stamp the arrival wall-clock so the publish path's
+            # freshness histogram sees arrival→published latency.
+            batch = replace(batch, provenance=BatchProvenance(
+                arrivals=(time.time(),) * len(batch.articles)))
             next_id += batch_size
             gateway.ingest(batch)
     except Exception as exc:  # noqa: BLE001 - artifact must survive
@@ -239,9 +279,17 @@ def run_load(dataset: "ScholarlyDataset", *,
         report.wall_s = time.perf_counter() - started
 
     try:
-        # Degradation while the fault is live, *before* repair.
+        # Degradation while the fault is live, *before* repair. An SLO
+        # tick here sees the degraded-shards gauge while it is still
+        # raised, so an injected fault breaches gateway-degradation
+        # and freezes an incident bundle.
         during = gateway.health()
         report.degraded_during = list(during["degraded_shards"])
+        if recorder is not None:
+            recorder.record_health(during)
+        for status in monitor.tick():
+            if status.breaching:
+                report.slo_breaches.append(status.name)
         gateway.repair()
         gateway.pump()
         report.board_epoch = gateway.board_epoch
@@ -255,6 +303,16 @@ def run_load(dataset: "ScholarlyDataset", *,
             report.p99_ms = _percentile(latencies, 0.99) * 1e3
             report.avg_latency_ms = \
                 sum(latencies) / len(latencies) * 1e3
+        fresh = obs.metrics.histogram(
+            FRESHNESS_METRIC, FRESHNESS_HELP,
+            buckets=FRESHNESS_BUCKETS, labels=("stage",))
+        report.freshness_served_count = fresh.count(stage="publish")
+        if report.freshness_served_count:
+            report.freshness_served_mean_ms = round(
+                fresh.sum(stage="publish")
+                / report.freshness_served_count * 1000.0, 3)
+        if recorder is not None:
+            report.incident_bundles = len(recorder.captures)
     except Exception as exc:  # noqa: BLE001 - artifact must survive
         if report.status == "ok":
             report.status = "failed"

@@ -349,6 +349,7 @@ class RankingService:
 
             self._publish(result)
             self._breaker.record_success()
+            self._observe_publish_freshness(entry.batch)
             return "published"
 
     def _publish(self, result: "RankingResult") -> None:
@@ -366,6 +367,27 @@ class RankingService:
             self._obs.metrics.counter(
                 "repro_serve_publishes_total",
                 "Snapshots published (guardrails passed).").inc()
+
+    def _observe_publish_freshness(self, batch: "UpdateBatch") -> None:
+        """Arrival→publish wall-clock seconds for a provenance-stamped
+        batch (``stage="publish"``): the records are now visible to
+        every service reader."""
+        if self._obs is None:
+            return
+        provenance = getattr(batch, "provenance", None)
+        if provenance is None or not provenance.arrivals:
+            return
+        from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
+                                       FRESHNESS_METRIC)
+
+        freshness = self._obs.metrics.histogram(
+            FRESHNESS_METRIC, FRESHNESS_HELP,
+            buckets=FRESHNESS_BUCKETS, labels=("stage",))
+        now = time.time()
+        for arrived_wall in provenance.arrivals:
+            if arrived_wall > 0.0:
+                freshness.observe(max(0.0, now - arrived_wall),
+                                  stage="publish")
 
     def _quarantine(self, entry: _PendingBatch) -> None:
         record = QuarantinedBatch(
@@ -465,6 +487,7 @@ class _ReadSession:
             else service._default_deadline
         self._admission = None
         self._span = None
+        self._started = 0.0
 
     def __enter__(self) -> Snapshot:
         service = self._service
@@ -475,6 +498,10 @@ class _ReadSession:
             service._count_request("shed")
             raise
         service._count_request("served")
+        # Clock starts after admission: the latency SLO measures the
+        # work done for admitted reads, not time spent queueing to be
+        # shed.
+        self._started = time.perf_counter()
         if service._obs is not None and service._trace_reads:
             self._span = service._obs.span(
                 "serve.read", epoch=service._snapshot.epoch)
@@ -484,5 +511,13 @@ class _ReadSession:
     def __exit__(self, *exc_info) -> None:
         if self._span is not None:
             self._span.__exit__(*exc_info)
+        service = self._service
         if self._admission is not None:
             self._admission.__exit__(*exc_info)
+            if service._obs is not None:
+                elapsed = time.perf_counter() - self._started
+                with service._stats_lock:
+                    service._obs.metrics.histogram(
+                        "repro_serve_read_latency_seconds",
+                        "Wall-clock duration of admitted read "
+                        "sessions.").observe(elapsed)

@@ -1,0 +1,62 @@
+"""MetricsServer tests: Prometheus text over stdlib HTTP."""
+
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.obs.expose import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "Jobs processed.").inc(3)
+    registry.gauge("depth", labels=("queue",)).set(2, queue="main")
+    return registry
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_text(self, registry):
+        with MetricsServer(registry) as server:
+            with urlopen(server.url) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                body = response.read().decode("utf-8")
+        assert "# TYPE jobs_total counter" in body
+        assert "jobs_total 3" in body
+        assert 'depth{queue="main"} 2' in body
+
+    def test_root_path_and_healthz(self, registry):
+        with MetricsServer(registry) as server:
+            base = f"http://{server.host}:{server.port}"
+            assert server.url == f"{base}/metrics"
+            with urlopen(f"{base}/") as response:
+                assert response.status == 200
+            with urlopen(f"{base}/healthz") as response:
+                assert response.read() == b"ok\n"
+
+    def test_unknown_path_404(self, registry):
+        with MetricsServer(registry) as server:
+            base = f"http://{server.host}:{server.port}"
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(f"{base}/nope")
+            assert excinfo.value.code == 404
+
+    def test_ephemeral_port_and_stop_idempotent(self, registry):
+        server = MetricsServer(registry, port=0)
+        server.start()
+        assert server.port != 0
+        server.stop()
+        server.stop()  # second stop is a no-op
+
+    def test_scrape_sees_live_updates(self, registry):
+        with MetricsServer(registry) as server:
+            registry.counter("jobs_total").inc(7)
+            with urlopen(server.url) as response:
+                body = response.read().decode("utf-8")
+        assert "jobs_total 10" in body

@@ -63,6 +63,26 @@ class TestHistogram:
         with pytest.raises(ConfigError):
             registry.histogram("h3", buckets=(1.0, float("inf")))
 
+    def test_bucket_bound_is_inclusive_upper(self):
+        # Prometheus `le` semantics: an observation exactly on a bound
+        # lands in that bucket, deterministically, never the next one.
+        histogram = MetricsRegistry().histogram(
+            "edge", buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        histogram.observe(1.0)
+        snap = histogram.snapshot()["values"][0]
+        assert snap["counts"] == [1, 1, 0]
+
+    def test_nan_and_infinities_land_deterministically(self):
+        histogram = MetricsRegistry().histogram(
+            "weird", buckets=(0.1, 1.0))
+        histogram.observe(float("nan"))   # compares false -> overflow
+        histogram.observe(float("inf"))   # above every bound -> overflow
+        histogram.observe(float("-inf"))  # below everything -> first
+        snap = histogram.snapshot()["values"][0]
+        assert snap["counts"] == [1, 0, 2]
+        assert snap["count"] == 3
+
     def test_exposition_buckets_are_cumulative(self):
         registry = MetricsRegistry()
         histogram = registry.histogram("lat", buckets=(0.1, 1.0))
@@ -122,3 +142,13 @@ class TestRegistry:
 
     def test_empty_registry_exposes_nothing(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("k",)).inc(
+            k='quo"te\\slash\nnewline')
+        text = registry.to_prometheus()
+        assert r'c{k="quo\"te\\slash\nnewline"} 1' in text
+        # the exposition stays one-record-per-line
+        lines = [ln for ln in text.splitlines() if ln.startswith("c{")]
+        assert len(lines) == 1

@@ -1,0 +1,135 @@
+"""Flight recorder unit tests: rings, auto-capture, bundle roundtrip."""
+
+import json
+
+import pytest
+
+from repro.obs.handle import Observability
+from repro.obs.recorder import FlightRecorder, IncidentBundle
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+class TestRings:
+    def test_event_ring_is_bounded(self):
+        recorder = FlightRecorder(max_events=5)
+        obs = Observability("t", recorder=recorder)
+        for index in range(20):
+            obs.event("tick", index=index)
+        bundle = recorder.capture("manual")
+        assert len(bundle.events) == 5
+        assert [r["index"] for r in bundle.events] == list(range(15, 20))
+
+    def test_health_ring_is_bounded_and_timestamped(self):
+        recorder = FlightRecorder(max_health=3)
+        for index in range(10):
+            recorder.record_health({"status": "fresh", "epoch": index},
+                                   ts=float(index))
+        bundle = recorder.capture("manual")
+        assert len(bundle.health_timeline) == 3
+        assert bundle.health_timeline[-1]["ts"] == 9.0
+        assert bundle.health_timeline[-1]["health"]["epoch"] == 9
+
+    def test_span_tail_is_bounded(self):
+        recorder = FlightRecorder(max_spans=2)
+        obs = Observability("t", recorder=recorder)
+        for index in range(5):
+            with obs.span("step", index=index):
+                pass
+        bundle = recorder.capture("manual")
+        assert len(bundle.spans) == 2
+        assert bundle.spans[-1]["attributes"]["index"] == 4
+
+
+class TestAutoCapture:
+    def test_armed_event_kind_triggers_capture(self):
+        recorder = FlightRecorder(capture_on=("serve.breaker_trip",))
+        obs = Observability("t", recorder=recorder)
+        obs.event("serve.read", latency=0.01)  # not armed
+        assert recorder.captures == []
+        obs.event("serve.breaker_trip", reason="3 failures")
+        assert len(recorder.captures) == 1
+        bundle = recorder.captures[0]
+        assert bundle.trigger == "event:serve.breaker_trip"
+        assert bundle.events[-1]["kind"] == "serve.breaker_trip"
+
+    def test_capture_includes_metrics_and_meta(self):
+        recorder = FlightRecorder()
+        obs = Observability("t", recorder=recorder)
+        obs.metrics.counter("jobs_total").inc(3)
+        bundle = recorder.capture("manual")
+        assert bundle.metrics["jobs_total"]["values"][0]["value"] == 3.0
+        assert "python" in bundle.meta
+
+    def test_capture_never_recurses(self):
+        # An armed event recorded while a capture is in flight (e.g.
+        # emitted by code the capture itself calls) must not open a
+        # second capture.
+        recorder = FlightRecorder(capture_on=("boom",))
+        obs = Observability("t", recorder=recorder)
+        real_snapshot = obs.metrics.snapshot
+
+        def noisy_snapshot():
+            obs.event("boom")  # armed event while capture is in flight
+            return real_snapshot()
+
+        obs.metrics.snapshot = noisy_snapshot
+        obs.event("boom")
+        assert len(recorder.captures) == 1
+        # the re-entrant event still landed in the ring
+        assert [r["kind"] for r in recorder.captures[0].events] \
+            == ["boom"]
+
+
+class TestBundles:
+    def test_save_load_roundtrip(self, tmp_path):
+        recorder = FlightRecorder()
+        obs = Observability("t", recorder=recorder)
+        with obs.span("work"):
+            obs.event("step", n=1)
+        recorder.record_health({"status": "fresh"})
+        bundle = recorder.capture(
+            "manual",
+            slo_statuses=[{"name": "availability", "breaching": True,
+                           "kind": "ratio", "burn_rates": {"60.0": 5.0}}],
+            quarantined=[{"batch": 3, "reason": "poison"}])
+        path = bundle.save(tmp_path / "incident.json")
+        loaded = IncidentBundle.load(path)
+        assert loaded.trigger == "manual"
+        assert loaded.events == bundle.events
+        assert loaded.spans == bundle.spans
+        assert loaded.slo == bundle.slo
+        assert loaded.quarantined == bundle.quarantined
+        # plain JSON with a schema marker, no custom types
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.incident/1"
+
+    def test_bundle_dir_uses_deterministic_names(self, tmp_path):
+        recorder = FlightRecorder(bundle_dir=tmp_path / "incidents")
+        Observability("t", recorder=recorder)
+        recorder.capture("first")
+        recorder.capture("second")
+        names = [path.name for path in recorder.saved_paths]
+        assert names == ["incident-001.json", "incident-002.json"]
+        assert all(path.exists() for path in recorder.saved_paths)
+
+    def test_render_summarises_triage_surface(self):
+        bundle = IncidentBundle(
+            trigger="slo:availability",
+            slo=[{"name": "availability", "kind": "ratio",
+                  "breaching": True, "burn_rates": {"60.0": 5.0}}],
+            health_timeline=[{"ts": 1.0,
+                              "health": {"status": "degraded"}}],
+            quarantined=[{"batch": 1}],
+            events=[{"kind": "serve.breaker_trip"}])
+        text = bundle.render()
+        assert "slo:availability" in text
+        assert "BREACH availability" in text
+        assert "degraded" in text
+        assert "serve.breaker_trip" in text
+
+    def test_len_counts_captures(self):
+        recorder = FlightRecorder()
+        assert len(recorder) == 0
+        recorder.capture("one")
+        assert len(recorder) == 1

@@ -144,3 +144,44 @@ class TestCriticalPath:
 
     def test_render_empty(self):
         assert "no spans" in render_trace([], title="t")
+
+    def test_orphaned_spans_render_instead_of_crashing(self):
+        # A worker that dies mid-span exports children whose parent
+        # never finished: the parent id is missing from the span set.
+        # Such spans must be promoted to roots and flagged, and the
+        # whole tree must still render.
+        spans = [
+            _span("survivor", "s", None, 0.0, 1.0),
+            _span("worker.solve", "w1", "never-finished", 0.2, 0.5),
+            _span("worker.retry", "w2", "w1", 0.3, 0.2),
+        ]
+        spans[1].status = "error"
+        text = render_trace(spans, title="crashed")
+        assert "worker.solve" in text
+        assert "(orphaned)" in text
+        assert "[error]" in text
+        # the orphan's own child still nests under it, un-flagged
+        solve_line = next(ln for ln in text.splitlines()
+                          if "worker.solve" in ln)
+        retry_line = next(ln for ln in text.splitlines()
+                          if "worker.retry" in ln)
+        assert "(orphaned)" not in retry_line
+        assert solve_line.index("worker.solve") \
+            < retry_line.index("worker.retry")
+
+    def test_crashed_traced_worker_exports_orphans(self):
+        # End-to-end through the Tracer: an inner span is exported
+        # while its parent is still open (the "crash" cut the run
+        # short), so only the child lands in finished.
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed-parent"):
+                with tracer.span("child"):
+                    pass
+                exported = tracer.export()  # parent not finished yet
+                raise RuntimeError("worker killed")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in exported] == ["child"]
+        text = render_trace(exported, title="mid-crash export")
+        assert "child" in text and "(orphaned)" in text
