@@ -33,7 +33,7 @@ from scipy.sparse import csr_matrix
 
 from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
-from repro.graph.scc import condensation
+from repro.graph.toposort import topological_levels
 from repro.core.time_weight import TimeDecay, exponential_decay
 from repro.ranking.gauss_seidel import gauss_seidel_pagerank
 from repro.ranking.pagerank import pagerank, validate_initial, validate_jump
@@ -77,55 +77,12 @@ def time_weight_edges(graph: CSRGraph, years: np.ndarray,
 def _node_levels(graph: CSRGraph) -> np.ndarray:
     """Topological level of every node (0 = no in-edges).
 
-    ``level(v) = 1 + max(level(u) for u -> v)`` — computed as vectorized
-    Kahn waves: wave ``k`` removes exactly the nodes whose longest
-    incoming path has length ``k``. On cyclic graphs, levels are computed
-    on the SCC condensation; all members of one SCC share a level.
+    Thin wrapper kept for backward compatibility: the level
+    decomposition now lives in
+    :func:`repro.graph.toposort.topological_levels`, shared with the
+    vectorized Gauss–Seidel kernels.
     """
-    n = graph.num_nodes
-    if n == 0:
-        return np.zeros(0, dtype=np.int64)
-    in_degree = graph.in_degrees().copy()
-    levels = np.zeros(n, dtype=np.int64)
-    frontier = np.flatnonzero(in_degree == 0)
-    removed = len(frontier)
-    level = 0
-    while len(frontier):
-        levels[frontier] = level
-        # Gather all out-edges of the frontier in one shot.
-        starts = graph.indptr[frontier]
-        stops = graph.indptr[frontier + 1]
-        counts = stops - starts
-        if counts.sum() == 0:
-            break
-        gather = (np.repeat(starts, counts)
-                  + _ragged_offsets(counts))
-        targets = graph.indices[gather]
-        decrements = np.bincount(targets, minlength=n)
-        in_degree -= decrements
-        frontier = np.flatnonzero((in_degree == 0) & (decrements > 0))
-        removed += len(frontier)
-        level += 1
-    if removed != n:
-        # Cycles present: fall back to the condensation DAG.
-        dag, membership = condensation(graph)
-        return _node_levels(dag)[membership]
-    return levels
-
-
-def _ragged_offsets(counts: np.ndarray) -> np.ndarray:
-    """``[0..c0-1, 0..c1-1, ...]`` for slice gathering (vectorized)."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    offsets = np.ones(total, dtype=np.int64)
-    offsets[0] = 0
-    boundaries = np.cumsum(counts)[:-1]
-    valid = boundaries < total
-    # subtract.at handles repeated boundaries from zero-length groups.
-    np.subtract.at(offsets, boundaries[valid],
-                   np.asarray(counts[:-1])[valid])
-    return np.cumsum(offsets)
+    return topological_levels(graph).levels
 
 
 def _level_operators(graph: CSRGraph, weights: np.ndarray

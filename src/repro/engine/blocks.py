@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -42,7 +42,11 @@ from scipy.sparse import csr_matrix
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partition
-from repro.ranking.pagerank import validate_initial, validate_jump
+from repro.ranking.pagerank import (
+    validate_edge_weights,
+    validate_initial,
+    validate_jump,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.handle import Observability
@@ -55,7 +59,10 @@ class BlockRankResult:
 
     ``messages`` counts cross-block edge traversals (the proxy for
     network traffic); ``local_iterations`` sums the inner iterations all
-    blocks performed.
+    blocks performed. ``blocks_skipped`` counts block-supersteps elided
+    by frontier compaction (always 0 for the vertex-centric baseline and
+    with ``compaction=False``) — skipping never changes the scores, the
+    residual trajectory or the superstep count, only the work done.
     """
 
     scores: np.ndarray
@@ -64,26 +71,45 @@ class BlockRankResult:
     local_iterations: int
     residual: float
     converged: bool
+    blocks_skipped: int = 0
+
+
+@dataclass(frozen=True)
+class BlockOperators:
+    """Per-block solve operators plus the block-coupling structure.
+
+    For block ``b`` with node set ``members[b]``:
+    ``internal_ops[b] @ scores[members[b]]`` pulls along within-block
+    edges and ``boundary_ops[b] @ scores`` pulls along edges entering
+    the block from outside. ``probability`` is the per-edge transition
+    probability both operator families were built from (kept for
+    diagnostics; the engines never re-consume it). ``source_blocks[b]``
+    lists the *other* blocks owning at least one in-edge of block ``b``
+    — the dependency structure frontier compaction skips against.
+    """
+
+    members: List[np.ndarray]
+    internal_ops: List[csr_matrix]
+    boundary_ops: List[csr_matrix]
+    dangling: np.ndarray
+    probability: np.ndarray
+    cut_edges: int
+    source_blocks: List[np.ndarray]
 
 
 def _block_operators(graph: CSRGraph, partition: Partition,
                      edge_weights: Optional[np.ndarray]
-                     ) -> Tuple[List[np.ndarray], List[csr_matrix],
-                                List[csr_matrix], np.ndarray, np.ndarray,
-                                int]:
+                     ) -> BlockOperators:
     """Split the pull operator into internal and boundary parts per block.
 
-    Returns ``(members, internal_ops, boundary_ops, dangling, jump_base,
-    cut_edges)`` where for block ``b`` with node set ``members[b]``:
-    ``internal_ops[b] @ scores[members[b]]`` pulls along within-block
-    edges and ``boundary_ops[b] @ scores`` pulls along edges entering the
-    block from outside.
+    Edge weights go through
+    :func:`repro.ranking.pagerank.validate_edge_weights` — the same
+    guard as every other solver entry point — so a NaN or negative
+    override fails loudly here too instead of corrupting the block
+    engines' fixed point.
     """
     n = graph.num_nodes
-    weights = graph.weights if edge_weights is None \
-        else np.asarray(edge_weights, dtype=np.float64)
-    if weights.shape != graph.weights.shape:
-        raise ConfigError("edge_weights must align with graph edges")
+    weights = validate_edge_weights(graph, edge_weights)
 
     src_idx, dst_idx, _ = graph.edge_array()
     strengths = np.bincount(src_idx, weights=weights, minlength=n)
@@ -94,9 +120,16 @@ def _block_operators(graph: CSRGraph, partition: Partition,
     internal_mask = assignment[src_idx] == assignment[dst_idx]
     cut_edges = int(np.count_nonzero(~internal_mask))
 
+    # Block-level dependency edges (dst_block <- src_block), deduplicated.
+    cut_src = assignment[src_idx[~internal_mask]]
+    cut_dst = assignment[dst_idx[~internal_mask]]
+    coupling = np.unique(np.stack([cut_dst, cut_src], axis=1), axis=0) \
+        if len(cut_src) else np.zeros((0, 2), dtype=np.int64)
+
     members: List[np.ndarray] = []
     internal_ops: List[csr_matrix] = []
     boundary_ops: List[csr_matrix] = []
+    source_blocks: List[np.ndarray] = []
     local_index = np.empty(n, dtype=np.int64)
     for block in range(partition.num_blocks):
         nodes = partition.members(block)
@@ -114,8 +147,9 @@ def _block_operators(graph: CSRGraph, partition: Partition,
             (probability[boundary],
              (local_index[dst_idx[boundary]], src_idx[boundary])),
             shape=(len(nodes), n)))
-    return members, internal_ops, boundary_ops, dangling, probability, \
-        cut_edges
+        source_blocks.append(coupling[coupling[:, 0] == block, 1])
+    return BlockOperators(members, internal_ops, boundary_ops, dangling,
+                          probability, cut_edges, source_blocks)
 
 
 def flatten_block_payload(payload: Dict[int, tuple]
@@ -218,14 +252,19 @@ class BlockEngine:
         self.partition = partition
         self.damping = damping
         self.jump = validate_jump(jump, graph.num_nodes)
-        (self._members, self._internal_ops, self._boundary_ops,
-         self._dangling, _, self._cut_edges) = _block_operators(
-            graph, partition, edge_weights)
+        operators = _block_operators(graph, partition, edge_weights)
+        self._members = operators.members
+        self._internal_ops = operators.internal_ops
+        self._boundary_ops = operators.boundary_ops
+        self._dangling = operators.dangling
+        self._cut_edges = operators.cut_edges
+        self._source_blocks = operators.source_blocks
 
     def run(self, tol: float = 1e-10, max_supersteps: int = 100,
             local_tol: float = 1e-12, local_max_iter: int = 50,
             initial: Optional[np.ndarray] = None,
             block_order: Optional[Sequence[int]] = None,
+            compaction: bool = True,
             telemetry: Optional["SolverTelemetry"] = None,
             obs: Optional["Observability"] = None
             ) -> BlockRankResult:
@@ -239,9 +278,24 @@ class BlockEngine:
         which, for a time-ordered range partition of a citation graph,
         processes citing cohorts before the cohorts they cite.
 
+        ``compaction`` (default on) skips a block's inner solve and
+        boundary pull when the skip is provably a bit-exact no-op: the
+        block's own scores did not change (bitwise) during the previous
+        superstep, no in-edge source block changed during the previous
+        superstep, and no in-edge source block has been re-solved
+        earlier in this superstep. Under that condition the block's
+        external input and starting point are bitwise identical to its
+        last solve, and ``solve_block`` is deterministic — so scores,
+        residual trajectory and superstep count are unchanged; only
+        ``local_iterations`` drops and ``blocks_skipped`` counts the
+        elided work. Message accounting is intentionally untouched (a
+        skip saves compute, not the superstep's cut-edge exchange
+        budget, which E5 compares against the vertex-centric baseline).
+
         ``telemetry`` (optional) records, per superstep: wall-clock,
         boundary messages, global residual and per-block inner
-        iterations. The fixed point is unchanged with it on or off.
+        iterations (0 for skipped blocks), plus a ``blocks_skipped``
+        counter. The fixed point is unchanged with it on or off.
         """
         if tol <= 0 or local_tol <= 0:
             raise ConfigError("tolerances must be positive")
@@ -268,8 +322,10 @@ class BlockEngine:
         with span:
             messages = 0
             local_iterations = 0
+            blocks_skipped = 0
             residual = float("inf")
             supersteps = 0
+            changed_prev = np.ones(self.partition.num_blocks, dtype=bool)
             for supersteps in range(1, max_supersteps + 1):
                 superstep_start = time.perf_counter()
                 block_iterations: Optional[dict] = \
@@ -277,18 +333,41 @@ class BlockEngine:
                 previous = scores.copy()
                 current = scores.copy()
                 step_local = 0
+                step_skipped = 0
+                resolved = np.zeros(self.partition.num_blocks,
+                                    dtype=bool)
+                changed_now = np.zeros(self.partition.num_blocks,
+                                       dtype=bool)
                 for block in order:
+                    sources = self._source_blocks[block]
+                    if compaction and not (
+                            changed_prev[block]
+                            or changed_prev[sources].any()
+                            or resolved[sources].any()):
+                        # Bit-exact no-op: same external, same start,
+                        # deterministic solve — skip it.
+                        step_skipped += 1
+                        if block_iterations is not None:
+                            block_iterations[block] = 0
+                        continue
                     nodes = self._members[block]
                     external = self._boundary_ops[block] @ current
                     block_scores, inner = solve_block(
                         self._internal_ops[block], external,
                         self.jump[nodes], current[nodes], self.damping,
                         local_tol, local_max_iter)
+                    changed_now[block] = not np.array_equal(
+                        block_scores, previous[nodes])
+                    resolved[block] = True
                     current[nodes] = block_scores
                     step_local += inner
                     if block_iterations is not None:
                         block_iterations[block] = inner
+                changed_prev = changed_now
                 local_iterations += step_local
+                blocks_skipped += step_skipped
+                if telemetry is not None and step_skipped:
+                    telemetry.incr("blocks_skipped", step_skipped)
                 messages += self._cut_edges
                 change = np.abs(current - previous)
                 residual = float(change.sum())
@@ -308,7 +387,8 @@ class BlockEngine:
         converged = residual <= tol
         scores = scores / scores.sum()
         return BlockRankResult(scores, supersteps, messages,
-                               local_iterations, residual, converged)
+                               local_iterations, residual, converged,
+                               blocks_skipped)
 
 
 def vertex_centric_pagerank(graph: CSRGraph, partition: Partition,

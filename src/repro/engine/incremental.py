@@ -34,10 +34,10 @@ from repro.errors import ConfigError
 from repro.data.schema import ScholarlyDataset
 from repro.core.time_weight import TimeDecay, exponential_decay
 from repro.core.twpr import (
-    _ragged_offsets,
     time_weight_edges,
     time_weighted_pagerank,
 )
+from repro.graph.toposort import ragged_offsets as _ragged_offsets
 from repro.engine.updates import (
     UpdateBatch,
     apply_update,

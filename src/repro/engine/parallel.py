@@ -348,11 +348,14 @@ class ParallelBlockEngine:
         #: which data plane the most recent ``run`` actually used.
         self.last_used_shared_memory: bool = False
 
-        members, internal_ops, boundary_ops, dangling, _, cut_edges = \
-            _block_operators(graph, partition, edge_weights)
+        operators = _block_operators(graph, partition, edge_weights)
+        members = operators.members
+        internal_ops = operators.internal_ops
+        boundary_ops = operators.boundary_ops
         self._members = members
-        self._dangling = dangling
-        self._cut_edges = cut_edges
+        self._dangling = operators.dangling
+        self._cut_edges = operators.cut_edges
+        self._source_blocks = operators.source_blocks
         # Contiguous chunks of blocks per worker (for a time-ordered range
         # partition, each worker owns one contiguous time span), processed
         # newest-first within the worker.
@@ -530,10 +533,24 @@ class ParallelBlockEngine:
 
     def run(self, tol: float = 1e-10, max_supersteps: int = 100,
             local_tol: float = 1e-12, local_max_iter: int = 50,
+            compaction: bool = True,
             telemetry: Optional["SolverTelemetry"] = None,
             obs: Optional["Observability"] = None
             ) -> BlockRankResult:
         """Run supersteps across the worker pool until convergence.
+
+        ``compaction`` (default on) elides provably no-op block solves:
+        a block is dispatched only when its own scores changed (bitwise)
+        during the previous superstep, a source block changed during the
+        previous superstep, or a *same-worker* source block is being
+        re-solved earlier in this superstep (cross-worker coupling reads
+        the previous superstep's frontier, so only same-worker activity
+        can alter a block's input mid-superstep). A worker none of whose
+        blocks are active receives no dispatch at all that superstep.
+        Scores, residual trajectory and superstep count are bit-exactly
+        unchanged; ``local_iterations``, shipped bytes and
+        ``blocks_skipped`` show the saved work. Message accounting
+        (cut edges per superstep) is intentionally untouched.
 
         ``telemetry`` (optional) records per-superstep wall-clock,
         boundary messages, residual and per-block inner iterations, plus
@@ -588,8 +605,11 @@ class ParallelBlockEngine:
         scores = self.jump.copy()
         messages = 0
         local_iterations = 0
+        blocks_skipped = 0
         residual = float("inf")
         supersteps = 0
+        num_blocks = self.partition.num_blocks
+        changed_prev = np.ones(num_blocks, dtype=bool)
         deadline_seconds = None if self.deadline is None \
             else self.deadline.seconds
         retries = self.retry_policy.delays()
@@ -631,26 +651,59 @@ class ParallelBlockEngine:
                     with step_span:
                         trace_ctx = obs.tracer.current_context() \
                             if obs is not None else None
+                        # Frontier compaction: decide, per worker, which
+                        # of its blocks actually need a re-solve this
+                        # superstep (see the docstring for the bit-exact
+                        # skip rule). Same-worker activity is tracked in
+                        # dispatch order because those blocks see each
+                        # other's fresh values within the superstep.
+                        dispatch_ids: List[List[int]] = []
+                        step_skipped = 0
+                        for worker, block_ids, payload in active:
+                            if not compaction:
+                                dispatch_ids.append(list(block_ids))
+                                continue
+                            worker_active = np.zeros(num_blocks,
+                                                     dtype=bool)
+                            chosen: List[int] = []
+                            for block in block_ids:
+                                sources = self._source_blocks[block]
+                                if (changed_prev[block]
+                                        or changed_prev[sources].any()
+                                        or worker_active[sources].any()):
+                                    chosen.append(block)
+                                    worker_active[block] = True
+                            step_skipped += len(block_ids) - len(chosen)
+                            dispatch_ids.append(chosen)
                         futures: List[Optional[object]] = []
                         for slot, (worker, block_ids, payload) \
                                 in enumerate(active):
-                            if pools[slot] is None:
+                            if pools[slot] is None \
+                                    or not dispatch_ids[slot]:
                                 futures.append(None)
                                 continue
                             futures.append(self._dispatch(
-                                pools[slot], slot, block_ids, previous,
-                                supersteps, board, local_tol,
+                                pools[slot], slot, dispatch_ids[slot],
+                                previous, supersteps, board, local_tol,
                                 local_max_iter, supersteps, 0,
                                 trace_ctx, telemetry))
                         new_scores = scores.copy()
                         step_local = 0
+                        changed_now = np.zeros(num_blocks, dtype=bool)
                         block_iterations: Optional[dict] = \
                             {} if telemetry is not None else None
                         for slot, (worker, block_ids, payload) \
                                 in enumerate(active):
+                            ids = dispatch_ids[slot]
+                            if block_iterations is not None:
+                                for block_id in block_ids:
+                                    if block_id not in ids:
+                                        block_iterations[block_id] = 0
+                            if not ids:
+                                continue
                             if futures[slot] is None:
                                 results = self._solve_degraded(
-                                    block_ids, payload, previous,
+                                    ids, payload, previous,
                                     local_tol, local_max_iter, obs,
                                     worker)
                             else:
@@ -659,7 +712,7 @@ class ParallelBlockEngine:
                                     previous, local_tol, local_max_iter,
                                     supersteps, deadline_seconds,
                                     retries, telemetry, trace_ctx, obs,
-                                    board)
+                                    board, dispatch_ids=ids)
                             for block_id, block_scores, inner in results:
                                 members = self._members[block_id]
                                 if block_scores is None:
@@ -667,10 +720,18 @@ class ParallelBlockEngine:
                                     # straight into the result buffer.
                                     block_scores = board.result[members]
                                 new_scores[members] = block_scores
+                                changed_now[block_id] = \
+                                    not np.array_equal(block_scores,
+                                                       previous[members])
                                 step_local += inner
                                 if block_iterations is not None:
                                     block_iterations[block_id] = inner
+                        changed_prev = changed_now
                         local_iterations += step_local
+                        blocks_skipped += step_skipped
+                        if telemetry is not None and step_skipped:
+                            telemetry.incr("blocks_skipped",
+                                           step_skipped)
                         messages += self._cut_edges
                         change = np.abs(new_scores - previous)
                         residual = float(change.sum())
@@ -708,7 +769,8 @@ class ParallelBlockEngine:
         converged = residual <= tol
         scores = scores / scores.sum()
         return BlockRankResult(scores, supersteps, messages,
-                               local_iterations, residual, converged)
+                               local_iterations, residual, converged,
+                               blocks_skipped=blocks_skipped)
 
     # ------------------------------------------------------------------
     # failure handling
@@ -717,7 +779,7 @@ class ParallelBlockEngine:
                                previous, local_tol, local_max_iter,
                                superstep, deadline_seconds, retries,
                                telemetry, trace_ctx=None, obs=None,
-                               board=None):
+                               board=None, dispatch_ids=None):
         """Await one worker's results, retrying through crashes/hangs.
 
         On failure the worker's pool is torn down and respawned — on the
@@ -743,6 +805,10 @@ class ParallelBlockEngine:
         ``repro_recoveries_total{kind=...}`` counters.
         """
         worker, block_ids, payload = active[slot]
+        if dispatch_ids is not None:
+            # Compaction dispatched a subset; replays and the degraded
+            # fallback must solve exactly that subset.
+            block_ids = dispatch_ids
         attempt = 0
         while True:
             try:

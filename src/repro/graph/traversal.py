@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import NodeNotFoundError
 from repro.graph.csr import CSRGraph
+from repro.graph.toposort import ragged_offsets, topological_levels
 
 
 def _check_sources(graph: CSRGraph, sources: Iterable[int]) -> np.ndarray:
@@ -43,9 +44,7 @@ def bfs_distances(graph: CSRGraph, sources: Iterable[int],
         total = int(counts.sum())
         if total == 0:
             break
-        from repro.core.twpr import _ragged_offsets
-
-        gather = np.repeat(starts, counts) + _ragged_offsets(counts)
+        gather = np.repeat(starts, counts) + ragged_offsets(counts)
         targets = np.unique(work_graph.indices[gather])
         fresh = targets[distances[targets] == -1]
         distances[fresh] = depth
@@ -96,8 +95,6 @@ def citation_depth(graph: CSRGraph) -> int:
     The quantity that governs how fast iterative solvers converge on
     (near-)acyclic citation graphs — see EXPERIMENTS.md notes on E4.
     """
-    from repro.core.twpr import _node_levels
-
     if graph.num_nodes == 0:
         return 0
-    return int(_node_levels(graph).max())
+    return topological_levels(graph).num_levels - 1

@@ -92,6 +92,29 @@ def validate_initial(initial: Optional[np.ndarray],
     return vector / total
 
 
+def validate_edge_weights(graph: CSRGraph,
+                          edge_weights: Optional[np.ndarray] = None
+                          ) -> np.ndarray:
+    """Resolve and validate a per-edge weight override.
+
+    Returns the graph's stored weights when ``edge_weights`` is ``None``;
+    otherwise checks shape against the edge array and rejects negative or
+    non-finite entries. Every solver entry point — ``pagerank``,
+    ``gauss_seidel_pagerank`` and the block engines — funnels through
+    this one guard so a NaN/negative override cannot silently corrupt
+    one engine's fixed point while the others reject it.
+    """
+    weights = graph.weights if edge_weights is None \
+        else np.asarray(edge_weights, dtype=np.float64)
+    if weights.shape != graph.weights.shape:
+        raise ConfigError(
+            f"edge_weights must have shape {graph.weights.shape}, "
+            f"got {weights.shape}")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigError("edge weights must be finite and non-negative")
+    return weights
+
+
 def build_transition(graph: CSRGraph,
                      edge_weights: Optional[np.ndarray] = None
                      ) -> Tuple[csr_matrix, np.ndarray]:
@@ -103,14 +126,7 @@ def build_transition(graph: CSRGraph,
     edges but all of weight zero.
     """
     n = graph.num_nodes
-    weights = graph.weights if edge_weights is None \
-        else np.asarray(edge_weights, dtype=np.float64)
-    if weights.shape != graph.weights.shape:
-        raise ConfigError(
-            f"edge_weights must have shape {graph.weights.shape}, "
-            f"got {weights.shape}")
-    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
-        raise ConfigError("edge weights must be finite and non-negative")
+    weights = validate_edge_weights(graph, edge_weights)
 
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
     strengths = np.bincount(src, weights=weights, minlength=n)

@@ -96,6 +96,12 @@ class ShardedGateway:
             shard faults hit shard refreshes.
         board_capacity: score board slots (default: 4x the bootstrap
             corpus, headroom for arrivals).
+        score_dtype: dtype of the score board's serving lanes —
+            ``numpy.float64`` (default) or ``numpy.float32`` (halves
+            board score bytes; every publish is guarded by the
+            :data:`repro.engine.shm.FLOAT32_PARITY_RTOL` tolerance
+            contract against its float64 original, and shard reads
+            still return float64).
         call_timeout: per-shard pipe call budget in seconds.
         auto_respawn: respawn a dead shard during refresh (reads never
             respawn — they degrade; :meth:`repair` does the rest).
@@ -112,6 +118,7 @@ class ShardedGateway:
                  obs: Optional["Observability"] = None,
                  fault_plan: Optional["FaultPlan"] = None,
                  board_capacity: Optional[int] = None,
+                 score_dtype: "np.dtype" = np.float64,
                  shard_failure_threshold: int = 3,
                  shard_cooldown: Optional[RetryPolicy] = None,
                  max_inflight: int = 64, max_waiting: int = 0,
@@ -154,7 +161,7 @@ class ShardedGateway:
         articles = live.dataset.articles
         capacity = board_capacity if board_capacity is not None \
             else max(4 * len(articles), 4096)
-        self._writer = ScoreBoardWriter(capacity)
+        self._writer = ScoreBoardWriter(capacity, dtype=score_dtype)
         self._board_epoch = -1
         self._published_ids: List[int] = []
         self._published_set: set = set()

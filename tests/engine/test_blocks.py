@@ -121,6 +121,87 @@ class TestVertexCentric:
             vertex_centric_pagerank(graph, partition, tol=0)
 
 
+class TestFrontierCompaction:
+    """Compaction must be a bit-exact no-op with measurable savings."""
+
+    def _chain_graph(self):
+        # Nodes 0-19 form self-contained per-block chains that settle
+        # after one superstep; nodes 20-39 form a long cross-block cycle
+        # that keeps iterating, so the quiet blocks get skipped.
+        edges = [(i, i + 1) for i in range(20) if (i + 1) % 5 != 0]
+        edges += [(i, 20 + (i - 19) % 20) for i in range(20, 40)]
+        return CSRGraph.from_edges(edges, nodes=range(40))
+
+    def test_bit_identical_with_and_without(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        engine = BlockEngine(graph, partition)
+        on = engine.run(tol=1e-12, compaction=True)
+        off = engine.run(tol=1e-12, compaction=False)
+        assert np.array_equal(on.scores, off.scores)
+        assert on.supersteps == off.supersteps
+        assert on.residual == off.residual
+        assert on.messages == off.messages
+        assert off.blocks_skipped == 0
+
+    def test_skips_recorded_and_work_saved(self):
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        engine = BlockEngine(graph, partition)
+        on = engine.run(tol=1e-13, local_tol=1e-14, compaction=True)
+        off = engine.run(tol=1e-13, local_tol=1e-14, compaction=False)
+        assert np.array_equal(on.scores, off.scores)
+        assert on.supersteps == off.supersteps
+        assert on.blocks_skipped > 0
+        assert on.local_iterations < off.local_iterations
+
+    def test_telemetry_counts_skips(self):
+        from repro.obs import SolverTelemetry
+
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        telemetry = SolverTelemetry("blocks")
+        result = BlockEngine(graph, partition).run(
+            tol=1e-13, local_tol=1e-14, telemetry=telemetry)
+        assert result.blocks_skipped > 0
+        assert telemetry.counters["blocks_skipped"] == \
+            result.blocks_skipped
+
+
+class TestEdgeWeightGuard:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -1.0])
+    def test_block_operators_reject(self, small_dataset, bad):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        weights = graph.weights.copy()
+        weights[0] = bad
+        with pytest.raises(ConfigError):
+            BlockEngine(graph, partition, edge_weights=weights)
+
+    def test_vertex_centric_rejects(self, small_dataset):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        weights = graph.weights.copy()
+        weights[-1] = np.nan
+        with pytest.raises(ConfigError):
+            vertex_centric_pagerank(graph, partition,
+                                    edge_weights=weights)
+
+    def test_honest_operator_contract(self, small_dataset):
+        from repro.engine.blocks import BlockOperators, _block_operators
+
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 4)
+        operators = _block_operators(graph, partition, None)
+        assert isinstance(operators, BlockOperators)
+        # The fifth field is the per-edge transition probability, not a
+        # jump vector: one entry per edge, rows sum to at most 1.
+        assert operators.probability.shape == (graph.num_edges,)
+        assert operators.cut_edges == partition.edge_cut(graph)
+        for block, sources in enumerate(operators.source_blocks):
+            assert block not in sources.tolist()
+
+
 class TestBlockTelemetry:
     def test_scores_identical_and_supersteps_recorded(self, small_dataset):
         from repro.obs import SolverTelemetry

@@ -69,6 +69,82 @@ class TestPayloadDiscipline:
         assert largest_of_two < size_one
 
 
+class TestParallelCompaction:
+    """Frontier compaction: bit-exact across planes, less work done."""
+
+    def _chain_graph(self):
+        from repro.graph.csr import CSRGraph
+
+        # Self-contained chains (blocks 0-3) settle in one superstep;
+        # a long cross-block cycle (blocks 4-7) keeps iterating.
+        edges = [(i, i + 1) for i in range(20) if (i + 1) % 5 != 0]
+        edges += [(i, 20 + (i - 19) % 20) for i in range(20, 40)]
+        return CSRGraph.from_edges(edges, nodes=range(40))
+
+    @pytest.mark.parametrize("plane", [False, "auto"])
+    def test_bit_identical_with_and_without(self, plane):
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        engine = ParallelBlockEngine(graph, partition, num_workers=3,
+                                     shared_memory=plane)
+        on = engine.run(tol=1e-13, local_tol=1e-14, compaction=True)
+        off = engine.run(tol=1e-13, local_tol=1e-14, compaction=False)
+        assert np.array_equal(on.scores, off.scores)
+        assert on.supersteps == off.supersteps
+        assert on.residual == off.residual
+        assert off.blocks_skipped == 0
+        assert on.blocks_skipped > 0
+        assert on.local_iterations < off.local_iterations
+
+    def test_planes_agree_under_compaction(self):
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        results = [
+            ParallelBlockEngine(graph, partition, num_workers=3,
+                                shared_memory=plane).run(
+                tol=1e-13, local_tol=1e-14, compaction=True)
+            for plane in (False, "auto")
+        ]
+        assert np.array_equal(results[0].scores, results[1].scores)
+        assert results[0].supersteps == results[1].supersteps
+
+    def test_matches_serial_engine(self):
+        from repro.engine.blocks import BlockEngine
+
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        serial = BlockEngine(graph, partition).run(
+            tol=1e-13, local_tol=1e-14, compaction=True)
+        parallel = ParallelBlockEngine(graph, partition,
+                                       num_workers=1).run(
+            tol=1e-13, local_tol=1e-14, compaction=True)
+        assert np.array_equal(serial.scores, parallel.scores)
+
+    def test_skips_counted_in_telemetry(self):
+        from repro.obs import SolverTelemetry
+
+        graph = self._chain_graph()
+        partition = range_partition(graph, 8)
+        telemetry = SolverTelemetry("parallel")
+        result = ParallelBlockEngine(graph, partition, num_workers=3).run(
+            tol=1e-13, local_tol=1e-14, telemetry=telemetry)
+        assert result.blocks_skipped > 0
+        assert telemetry.counters["blocks_skipped"] == \
+            result.blocks_skipped
+
+
+class TestParallelEdgeWeightGuard:
+    @pytest.mark.parametrize("bad", [np.nan, -2.0])
+    def test_rejects_bad_weights(self, small_dataset, bad):
+        graph = small_dataset.citation_csr()
+        partition = range_partition(graph, 2)
+        weights = graph.weights.copy()
+        weights[0] = bad
+        with pytest.raises(ConfigError):
+            ParallelBlockEngine(graph, partition, num_workers=1,
+                                edge_weights=weights)
+
+
 class TestParallelTelemetry:
     def test_fixed_point_unchanged_and_bytes_recorded(self, small_dataset):
         from repro.obs import SolverTelemetry

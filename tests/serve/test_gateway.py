@@ -129,6 +129,36 @@ class TestParity:
             assert gateway.top_sync(20).entries == index.top(20)
 
 
+class TestFloat32Serving:
+    """Opt-in float32 score board behind the same query surface."""
+
+    def test_top_k_within_float32_tolerance(self, gateway_dataset):
+        import numpy as np
+
+        from repro.engine.shm import (FLOAT32_PARITY_ATOL,
+                                      FLOAT32_PARITY_RTOL)
+
+        with make_gateway(gateway_dataset,
+                          score_dtype=np.float32) as gateway:
+            feed(gateway, gateway_dataset, batches=2)
+            index = gateway.service.snapshot().index
+            result = gateway.top_sync(25)
+            assert result.complete
+            exact = index.top(25)
+            assert [e.article_id for e in result.entries] \
+                == [e.article_id for e in exact]
+            got = np.array([e.score for e in result.entries])
+            want = np.array([e.score for e in exact])
+            assert np.allclose(got, want, rtol=FLOAT32_PARITY_RTOL,
+                               atol=FLOAT32_PARITY_ATOL)
+
+    def test_float64_default_unchanged(self, gateway_dataset):
+        import numpy as np
+
+        with make_gateway(gateway_dataset) as gateway:
+            assert gateway._writer.dtype == np.float64
+
+
 class TestProcessMode:
     def test_cross_process_parity_and_health(self, gateway_dataset):
         with make_gateway(gateway_dataset, num_shards=2,

@@ -1,0 +1,51 @@
+"""The deferred-annotation lint must stay green over the whole tree."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_annotations  # noqa: E402
+
+
+class TestChecker:
+    def test_flags_missing_typing_import(self, tmp_path):
+        # The shape of the original bug: Dict used, never imported.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def payload(x) -> 'Dict[int, str]':\n    return {}\n")
+        problems = check_annotations.check_file(bad)
+        assert problems == [(1, "Dict")]
+
+    def test_type_checking_imports_count_as_bound(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text(
+            "from typing import TYPE_CHECKING, Optional\n"
+            "if TYPE_CHECKING:\n"
+            "    from somewhere import Thing\n"
+            "def f(t: Optional['Thing']) -> None:\n    pass\n")
+        assert check_annotations.check_file(good) == []
+
+    def test_dotted_references_need_only_the_root(self, tmp_path):
+        good = tmp_path / "dotted.py"
+        good.write_text(
+            "import numpy as np\n"
+            "def f(x: 'np.ndarray') -> 'np.ndarray':\n    return x\n")
+        assert check_annotations.check_file(good) == []
+
+    def test_unparsable_string_annotations_skipped(self, tmp_path):
+        odd = tmp_path / "odd.py"
+        odd.write_text("def f(x: 'not valid python (') -> None:\n"
+                       "    pass\n")
+        assert check_annotations.check_file(odd) == []
+
+
+class TestRepoIsClean:
+    def test_src_tests_benchmarks_tools(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_annotations.py"),
+             "src", "tests", "benchmarks", "tools"],
+            cwd=REPO, capture_output=True, text=True)
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Flag undefined names inside deferred (string) type annotations.
+
+Deferred annotations — quoted strings or anything under ``from
+__future__ import annotations`` — are never evaluated at import time,
+so a typo or missing typing import (``Dict`` used without being
+imported, the bug this tool was written against) sails through the
+entire functional test suite and only explodes when a runtime
+inspector calls ``typing.get_type_hints``. Static linters with an
+undefined-name rule catch this, but the repro toolchain must work
+offline with the stdlib only, so this is a first-party AST pass.
+
+For every module it collects the names bound anywhere in the file —
+imports (including ``if TYPE_CHECKING:`` blocks, which are legitimate
+annotation-only imports), assignments, function and class definitions —
+plus builtins. Every annotation expression is then parsed and each
+root ``Name`` it references must be in that set.
+
+Usage::
+
+    python tools/check_annotations.py src tests benchmarks
+
+Exits non-zero and prints ``path:line: name`` for each violation.
+"""
+
+import ast
+import builtins
+import sys
+from pathlib import Path
+
+#: Names valid in annotations without any binding.
+IMPLICIT = {"None"} | set(dir(builtins))
+
+
+def _bound_names(tree: ast.AST) -> set:
+    """Every name the module binds anywhere, at any nesting depth.
+
+    Deliberately over-approximate: a name bound inside a function would
+    not actually be visible to ``get_type_hints``, but chasing scopes
+    buys little for a checker whose job is catching never-imported
+    names.
+    """
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.alias):
+            target = node.asname or node.name.split(".")[0]
+            names.add(target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, ast.arg):
+            names.add(node.arg)
+    return names
+
+
+def _annotation_nodes(tree: ast.AST):
+    """Yield ``(lineno, expression_node)`` for every annotation."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                        + [a for a in (args.vararg, args.kwarg) if a]):
+                if arg.annotation is not None:
+                    yield arg.annotation.lineno, arg.annotation
+            if node.returns is not None:
+                yield node.returns.lineno, node.returns
+        elif isinstance(node, ast.AnnAssign):
+            yield node.annotation.lineno, node.annotation
+
+
+def _referenced_roots(annotation: ast.AST, lineno: int):
+    """Root names an annotation expression refers to.
+
+    Quoted annotations (``"SolverTelemetry"``) are parsed recursively;
+    unparsable strings are skipped (they may be intentional literals).
+    For dotted references only the root matters (``np.ndarray`` needs
+    ``np``).
+    """
+    stack = [(annotation, lineno)]
+    while stack:
+        node, line = stack.pop()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            stack.append((parsed.body, line))
+            continue
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and \
+                    isinstance(child.ctx, ast.Load):
+                yield line, child.id
+            elif isinstance(child, ast.Constant) and \
+                    isinstance(child.value, str) and child is not node:
+                stack.append((child, line))
+
+
+def check_file(path: Path):
+    """Return ``[(lineno, name), ...]`` undefined-in-annotation hits."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bound = _bound_names(tree) | IMPLICIT
+    problems = []
+    for lineno, annotation in _annotation_nodes(tree):
+        for line, name in _referenced_roots(annotation, lineno):
+            if name not in bound:
+                problems.append((line, name))
+    return problems
+
+
+def main(argv):
+    roots = [Path(p) for p in (argv or ["src"])]
+    failures = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            for lineno, name in check_file(path):
+                print(f"{path}:{lineno}: undefined name {name!r} "
+                      f"in annotation")
+                failures += 1
+    if failures:
+        print(f"{failures} undefined annotation name(s)",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
