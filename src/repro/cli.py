@@ -29,7 +29,12 @@ Commands:
                 p50/p99 latency, and merge parity.
     ingest-sim — run the streaming-ingest chaos harness (journal,
                 dedup, backpressure, crash-resume) against a synthetic
-                feed and report the delivery-contract verdict.
+                feed and report the delivery-contract verdict;
+                ``--partitions K`` runs the partitioned multi-worker
+                pipeline with per-partition crash/stall/tear faults.
+    ingest-compact — archive (or delete) the sealed, cursor-covered
+                segments of an ingest journal directory and report the
+                bytes reclaimed.
     watch     — live health/SLO/freshness table from a small inline
                 gateway sim, or offline triage of an incident bundle
                 (``--bundle``).
@@ -608,6 +613,13 @@ def _command_ingest_sim(args: argparse.Namespace) -> int:
         min_batch=args.min_batch, max_batch=args.max_batch,
         max_queue=args.max_queue,
         checkpoint_batches=args.checkpoint_batches,
+        partitions=args.partitions,
+        crash_partitions=args.crash_partition,
+        tear_partitions=args.tear_partition,
+        stall_partitions=args.stall_partition,
+        segment_records=args.segment_records,
+        compaction=None if args.compaction == "off"
+        else args.compaction,
         bundle_dir=Path(args.bundle_dir) if args.bundle_dir else None)
     print(sim.render())
     # Written even for failed/violated runs: a missing artifact in CI
@@ -628,6 +640,38 @@ def _command_ingest_sim(args: argparse.Namespace) -> int:
               "(loss, duplicate application, or ranking divergence)",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _partition_seq(value: str) -> tuple:
+    """Parse a ``PARTITION:SEQ`` CLI operand into an int pair."""
+    try:
+        partition, _, seq = value.partition(":")
+        return (int(partition), int(seq))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected PARTITION:SEQ (two integers), got {value!r}")
+
+
+def _command_ingest_compact(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.ingest import IngestJournal
+
+    journal_dir = Path(args.journal)
+    if not journal_dir.is_dir():
+        # Opening would create an empty journal in place — an operator
+        # pointing compaction at the wrong path must hear about it.
+        print(f"error: no journal at {journal_dir}", file=sys.stderr)
+        return 1
+    with IngestJournal(journal_dir) as journal:
+        report = journal.compact(retention=args.retention)
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.as_metrics(), indent=2) + "\n",
+            encoding="utf-8")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -1010,6 +1054,39 @@ def build_parser() -> argparse.ArgumentParser:
                             default=1,
                             help="checkpoint + cursor commit cadence, "
                                  "in applied batches")
+    ingest_sim.add_argument("--partitions", type=int, default=1,
+                            help="run K partitioned ingest workers "
+                                 "with crash-isolated journals "
+                                 "(default: the single-worker "
+                                 "pipeline)")
+    ingest_sim.add_argument("--crash-partition", metavar="P:SEQ",
+                            type=_partition_seq, action="append",
+                            default=None,
+                            help="kill partition P's worker after it "
+                                 "journals arrival SEQ (repeatable; "
+                                 "same SEQ twice = simultaneous "
+                                 "deaths)")
+    ingest_sim.add_argument("--tear-partition", metavar="P",
+                            type=int, action="append", default=None,
+                            help="tear partition P's active segment "
+                                 "tail at its next crash "
+                                 "(repeatable)")
+    ingest_sim.add_argument("--stall-partition", metavar="P:SEQ",
+                            type=_partition_seq, action="append",
+                            default=None,
+                            help="stall partition P's worker before "
+                                 "it journals arrival SEQ "
+                                 "(repeatable)")
+    ingest_sim.add_argument("--segment-records", type=int,
+                            default=1024,
+                            help="journal segment size in records "
+                                 "(small values make archival "
+                                 "observable in short runs)")
+    ingest_sim.add_argument("--compaction",
+                            choices=("off", "archive", "delete"),
+                            default="off",
+                            help="reclaim sealed cursor-covered "
+                                 "journal segments after each commit")
     ingest_sim.add_argument("--bundle-dir", type=str, default=None,
                             help="write incident bundles (worker "
                                  "crash capture) here")
@@ -1019,6 +1096,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write a RunReport for "
                                  "benchmarks/compare.py gating")
     ingest_sim.set_defaults(handler=_command_ingest_sim)
+
+    ingest_compact = commands.add_parser(
+        "ingest-compact", help="archive or delete the sealed, cursor-"
+                               "covered segments of an ingest journal")
+    ingest_compact.add_argument("journal",
+                                help="journal directory (for a "
+                                     "partitioned root, run once per "
+                                     "partition-NNNN directory)")
+    ingest_compact.add_argument("--retention",
+                                choices=("archive", "delete"),
+                                default="archive",
+                                help="move covered segments to "
+                                     "archive/ (default) or delete "
+                                     "them outright")
+    ingest_compact.add_argument("--json", type=str, default=None,
+                                help="also save the compaction report "
+                                     "as JSON")
+    ingest_compact.set_defaults(handler=_command_ingest_compact)
     return parser
 
 

@@ -23,17 +23,45 @@ production index needs:
   command) injects stalls, transient errors, parser crashes, poison
   records, duplicate storms, a mid-batch worker kill, and a torn
   journal tail, then proves zero loss, zero duplicate application, and
-  a final ranking bit-identical to the fault-free single-batch run.
+  a final ranking bit-identical to the fault-free single-batch run;
+* **crash-isolated horizontal scale** —
+  :class:`~repro.ingest.partition.PartitionedIngestPipeline` runs K
+  partition workers (``partition_of`` consistent with the serving
+  tier's ``shard_of``), each with its own journal directory and
+  committed-offset cursor, merged back through a deterministic
+  :class:`~repro.ingest.partition.FanIn` so the result stays
+  bit-identical to the single-worker pipeline; sealed, cursor-covered
+  journal segments are reclaimed by
+  :meth:`~repro.ingest.journal.IngestJournal.compact`
+  (``repro ingest-compact``).
 
-See ``docs/OPERATIONS.md`` ("Streaming ingestion") for the operational
-picture: journal layout, offset semantics, backpressure knobs, and
-quarantine triage.
+See ``docs/OPERATIONS.md`` ("Streaming ingestion" and "Partitioned
+ingestion") for the operational picture: journal layout, offset
+semantics, backpressure knobs, archival retention, and quarantine
+triage.
 """
 
 from repro.ingest.coalescer import Backpressure, Coalescer
 from repro.ingest.dedup import Deduplicator
-from repro.ingest.journal import IngestJournal, JournalRecord
-from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.journal import (
+    CompactionReport,
+    IngestJournal,
+    JournalRecord,
+)
+from repro.ingest.partition import (
+    FanIn,
+    PartitionedIngestPipeline,
+    PartitionedIngestReport,
+    PartitionStats,
+    PartitionWorker,
+    partition_of,
+    partition_route,
+)
+from repro.ingest.pipeline import (
+    AdmissionTiers,
+    IngestPipeline,
+    IngestReport,
+)
 from repro.ingest.sim import (
     IngestSimReport,
     fault_free_reference,
@@ -44,12 +72,16 @@ from repro.ingest.source import (
     ParsedItem,
     SyntheticSource,
     parse_record,
+    route_key,
 )
 
 __all__ = [
+    "AdmissionTiers",
     "Backpressure",
     "Coalescer",
+    "CompactionReport",
     "Deduplicator",
+    "FanIn",
     "IngestJournal",
     "IngestPipeline",
     "IngestReport",
@@ -57,8 +89,15 @@ __all__ = [
     "JournalRecord",
     "JsonlSource",
     "ParsedItem",
+    "PartitionStats",
+    "PartitionWorker",
+    "PartitionedIngestPipeline",
+    "PartitionedIngestReport",
     "SyntheticSource",
     "fault_free_reference",
     "parse_record",
+    "partition_of",
+    "partition_route",
+    "route_key",
     "run_ingest_sim",
 ]

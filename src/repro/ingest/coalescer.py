@@ -127,6 +127,12 @@ class Coalescer:
         downstream layers can measure arrival-to-served seconds.
         """
         if len(self._items) >= self.max_queue:
+            # The rejected offer is real demand at the bound: register
+            # the depth it found so the peak gauge reflects saturation
+            # even though nothing was enqueued — otherwise a producer
+            # that only ever collides with a full queue leaves no trace
+            # in the peak accounting.
+            self.peak = max(self.peak, len(self._items))
             raise IngestError(
                 f"coalescer queue is full ({self.max_queue} items); "
                 f"cut a batch before offering more")

@@ -64,6 +64,14 @@ PathLike = Union[str, Path]
 DEFAULT_RETRY = RetryPolicy(max_retries=3, base_delay=0.01,
                             max_delay=0.25, jitter=0.0)
 
+#: The record-clock arrival→visible histogram both pipelines observe;
+#: one definition so the get-or-create registry never sees mismatched
+#: buckets.
+VISIBLE_LATENCY_METRIC = "repro_ingest_visible_latency_records"
+VISIBLE_LATENCY_HELP = ("Records pulled between a record's arrival and "
+                        "the batch apply that made it visible.")
+VISIBLE_LATENCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
 
 @dataclass
 class IngestReport:
@@ -82,6 +90,10 @@ class IngestReport:
     peak_queue: int = 0
     committed_offset: int = 0
     torn_records_dropped: int = 0
+    #: Sealed journal segments compaction moved out of the hot tier
+    #: (archived or deleted under retention) and the bytes it freed.
+    segments_archived: int = 0
+    segments_reclaimed_bytes: int = 0
     #: Arrival-to-visible freshness, in *records* (how many records
     #: were pulled between this one's arrival and the batch apply that
     #: made it visible). Deterministic, unlike wall-clock.
@@ -117,9 +129,156 @@ class IngestReport:
             "peak_queue": self.peak_queue,
             "committed_offset": self.committed_offset,
             "torn_records_dropped": self.torn_records_dropped,
+            "segments_archived": self.segments_archived,
+            "segments_reclaimed_bytes": self.segments_reclaimed_bytes,
             "freshness_max_records": self.freshness_max_records,
             "freshness_mean_records": self.freshness_mean_records,
         }
+
+
+def observe_served_freshness(obs: "Observability", batch, outcome,
+                             has_sink: bool, now_wall: float) -> None:
+    """Wall-clock arrival→visible seconds, staged by how far the batch
+    actually travelled. Shared by both pipelines.
+
+    ``stage="applied"`` for the sink-less path (visible to direct
+    readers of the ranker); ``stage="served"`` when a serving sink
+    *published* the batch. A deferred or quarantined sink outcome
+    records nothing — those records are not visible yet, and the
+    publish-side histogram picks them up when they are.
+    """
+    from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
+                                   FRESHNESS_METRIC)
+
+    provenance = batch.provenance
+    if provenance is None or not provenance.arrivals:
+        return
+    if not has_sink:
+        stage = "applied"
+    elif getattr(outcome, "status", "") == "published":
+        stage = "served"
+    else:
+        return
+    freshness = obs.metrics.histogram(
+        FRESHNESS_METRIC, FRESHNESS_HELP,
+        buckets=FRESHNESS_BUCKETS, labels=("stage",))
+    for arrived_wall in provenance.arrivals:
+        if arrived_wall > 0.0:
+            freshness.observe(max(0.0, now_wall - arrived_wall),
+                              stage=stage)
+
+
+class AdmissionTiers:
+    """The three-tier exactly-once admission path, shared by the
+    single-worker :class:`IngestPipeline` and the partitioned pipeline
+    in :mod:`repro.ingest.partition`.
+
+    Tier order is the contract: the authoritative corpus first (a
+    record already applied is skipped no matter what the windows
+    remember), then the coalescer's queued window (same id queued with
+    a *different* fingerprint is a conflict, quarantined), then the
+    bounded LRU :class:`~repro.ingest.dedup.Deduplicator` for the
+    recently-seen window. Centralising it here is what lets K
+    partitions share one admission truth — a citation whose endpoints
+    were routed to different partitions still sees them, because every
+    partition fans into the same coalescer and corpus.
+    """
+
+    def __init__(self, live: LiveRanker, coalescer: Coalescer,
+                 dedup: Deduplicator, report: IngestReport,
+                 obs: Optional["Observability"],
+                 quarantine: Callable[[Exception, int], None]) -> None:
+        self.live = live
+        self.coalescer = coalescer
+        self.dedup = dedup
+        self.report = report
+        self.obs = obs
+        self._quarantine = quarantine
+
+    def admit(self, item: ParsedItem, arrived_at: float,
+              arrived_wall: float) -> bool:
+        """Admit one parsed item; returns True when it was queued."""
+        if item.kind == "article":
+            return self._admit_article(item, arrived_at, arrived_wall)
+        return self._admit_citation(item, arrived_at, arrived_wall)
+
+    def _skip_duplicate(self, reason: str) -> None:
+        self.report.duplicates_skipped += 1
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "repro_ingest_duplicates_total",
+                "Duplicate records skipped, by detection point.",
+                labels=("reason",)).inc(reason=reason)
+
+    def _admit_article(self, item: ParsedItem, arrived_at: float,
+                       arrived_wall: float) -> bool:
+        article = item.article
+        # Authoritative first: already in the corpus means a replay or
+        # re-delivery of an applied record (first write wins).
+        if article.id in self.live.dataset.articles:
+            self._skip_duplicate("applied")
+            return False
+        queued_fp = self.coalescer.queued_fingerprint(article.id)
+        if queued_fp is not None:
+            if queued_fp == item.fingerprint:
+                self._skip_duplicate("queued")
+            else:
+                self.report.conflicts_quarantined += 1
+                self._quarantine(IngestError(
+                    f"article {article.id} re-delivered with "
+                    f"conflicting content"), item.offset)
+            return False
+        verdict = self.dedup.check(("a", article.id), item.fingerprint)
+        if verdict == DUPLICATE:
+            self._skip_duplicate("window")
+            return False
+        if verdict == CONFLICT:
+            self.report.conflicts_quarantined += 1
+            self._quarantine(IngestError(
+                f"article {article.id} re-delivered with conflicting "
+                f"content"), item.offset)
+            return False
+        self.dedup.admit(("a", article.id), item.fingerprint)
+        self.coalescer.offer(item, arrived_at=arrived_at,
+                             arrived_wall=arrived_wall)
+        return True
+
+    def _admit_citation(self, item: ParsedItem, arrived_at: float,
+                        arrived_wall: float) -> bool:
+        citing, cited = item.citation
+        known = self.live.dataset.articles
+        # Endpoints must exist somewhere the batch can see them —
+        # applied corpus or queued articles. Anything else (a mangled
+        # article that never materialised, a feed bug) is poison.
+        for endpoint in (citing, cited):
+            if endpoint not in known \
+                    and self.coalescer.queued_article(endpoint) is None:
+                self._quarantine(IngestError(
+                    f"citation ({citing} -> {cited}) references "
+                    f"unknown article {endpoint}"), item.offset)
+                return False
+        already = known.get(citing)
+        if already is not None and cited in already.references:
+            self._skip_duplicate("applied")
+            return False
+        queued = self.coalescer.queued_article(citing)
+        if queued is not None and cited in queued.references:
+            self._skip_duplicate("queued")
+            return False
+        if self.coalescer.has_pair(item.citation):
+            self._skip_duplicate("queued")
+            return False
+        verdict = self.dedup.check(("c", citing, cited),
+                                   item.fingerprint)
+        if verdict in (DUPLICATE, CONFLICT):
+            # A citation pair has no content beyond its endpoints, so
+            # conflict degenerates to duplicate.
+            self._skip_duplicate("window")
+            return False
+        self.dedup.admit(("c", citing, cited), item.fingerprint)
+        self.coalescer.offer(item, arrived_at=arrived_at,
+                             arrived_wall=arrived_wall)
+        return True
 
 
 class IngestPipeline:
@@ -134,6 +293,7 @@ class IngestPipeline:
                  incarnation: int = 0,
                  obs: Optional["Observability"] = None,
                  sink=None,
+                 compaction: Optional[str] = None,
                  wall_clock: Callable[[], float] = time.time) -> None:
         """Wire the stages together.
 
@@ -155,6 +315,11 @@ class IngestPipeline:
         shared ranker, so dedup stays authoritative. ``wall_clock`` is
         the arrival/served stamp source (injectable for deterministic
         freshness tests).
+
+        ``compaction`` (``"archive"`` or ``"delete"``) runs
+        :meth:`~repro.ingest.journal.IngestJournal.compact` after every
+        successful commit, reclaiming sealed segments the cursor now
+        covers — the knob that keeps a long-running journal bounded.
         """
         if parse_attempts < 1:
             raise IngestError(
@@ -163,6 +328,10 @@ class IngestPipeline:
             raise IngestError(
                 f"checkpoint_batches must be >= 1, got "
                 f"{checkpoint_batches}")
+        if compaction not in (None, "archive", "delete"):
+            raise IngestError(
+                f"compaction must be None, 'archive' or 'delete', "
+                f"got {compaction!r}")
         self.live = live
         self.source = source
         self.journal = journal
@@ -177,9 +346,13 @@ class IngestPipeline:
         self.incarnation = incarnation
         self.obs = obs
         self.sink = sink
+        self.compaction = compaction
         self.wall_clock = wall_clock
         self.report = IngestReport(
             torn_records_dropped=journal.torn_records_dropped)
+        self.admission = AdmissionTiers(live, self.coalescer,
+                                        self.dedup, self.report, obs,
+                                        self._quarantine)
         self._handled_through = 0  # offsets < this are fully handled
         self._batches_since_checkpoint = 0
         self._durable = live.checkpoint_dir is not None
@@ -192,6 +365,7 @@ class IngestPipeline:
     def resume(cls, checkpoint_dir: PathLike, journal_dir: PathLike,
                source, *, incarnation: int = 1,
                obs: Optional["Observability"] = None,
+               segment_records: int = 1024,
                **kwargs) -> "IngestPipeline":
         """Rebuild the pipeline after a crash.
 
@@ -204,7 +378,8 @@ class IngestPipeline:
         applies.
         """
         live = LiveRanker.resume(checkpoint_dir, obs=obs)
-        journal = IngestJournal(journal_dir)
+        journal = IngestJournal(journal_dir,
+                                segment_records=segment_records)
         pipeline = cls(live, source, journal, incarnation=incarnation,
                        obs=obs, **kwargs)
         cursor_batches = journal.cursor_extra.get("batches_applied")
@@ -358,85 +533,10 @@ class IngestPipeline:
             self.report.records_replayed += 1
         item = self._parse(offset, payload)
         if item is not None:
-            if item.kind == "article":
-                self._admit_article(item)
-            else:
-                self._admit_citation(item)
+            self.admission.admit(item,
+                                 arrived_at=self._arrival_stamp(),
+                                 arrived_wall=self.wall_clock())
         self._handled_through = offset + 1
-
-    def _skip_duplicate(self, reason: str) -> None:
-        self.report.duplicates_skipped += 1
-        if self.obs is not None:
-            self.obs.metrics.counter(
-                "repro_ingest_duplicates_total",
-                "Duplicate records skipped, by detection point.",
-                labels=("reason",)).inc(reason=reason)
-
-    def _admit_article(self, item: ParsedItem) -> None:
-        article = item.article
-        # Authoritative first: already in the corpus means a replay or
-        # re-delivery of an applied record (first write wins).
-        if article.id in self.live.dataset.articles:
-            self._skip_duplicate("applied")
-            return
-        queued_fp = self.coalescer.queued_fingerprint(article.id)
-        if queued_fp is not None:
-            if queued_fp == item.fingerprint:
-                self._skip_duplicate("queued")
-            else:
-                self.report.conflicts_quarantined += 1
-                self._quarantine(IngestError(
-                    f"article {article.id} re-delivered with "
-                    f"conflicting content"), item.offset)
-            return
-        verdict = self.dedup.check(("a", article.id), item.fingerprint)
-        if verdict == DUPLICATE:
-            self._skip_duplicate("window")
-            return
-        if verdict == CONFLICT:
-            self.report.conflicts_quarantined += 1
-            self._quarantine(IngestError(
-                f"article {article.id} re-delivered with conflicting "
-                f"content"), item.offset)
-            return
-        self.dedup.admit(("a", article.id), item.fingerprint)
-        self.coalescer.offer(item, arrived_at=self._arrival_stamp(),
-                             arrived_wall=self.wall_clock())
-
-    def _admit_citation(self, item: ParsedItem) -> None:
-        citing, cited = item.citation
-        known = self.live.dataset.articles
-        # Endpoints must exist somewhere the batch can see them —
-        # applied corpus or queued articles. Anything else (a mangled
-        # article that never materialised, a feed bug) is poison.
-        for endpoint in (citing, cited):
-            if endpoint not in known \
-                    and self.coalescer.queued_article(endpoint) is None:
-                self._quarantine(IngestError(
-                    f"citation ({citing} -> {cited}) references "
-                    f"unknown article {endpoint}"), item.offset)
-                return
-        already = known.get(citing)
-        if already is not None and cited in already.references:
-            self._skip_duplicate("applied")
-            return
-        queued = self.coalescer.queued_article(citing)
-        if queued is not None and cited in queued.references:
-            self._skip_duplicate("queued")
-            return
-        if self.coalescer.has_pair(item.citation):
-            self._skip_duplicate("queued")
-            return
-        verdict = self.dedup.check(("c", citing, cited),
-                                   item.fingerprint)
-        if verdict in (DUPLICATE, CONFLICT):
-            # A citation pair has no content beyond its endpoints, so
-            # conflict degenerates to duplicate.
-            self._skip_duplicate("window")
-            return
-        self.dedup.admit(("c", citing, cited), item.fingerprint)
-        self.coalescer.offer(item, arrived_at=self._arrival_stamp(),
-                             arrived_wall=self.wall_clock())
 
     def _arrival_stamp(self) -> float:
         """Arrival index in records — the deterministic freshness clock."""
@@ -502,10 +602,8 @@ class IngestPipeline:
                 "repro_ingest_batches_total",
                 "Update batches applied by the ingest pipeline.").inc()
             hist = self.obs.metrics.histogram(
-                "repro_ingest_visible_latency_records",
-                "Records pulled between a record's arrival and the "
-                "batch apply that made it visible.",
-                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
+                VISIBLE_LATENCY_METRIC, VISIBLE_LATENCY_HELP,
+                buckets=VISIBLE_LATENCY_BUCKETS)
             for arrived_at in arrivals:
                 hist.observe(now - arrived_at)
             self._observe_freshness(batch, outcome)
@@ -515,35 +613,9 @@ class IngestPipeline:
             self._commit()
 
     def _observe_freshness(self, batch, outcome) -> None:
-        """Wall-clock arrival→visible seconds, staged by how far the
-        batch actually travelled.
-
-        ``stage="applied"`` for the sink-less path (visible to direct
-        readers of the ranker); ``stage="served"`` when a serving sink
-        *published* the batch. A deferred or quarantined sink outcome
-        records nothing — those records are not visible yet, and the
-        publish-side histogram picks them up when they are.
-        """
-        from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
-                                       FRESHNESS_METRIC)
-
-        provenance = batch.provenance
-        if provenance is None or not provenance.arrivals:
-            return
-        if self.sink is None:
-            stage = "applied"
-        elif getattr(outcome, "status", "") == "published":
-            stage = "served"
-        else:
-            return
-        freshness = self.obs.metrics.histogram(
-            FRESHNESS_METRIC, FRESHNESS_HELP,
-            buckets=FRESHNESS_BUCKETS, labels=("stage",))
-        now_wall = self.wall_clock()
-        for arrived_wall in provenance.arrivals:
-            if arrived_wall > 0.0:
-                freshness.observe(max(0.0, now_wall - arrived_wall),
-                                  stage=stage)
+        observe_served_freshness(self.obs, batch, outcome,
+                                 has_sink=self.sink is not None,
+                                 now_wall=self.wall_clock())
 
     def _commit(self, force: bool = False) -> None:
         """Checkpoint the ranker, then advance the journal cursor.
@@ -577,6 +649,32 @@ class IngestPipeline:
             self.obs.metrics.counter(
                 "repro_ingest_commits_total",
                 "Checkpoint-plus-cursor commits.").inc()
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Reclaim cursor-covered segments when compaction is on."""
+        if self.compaction is None:
+            return
+        compaction = self.journal.compact(retention=self.compaction)
+        reclaimed = (compaction.segments_archived
+                     + compaction.segments_deleted)
+        if not reclaimed:
+            return
+        self.report.segments_archived += reclaimed
+        self.report.segments_reclaimed_bytes += \
+            compaction.bytes_reclaimed
+        if self.obs is not None:
+            from repro.obs.metrics import (
+                SEGMENTS_ARCHIVED_HELP, SEGMENTS_ARCHIVED_METRIC,
+                SEGMENTS_RECLAIMED_HELP, SEGMENTS_RECLAIMED_METRIC)
+
+            self.obs.metrics.counter(
+                SEGMENTS_ARCHIVED_METRIC,
+                SEGMENTS_ARCHIVED_HELP).inc(reclaimed)
+            self.obs.metrics.counter(
+                SEGMENTS_RECLAIMED_METRIC,
+                SEGMENTS_RECLAIMED_HELP).inc(
+                compaction.bytes_reclaimed)
 
     # ------------------------------------------------------------------
 

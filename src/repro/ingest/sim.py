@@ -7,9 +7,19 @@
   stalls and transient errors, parser crashes (retryable and poison),
   duplicate storms and mangled records baked into the feed, a hard
   mid-batch worker crash with journal-driven resume, and optionally a
-  torn journal tail before that resume.
-* **Reference run** — the same feed, fault-free, collapsed into one
-  :class:`~repro.engine.updates.UpdateBatch` applied in a single step.
+  torn journal tail before that resume. With ``partitions > 1`` the
+  chaos run goes through
+  :class:`~repro.ingest.partition.PartitionedIngestPipeline` instead,
+  and the fault vocabulary grows per-partition stalls, scripted
+  partition-worker crashes (several at the same arrival seq =
+  simultaneous deaths), and per-partition torn tails.
+* **Reference run** — the same feed, fault-free. At ``partitions == 1``
+  it is collapsed into one
+  :class:`~repro.engine.updates.UpdateBatch` applied in a single step;
+  at ``partitions > 1`` it is a fault-free *single-worker*
+  :class:`~repro.ingest.pipeline.IngestPipeline` pass over the same
+  source, so the partitioned claim is graded against exactly the
+  pipeline it must be indistinguishable from.
 
 It then *proves* the delivery contract by comparing outcomes:
 
@@ -45,6 +55,7 @@ from repro.engine.live import LiveRanker
 from repro.engine.updates import UpdateBatch, apply_update
 from repro.ingest.coalescer import Coalescer
 from repro.ingest.journal import IngestJournal
+from repro.ingest.partition import PartitionedIngestPipeline
 from repro.ingest.pipeline import IngestPipeline, IngestReport
 from repro.ingest.source import SyntheticSource, parse_record
 from repro.obs.metrics import (FRESHNESS_BUCKETS, FRESHNESS_HELP,
@@ -205,6 +216,14 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
                    min_batch: int = 8, max_batch: int = 32,
                    max_queue: int = 48, checkpoint_batches: int = 1,
                    parse_attempts: int = 2,
+                   partitions: int = 1,
+                   crash_partitions: Optional[
+                       List[Tuple[int, int]]] = None,
+                   tear_partitions: Optional[List[int]] = None,
+                   stall_partitions: Optional[
+                       List[Tuple[int, int]]] = None,
+                   segment_records: int = 1024,
+                   compaction: Optional[str] = None,
                    workdir: Optional[Path] = None,
                    obs: Optional["Observability"] = None,
                    bundle_dir: Optional[Path] = None
@@ -219,6 +238,18 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
     with ``truncate_journal`` the journal's active tail additionally
     loses its last line first (a torn write the recovery scan must
     absorb).
+
+    ``partitions > 1`` switches the chaos run to the partitioned
+    pipeline. ``crash_partitions`` is a list of ``(partition, seq)``
+    pairs, each killing that partition's worker right after it
+    journals the record with global arrival seq ``seq`` (two pairs at
+    the same seq = simultaneous deaths); ``tear_partitions`` lists
+    partitions whose active segment loses its tail at their next
+    crash; ``stall_partitions`` is a list of ``(partition, seq)``
+    pairs arming one ``stall_seconds`` stall each. ``compaction``
+    (``"archive"`` or ``"delete"``) arms journal segment reclaim after
+    every commit — pair it with a small ``segment_records`` so
+    segments actually seal during the run.
 
     When no ``obs`` handle is passed the sim builds its own with a
     :class:`~repro.obs.recorder.FlightRecorder` attached, so a worker
@@ -256,6 +287,12 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
         plan.crash_parser(poison_record, times=parse_attempts + 8)
     if crash_batch is not None:
         plan.crash_ingest(crash_batch)
+    for partition, seq in (crash_partitions or []):
+        plan.crash_partition_worker(partition, seq)
+    for partition in (tear_partitions or []):
+        plan.tear_partition_tail(partition)
+    for partition, seq in (stall_partitions or []):
+        plan.stall_partition_worker(partition, seq, stall_seconds)
 
     if obs is None:
         from repro.obs import FlightRecorder, Observability
@@ -265,18 +302,30 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
             recorder=FlightRecorder(bundle_dir=bundle_dir))
     recorder = getattr(obs, "recorder", None)
 
+    def fresh_coalescer() -> Coalescer:
+        return Coalescer(max_queue=max_queue, min_batch=min_batch,
+                         max_batch=max_batch)
+
     sim = IngestSimReport()
     try:
         live = LiveRanker(dataset, checkpoint_dir=checkpoint_dir)
-        journal = IngestJournal(journal_dir)
-        pipeline = IngestPipeline(
-            live, source, journal,
-            coalescer=Coalescer(max_queue=max_queue,
-                                min_batch=min_batch,
-                                max_batch=max_batch),
-            parse_attempts=parse_attempts,
-            checkpoint_batches=checkpoint_batches,
-            fault_plan=plan, obs=obs)
+        if partitions > 1:
+            pipeline = PartitionedIngestPipeline(
+                live, source, journal_dir, partitions,
+                coalescer=fresh_coalescer(),
+                parse_attempts=parse_attempts,
+                checkpoint_batches=checkpoint_batches,
+                segment_records=segment_records,
+                fault_plan=plan, obs=obs, compaction=compaction)
+        else:
+            journal = IngestJournal(journal_dir,
+                                    segment_records=segment_records)
+            pipeline = IngestPipeline(
+                live, source, journal,
+                coalescer=fresh_coalescer(),
+                parse_attempts=parse_attempts,
+                checkpoint_batches=checkpoint_batches,
+                fault_plan=plan, obs=obs, compaction=compaction)
         try:
             sim.pipeline = pipeline.run()
             final = pipeline
@@ -285,40 +334,84 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
             if recorder is not None:
                 recorder.capture("ingest.crash")
             pipeline.report.peak_queue = pipeline.coalescer.peak
-            pipeline.report.committed_offset = journal.committed
             sim.pipeline = pipeline.report
-            pipeline.journal.close()
-            if truncate_journal:
-                _tear_journal_tail(journal_dir)
             spare_parts = dict(
-                coalescer=Coalescer(max_queue=max_queue,
-                                    min_batch=min_batch,
-                                    max_batch=max_batch),
+                coalescer=fresh_coalescer(),
                 parse_attempts=parse_attempts,
                 checkpoint_batches=checkpoint_batches,
-                fault_plan=plan)
-            try:
-                resumed = IngestPipeline.resume(
-                    checkpoint_dir, journal_dir, source,
-                    incarnation=pipeline.incarnation + 1, obs=obs,
-                    **spare_parts)
-            except StorageError:
-                # Crashed before the first checkpoint ever landed:
-                # re-bootstrap from the base corpus; the journal
-                # replays from offset 0 (idempotent, so still safe).
-                resumed = IngestPipeline(
-                    LiveRanker(dataset, checkpoint_dir=checkpoint_dir),
-                    source, IngestJournal(journal_dir),
-                    incarnation=pipeline.incarnation + 1, obs=obs,
-                    **spare_parts)
+                segment_records=segment_records,
+                fault_plan=plan, compaction=compaction)
+            if partitions > 1:
+                pipeline.report.committed_offset = sum(
+                    w.journal.committed for w in pipeline.workers)
+                for worker in pipeline.workers:
+                    worker.journal.close()
+                if truncate_journal:
+                    _tear_journal_tail(journal_dir / "partition-0000")
+                try:
+                    resumed = PartitionedIngestPipeline.resume(
+                        checkpoint_dir, journal_dir, source,
+                        partitions,
+                        incarnation=pipeline.incarnation + 1, obs=obs,
+                        **spare_parts)
+                except StorageError:
+                    resumed = PartitionedIngestPipeline(
+                        LiveRanker(dataset,
+                                   checkpoint_dir=checkpoint_dir),
+                        source, journal_dir, partitions,
+                        incarnation=pipeline.incarnation + 1, obs=obs,
+                        **spare_parts)
+            else:
+                pipeline.report.committed_offset = journal.committed
+                pipeline.journal.close()
+                if truncate_journal:
+                    _tear_journal_tail(journal_dir)
+                spare_parts.pop("segment_records")
+                try:
+                    resumed = IngestPipeline.resume(
+                        checkpoint_dir, journal_dir, source,
+                        incarnation=pipeline.incarnation + 1, obs=obs,
+                        segment_records=segment_records, **spare_parts)
+                except StorageError:
+                    # Crashed before the first checkpoint ever landed:
+                    # re-bootstrap from the base corpus; the journal
+                    # replays from offset 0 (idempotent, so still
+                    # safe).
+                    resumed = IngestPipeline(
+                        LiveRanker(dataset,
+                                   checkpoint_dir=checkpoint_dir),
+                        source,
+                        IngestJournal(journal_dir,
+                                      segment_records=segment_records),
+                        incarnation=pipeline.incarnation + 1, obs=obs,
+                        **spare_parts)
             sim.resume_pipeline = resumed.run()
             sim.resumed = True
             final = resumed
 
         poisoned = frozenset([poison_record]) \
             if poison_record is not None else frozenset()
-        reference = fault_free_reference(source, dataset, poisoned)
-        reference_dataset = apply_update(dataset, reference)
+        if partitions > 1:
+            # Grade against the pipeline the partitioned one must be
+            # indistinguishable from: a fault-free single-worker pass
+            # over the same source (poison mirrored, so quarantine
+            # consequences resolve identically in both runs).
+            ref_plan = FaultPlan(seed=seed)
+            if poison_record is not None:
+                ref_plan.crash_parser(poison_record,
+                                      times=parse_attempts + 8)
+            ref_live = LiveRanker(dataset)
+            ref_pipeline = IngestPipeline(
+                ref_live, source,
+                IngestJournal(workdir / "reference-journal"),
+                coalescer=fresh_coalescer(),
+                parse_attempts=parse_attempts, fault_plan=ref_plan)
+            ref_pipeline.run()
+            ref_pipeline.journal.close()
+            reference_dataset = ref_live.dataset
+        else:
+            reference = fault_free_reference(source, dataset, poisoned)
+            reference_dataset = apply_update(dataset, reference)
         chaos_dataset = final.live.dataset
 
         expected_new = len(reference_dataset.articles) \
@@ -359,6 +452,10 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
             "torn_records_dropped": sum(r.torn_records_dropped
                                         for r in runs),
             "committed_offset": last.committed_offset,
+            "segments_archived": sum(r.segments_archived
+                                     for r in runs),
+            "segments_reclaimed_bytes": sum(r.segments_reclaimed_bytes
+                                            for r in runs),
             "freshness_max_records": max(r.freshness_max_records
                                          for r in runs),
             "freshness_mean_records": round(
@@ -375,6 +472,18 @@ def run_ingest_sim(dataset: Optional[ScholarlyDataset] = None, *,
             if served_n else 0.0
         sim.metrics["incident_bundles"] = \
             len(recorder.captures) if recorder is not None else 0
+        if partitions > 1:
+            sim.metrics["partitions"] = partitions
+            sim.metrics["worker_crashes"] = sum(
+                getattr(r, "worker_crashes", 0) for r in runs)
+            sim.metrics["records_replayed"] = sum(
+                r.records_replayed for r in runs)
+            for stats in last.partitions:
+                prefix = f"p{stats.partition}"
+                sim.metrics[f"{prefix}_committed_offset"] = \
+                    stats.committed_offset
+                sim.metrics[f"{prefix}_worker_crashes"] = \
+                    stats.worker_crashes
     except Exception as exc:  # noqa: BLE001 - the report must survive
         sim.status = "failed"
         sim.error = f"{type(exc).__name__}: {exc}"

@@ -108,6 +108,30 @@ def parse_record(payload: Dict[str, object],
         f"(expected 'article' or 'cite')")
 
 
+def route_key(payload: Dict[str, object]) -> int:
+    """The stable integer a raw payload partitions on.
+
+    Articles route by ``id`` and citations by ``citing`` — the entity
+    the record mutates — so every record touching one article lands in
+    one partition's journal, and
+    :func:`repro.ingest.partition.partition_of` stays consistent with
+    :func:`repro.serve.shard.shard_of`. Unparseable payloads still need
+    a deterministic home (they must be journaled before the parser can
+    judge them), so they route by payload CRC.
+    """
+    if isinstance(payload, dict):
+        kind = payload.get("kind")
+        key = None
+        if kind == "article":
+            key = payload.get("id")
+        elif kind == "cite":
+            key = payload.get("citing")
+        if isinstance(key, int) and not isinstance(key, bool):
+            return key
+    return payload_crc(payload if isinstance(payload, dict) else
+                       {"_unroutable": repr(payload)})
+
+
 class SyntheticSource:
     """A deterministic, seekable feed of synthetic arrivals.
 

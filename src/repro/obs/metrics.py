@@ -44,6 +44,30 @@ FRESHNESS_METRIC = "repro_freshness_served_seconds"
 FRESHNESS_HELP = ("Wall-clock seconds from record arrival to the "
                   "apply/publish/refresh that made it visible, by stage.")
 
+#: Label naming an ingest partition on per-partition instruments. The
+#: single-worker pipeline is partition "0" of 1, so dashboards written
+#: against the label work unchanged at K=1.
+PARTITION_LABEL = "partition"
+
+#: Per-partition arrival→visible freshness, in *records* (deterministic
+#: record-clock lag, one series per partition — a stalled partition
+#: shows up as one hot series instead of skewing the global histogram).
+PARTITION_FRESHNESS_METRIC = "repro_ingest_partition_visible_latency_records"
+PARTITION_FRESHNESS_HELP = (
+    "Records pulled between a record's arrival and the batch apply "
+    "that made it visible, by ingest partition.")
+
+#: Journal compaction counters (ISSUE: segment archival must be
+#: observable). "Archived" counts segments moved out of the hot journal
+#: tier — into ``archive/`` or deleted outright under retention.
+SEGMENTS_ARCHIVED_METRIC = "repro_ingest_segments_archived"
+SEGMENTS_ARCHIVED_HELP = (
+    "Sealed journal segments reclaimed by compaction (moved to the "
+    "archive tier or deleted under retention).")
+SEGMENTS_RECLAIMED_METRIC = "repro_ingest_segments_reclaimed_bytes"
+SEGMENTS_RECLAIMED_HELP = (
+    "Bytes removed from the hot journal tier by compaction.")
+
 
 def _format_value(value: float) -> str:
     if math.isinf(value):

@@ -25,6 +25,7 @@ from repro.resilience.faults import (
     FaultPlan,
     IngestFault,
     InjectedCrash,
+    PartitionFault,
     ShardFault,
     WorkerFault,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "FaultPlan",
     "IngestFault",
     "InjectedCrash",
+    "PartitionFault",
     "RetryDelays",
     "RetryPolicy",
     "ShardFault",

@@ -137,6 +137,39 @@ class IngestFault:
     seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class PartitionFault:
+    """One scripted partitioned-ingest-worker failure.
+
+    ``kind``:
+
+    * ``"crash"`` — partition ``partition``'s worker hard-dies when the
+      router reaches global arrival sequence ``key`` (after the record
+      was journaled and flushed, the nastiest window). Keyed by
+      ``(partition, key, incarnation)``: the fault fires on worker
+      incarnations ``0..times-1``, so the recovered worker (incarnation
+      + 1) lets the record through. Scheduling the same ``key`` for
+      several partitions kills them *simultaneously* — bystander
+      partitions die too, even though the record was not routed to
+      them.
+    * ``"stall"`` — the worker sleeps ``seconds`` before journaling the
+      record at sequence ``key`` (one slow partition; the others must
+      keep draining).
+    * ``"tear"`` — when partition ``partition`` is recovered after a
+      crash, chop ``tear_bytes`` off its active journal segment first,
+      simulating the unsynced tail a real power loss takes with it.
+      Keyed by ``(partition, incarnation)``: ``times`` consecutive
+      recoveries each tear, then the tail survives.
+    """
+
+    kind: str  # "crash" | "stall" | "tear"
+    partition: int
+    key: int = 0
+    times: int = 1
+    seconds: float = 0.0
+    tear_bytes: int = 8
+
+
 @dataclass
 class FaultPlan:
     """A deterministic, picklable script of injected failures."""
@@ -148,6 +181,7 @@ class FaultPlan:
     batch_faults: List[BatchFault] = field(default_factory=list)
     shard_faults: List[ShardFault] = field(default_factory=list)
     ingest_faults: List[IngestFault] = field(default_factory=list)
+    partition_faults: List[PartitionFault] = field(default_factory=list)
     _files_written: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -251,6 +285,36 @@ class FaultPlan:
         (first ``times`` incarnations)."""
         self.ingest_faults.append(IngestFault("crash", int(batch),
                                               int(times)))
+        return self
+
+    def crash_partition_worker(self, partition: int, seq: int,
+                               times: int = 1) -> "FaultPlan":
+        """Hard-kill ingest partition ``partition``'s worker when the
+        router reaches global arrival sequence ``seq`` (first ``times``
+        worker incarnations). Script the same ``seq`` for several
+        partitions to kill them at the same instant."""
+        self.partition_faults.append(PartitionFault(
+            "crash", int(partition), int(seq), int(times)))
+        return self
+
+    def stall_partition_worker(self, partition: int, seq: int,
+                               seconds: float,
+                               times: int = 1) -> "FaultPlan":
+        """Stall partition ``partition``'s worker for ``seconds``
+        before it journals the record at sequence ``seq``."""
+        self.partition_faults.append(PartitionFault(
+            "stall", int(partition), int(seq), int(times),
+            float(seconds)))
+        return self
+
+    def tear_partition_tail(self, partition: int, tear_bytes: int = 8,
+                            times: int = 1) -> "FaultPlan":
+        """Chop ``tear_bytes`` off partition ``partition``'s active
+        journal segment each time the worker is recovered (first
+        ``times`` recoveries) — the crash loses its unsynced tail."""
+        self.partition_faults.append(PartitionFault(
+            "tear", int(partition), 0, int(times),
+            tear_bytes=int(tear_bytes)))
         return self
 
     # ------------------------------------------------------------------
@@ -360,6 +424,46 @@ class FaultPlan:
             raise InjectedCrash(
                 f"injected ingest-worker crash applying batch {batch} "
                 f"(incarnation {incarnation})")
+
+    def partition_fault(self, kind: str, partition: int, key: int,
+                        attempt: int = 0) -> Optional[PartitionFault]:
+        """The scripted partition fault of ``kind`` for this attempt,
+        if it should still fire. For ``"crash"``/``"stall"`` the
+        attempt is the worker incarnation; for ``"tear"`` it is the
+        recovery count (``key`` is ignored — pass 0)."""
+        for fault in self.partition_faults:
+            if (fault.kind == kind and fault.partition == partition
+                    and (kind == "tear" or fault.key == key)
+                    and attempt < fault.times):
+                return fault
+        return None
+
+    def fire_partition_stall(self, partition: int, seq: int,
+                             incarnation: int = 0) -> None:
+        """Sleep through a scripted ``"stall"`` for this partition at
+        this arrival sequence."""
+        fault = self.partition_fault("stall", partition, seq,
+                                     incarnation)
+        if fault is not None:
+            time.sleep(fault.seconds)
+
+    def fire_partition_crash(self, partition: int, seq: int,
+                             incarnation: int = 0) -> None:
+        """Raise :class:`InjectedCrash` if a ``"crash"`` partition
+        fault is scripted for this sequence and worker incarnation."""
+        if self.partition_fault("crash", partition, seq,
+                                incarnation) is not None:
+            raise InjectedCrash(
+                f"injected partition-worker crash: partition "
+                f"{partition} at arrival seq {seq} "
+                f"(incarnation {incarnation})")
+
+    def partition_tear_for(self, partition: int,
+                           recovery: int = 0) -> Optional[int]:
+        """Bytes to chop off ``partition``'s active segment during its
+        ``recovery``-th crash recovery, or ``None``."""
+        fault = self.partition_fault("tear", partition, 0, recovery)
+        return fault.tear_bytes if fault is not None else None
 
     def on_file_written(self, name: str) -> None:
         """Checkpoint-writer hook, called after each file write."""

@@ -126,6 +126,57 @@ class TestObservability:
                 "ingest.commit"} <= span_names
 
 
+class TestPartitionedChaos:
+    def test_acceptance_full_fault_plan_holds(self, chaos_dataset,
+                                              tmp_path):
+        # The acceptance run: K=4 with one stalled partition, two
+        # partitions crashing at the same arrival seq with torn tails,
+        # a duplicate storm straddling partitions, and a poison record
+        # — with archival reclaiming segments while the chaos runs.
+        sim = run_ingest_sim(
+            chaos_dataset, records=100, seed=12,
+            duplicate_every=6, mangle_every=13, cite_every=5,
+            poison_record=44,
+            partitions=4,
+            crash_partitions=[(0, 30), (2, 30)],
+            tear_partitions=[0, 2],
+            stall_partitions=[(1, 15)],
+            stall_seconds=0.001,
+            segment_records=8, compaction="archive",
+            workdir=tmp_path / "sim")
+        assert sim.status == "ok"
+        assert sim.contract_held, sim.render()
+        assert sim.metrics["records_lost"] == 0
+        assert sim.metrics["duplicates_applied"] == 0
+        assert sim.metrics["bit_identical"] is True
+        assert sim.metrics["partitions"] == 4
+        assert sim.metrics["worker_crashes"] == 2
+        assert sim.metrics["segments_archived"] > 0
+
+    def test_coordinator_crash_resumes_partitioned(self,
+                                                   chaos_dataset,
+                                                   tmp_path):
+        # The coordinator itself dies mid-run (on top of a worker
+        # tear): resume picks up all K journals and finishes with the
+        # same corpus the single-worker pipeline would produce.
+        sim = run_ingest_sim(
+            chaos_dataset, records=80, seed=13,
+            duplicate_every=7, partitions=3, crash_batch=1,
+            truncate_journal=True,
+            workdir=tmp_path / "sim")
+        assert sim.crashed and sim.resumed
+        assert sim.contract_held, sim.render()
+        assert sim.metrics["bit_identical"] is True
+
+    def test_per_partition_metrics_exported(self, chaos_dataset):
+        sim = run_ingest_sim(chaos_dataset, records=40, seed=14,
+                             partitions=3)
+        assert sim.contract_held, sim.render()
+        for partition in range(3):
+            assert f"p{partition}_committed_offset" in sim.metrics
+            assert sim.metrics[f"p{partition}_worker_crashes"] == 0
+
+
 class TestCli:
     def test_ingest_sim_command(self, tmp_path, capsys):
         json_path = tmp_path / "sim.json"
@@ -147,3 +198,49 @@ class TestCli:
         bad_dataset = tmp_path / "corrupt.jsonl"
         bad_dataset.write_text("{not json\n", encoding="utf-8")
         assert main(["ingest-sim", str(bad_dataset)]) == 1
+
+    def test_ingest_sim_partitioned_flags(self, tmp_path, capsys):
+        json_path = tmp_path / "sim.json"
+        assert main(["ingest-sim", "--records", "60", "--seed", "2",
+                     "--partitions", "4",
+                     "--crash-partition", "0:20",
+                     "--tear-partition", "0",
+                     "--stall-partition", "1:10",
+                     "--segment-records", "8",
+                     "--compaction", "archive",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "delivery contract: HELD" in out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["contract_held"] is True
+        assert payload["metrics"]["partitions"] == 4
+        assert payload["metrics"]["worker_crashes"] == 1
+        assert payload["metrics"]["segments_archived"] > 0
+
+    def test_ingest_sim_rejects_malformed_partition_fault(self):
+        with pytest.raises(SystemExit):
+            main(["ingest-sim", "--partitions", "2",
+                  "--crash-partition", "zero:ten"])
+
+    def test_ingest_compact_command(self, tmp_path, capsys):
+        from repro.ingest import IngestJournal
+
+        with IngestJournal(tmp_path / "journal",
+                           segment_records=4) as journal:
+            for offset in range(10):
+                journal.append({"kind": "article", "id": offset,
+                                "year": 2020, "refs": []})
+            journal.commit(8)
+        json_path = tmp_path / "compact.json"
+        assert main(["ingest-compact", str(tmp_path / "journal"),
+                     "--retention", "archive",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "archived 2 segment(s)" in out
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["segments_archived"] == 2
+        assert payload["bytes_reclaimed"] > 0
+
+    def test_ingest_compact_on_missing_journal_fails(self, tmp_path):
+        assert main(["ingest-compact",
+                     str(tmp_path / "nope" / "journal")]) == 1

@@ -125,3 +125,97 @@ class TestRecovery:
     def test_crc_is_canonical(self):
         assert payload_crc({"a": 1, "b": 2}) == \
             payload_crc({"b": 2, "a": 1})
+
+
+class TestSeqStamp:
+    def test_seq_round_trips_outside_the_crc(self, tmp_path):
+        payload = _payloads(1)[0]
+        with IngestJournal(tmp_path / "j") as journal:
+            journal.append(payload, seq=17)
+            journal.append(payload)  # unstamped
+            records = list(journal.replay(0))
+        assert records[0].seq == 17
+        assert records[1].seq is None
+        # The stamp rides outside the CRC'd payload: both lines carry
+        # the same content fingerprint.
+        assert payload_crc(records[0].payload) == \
+            payload_crc(records[1].payload)
+
+    def test_last_seq_survives_reopen_and_rotation(self, tmp_path):
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            for index, payload in enumerate(_payloads(5)):
+                journal.append(payload, seq=100 + index)
+            assert journal.last_seq == 104
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            assert journal.last_seq == 104
+
+    def test_last_seq_survives_compaction(self, tmp_path):
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            for index, payload in enumerate(_payloads(4)):
+                journal.append(payload, seq=200 + index)
+            journal.commit(4)
+            journal.compact(retention="delete")
+        # Hot tier is empty; the manifest carries the watermark.
+        with IngestJournal(tmp_path / "j",
+                           segment_records=2) as journal:
+            assert journal.last_seq == 203
+            assert journal.next_offset == 4
+
+
+class TestTornCommittedAccounting:
+    def _tear_last_line(self, directory):
+        active = next(directory.glob("*.open"))
+        raw = active.read_bytes()
+        active.write_bytes(raw[:-8])
+
+    def test_torn_line_below_cursor_is_bytes_not_records(self,
+                                                         tmp_path):
+        # The crash window between the cursor rewrite and the tail
+        # truncation: the torn record is already inside a downstream
+        # checkpoint, so the tear lost bytes, not a record.
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(5):
+                journal.append(payload)
+            journal.commit(5)
+        self._tear_last_line(tmp_path / "j")
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.torn_records_dropped == 0
+            assert journal.torn_committed_dropped == 1
+
+    def test_two_consecutive_cycles_never_double_count(self, tmp_path):
+        # Regression: before the cursor-aware split, every resume
+        # cycle that re-tore a committed tail re-counted the same
+        # record as dropped.
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(5):
+                journal.append(payload)
+            journal.commit(5)
+        for _cycle in range(2):
+            self._tear_last_line(tmp_path / "j")
+            with IngestJournal(tmp_path / "j") as journal:
+                assert journal.torn_records_dropped == 0
+                assert journal.torn_committed_dropped == 1
+                # Re-journal the record the tear took (what replay /
+                # re-delivery does), as the next cycle's tail.
+                journal.append(_payloads(5)[-1])
+
+    def test_mixed_tear_splits_the_accounting(self, tmp_path):
+        # Offsets 0..2 committed; the tear hits the line at offset 2,
+        # so offsets 2..4 are all dropped (everything after the first
+        # torn line is distrusted). One was committed — bytes lost,
+        # not a record — and two are real losses for re-delivery.
+        with IngestJournal(tmp_path / "j") as journal:
+            for payload in _payloads(5):
+                journal.append(payload)
+            journal.commit(3)
+        active = next((tmp_path / "j").glob("*.open"))
+        lines = active.read_text(encoding="utf-8").splitlines(True)
+        lines[2] = lines[2].replace('"year":2020', '"year":2021', 1)
+        active.write_text("".join(lines), encoding="utf-8")
+        with IngestJournal(tmp_path / "j") as journal:
+            assert journal.torn_committed_dropped == 1
+            assert journal.torn_records_dropped == 2
+            assert journal.next_offset == 2

@@ -199,6 +199,26 @@ class TestBackpressure:
             base_dataset, fault_free_reference(source, base_dataset))
         assert datasets_equal(pipeline.live.dataset, reference)
 
+    def test_peak_counts_the_depth_a_shed_offer_found(self):
+        # Regression: a producer that only ever collides with a full
+        # queue used to leave peak at the pre-saturation depth — the
+        # SHED rejection must register the depth it found so the gauge
+        # reflects saturation.
+        from repro.errors import IngestError
+        from repro.ingest.source import ParsedItem
+
+        coalescer = Coalescer(max_queue=4, min_batch=1, max_batch=4)
+        for offset in range(4):
+            coalescer.offer(ParsedItem(
+                offset=offset, kind="cite", fingerprint=offset,
+                citation=(offset, offset + 1)))
+        with pytest.raises(IngestError):
+            coalescer.offer(ParsedItem(
+                offset=4, kind="cite", fingerprint=4,
+                citation=(4, 5)))
+        assert coalescer.peak == 4
+        assert len(coalescer) == 4  # nothing was enqueued
+
     def test_freshness_accounting_is_populated(self, base_dataset,
                                                tmp_path):
         source = SyntheticSource(sorted(base_dataset.articles), 30,
